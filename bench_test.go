@@ -1,0 +1,204 @@
+package spectral
+
+// One benchmark per paper table/figure plus the ablations called out in
+// DESIGN.md. Each BenchmarkTableN regenerates the corresponding table on
+// a reduced-scale suite (the full-scale run is `cmd/experiments -all`;
+// see EXPERIMENTS.md for recorded full-scale results). The scale can be
+// overridden:
+//
+//	go test -bench=Table -benchscale 0.3
+
+import (
+	"flag"
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/dprp"
+	"repro/internal/eigen"
+	"repro/internal/experiments"
+	"repro/internal/fm"
+	"repro/internal/graph"
+	"repro/internal/melo"
+	"repro/internal/partition"
+)
+
+var benchScale = flag.Float64("benchscale", 0.15, "benchmark suite scale for table benchmarks")
+
+func tableLab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	return experiments.NewLab(experiments.Config{Out: io.Discard, Scale: *benchScale})
+}
+
+func runTable(b *testing.B, f func(*experiments.Lab) error) {
+	b.Helper()
+	lab := tableLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f(lab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { runTable(b, experiments.Table1) }
+func BenchmarkTable2(b *testing.B) { runTable(b, experiments.Table2) }
+func BenchmarkTable3(b *testing.B) { runTable(b, experiments.Table3) }
+func BenchmarkTable4(b *testing.B) { runTable(b, experiments.Table4) }
+func BenchmarkTable5(b *testing.B) { runTable(b, experiments.Table5) }
+
+func BenchmarkFigure1(b *testing.B) { runTable(b, experiments.Figure1) }
+func BenchmarkFigure2(b *testing.B) { runTable(b, experiments.Figure2) }
+
+// benchPipeline prepares the prim1 instance at the current scale.
+func benchPipeline(b *testing.B, d int) (*graph.Graph, *eigen.Decomposition, *Netlist) {
+	b.Helper()
+	c, err := bench.Lookup("prim1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := bench.Generate(c.Scaled(*benchScale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := graph.FromHypergraph(h, graph.PartitioningSpecific, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := eigen.SmallestEigenpairs(g.Laplacian(), d+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, dec, h
+}
+
+// BenchmarkAblationSchemes measures each MELO weighting scheme's ordering
+// construction (Ablation A in DESIGN.md).
+func BenchmarkAblationSchemes(b *testing.B) {
+	g, dec, _ := benchPipeline(b, 10)
+	for s := melo.Scheme(0); s < melo.NumSchemes; s++ {
+		b.Run(s.String(), func(b *testing.B) {
+			opts := melo.NewOptions()
+			opts.Scheme = s
+			for i := 0; i < b.N; i++ {
+				if _, err := melo.Order(g, dec, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEigen compares the dense and Lanczos eigensolvers on
+// the same Laplacian (Ablation B).
+func BenchmarkAblationEigen(b *testing.B) {
+	g := graph.RandomConnected(400, 1600, 7)
+	lap := g.Laplacian()
+	b.Run("lanczos-d6", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eigen.Lanczos(lap, 6, &eigen.LanczosOptions{Tol: 1e-6, MaxDim: 400}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense-full", func(b *testing.B) {
+		dm := lap.ToDense()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eigen.SymEig(dm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFM measures FM refinement on top of a MELO bipartition
+// (Ablation C: the paper's iterative-improvement future-work item).
+func BenchmarkAblationFM(b *testing.B) {
+	g, dec, h := benchPipeline(b, 10)
+	res, err := melo.Order(g, dec, melo.NewOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	split, err := dprp.BestBalancedSplit(h, res.Order, 0.45)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := fm.Refine(h, split.Partition, fm.Options{MinFrac: 0.45})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Cut > out.InitialCut {
+			b.Fatal("FM worsened the cut")
+		}
+	}
+}
+
+// BenchmarkMeloOrder isolates the O(d·n²) ordering construction.
+func BenchmarkMeloOrder(b *testing.B) {
+	g, dec, _ := benchPipeline(b, 10)
+	opts := melo.NewOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := melo.Order(g, dec, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPRP isolates the dynamic-programming splitter.
+func BenchmarkDPRP(b *testing.B) {
+	g, dec, h := benchPipeline(b, 10)
+	res, err := melo.Order(g, dec, melo.NewOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dprp.Partition(h, res.Order, dprp.Options{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLaplacianEigensolve isolates the Lanczos solve that dominates
+// the full pipeline.
+func BenchmarkLaplacianEigensolve(b *testing.B) {
+	c, err := bench.Lookup("prim2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := bench.Generate(c.Scaled(*benchScale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := graph.FromHypergraph(h, graph.PartitioningSpecific, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lap := g.Laplacian()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eigen.SmallestEigenpairs(lap, 11); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetCut exercises the hot metric used across every experiment.
+func BenchmarkNetCut(b *testing.B) {
+	_, _, h := benchPipeline(b, 2)
+	assign := make([]int, h.NumModules())
+	for i := range assign {
+		assign[i] = i % 2
+	}
+	p := partition.MustNew(assign, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if partition.NetCut(h, p) < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}

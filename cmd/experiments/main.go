@@ -1,0 +1,91 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures on the synthesized benchmark suite.
+//
+// Usage:
+//
+//	experiments -all                 # every table and figure, full scale
+//	experiments -table 4 -scale 0.3  # one table at reduced scale
+//	experiments -figure 1
+//	experiments -table 5 -benchmarks prim1,prim2
+//
+// At -scale 1 the full suite takes minutes (the industry2 circuit has
+// 12637 modules and every algorithm runs on it); smaller scales preserve
+// the qualitative comparisons and run in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		tableN  = flag.Int("table", 0, "table number to regenerate (1-5)")
+		figureN = flag.Int("figure", 0, "figure number to regenerate (1-2)")
+		ext     = flag.Bool("ext", false, "regenerate the extensions comparison table")
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		scale   = flag.Float64("scale", 1.0, "benchmark scale factor (0,1]")
+		d       = flag.Int("d", 10, "MELO eigenvector count")
+		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Out: os.Stdout, Scale: *scale, D: *d}
+	if *benches != "" {
+		cfg.Benchmarks = strings.Split(*benches, ",")
+	}
+	lab := experiments.NewLab(cfg)
+
+	tables := map[int]func(*experiments.Lab) error{
+		1: experiments.Table1,
+		2: experiments.Table2,
+		3: experiments.Table3,
+		4: experiments.Table4,
+		5: experiments.Table5,
+	}
+	figures := map[int]func(*experiments.Lab) error{
+		1: experiments.Figure1,
+		2: experiments.Figure2,
+	}
+
+	run := func(name string, f func(*experiments.Lab) error) {
+		if err := f(lab); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *all:
+		for i := 1; i <= 5; i++ {
+			run(fmt.Sprintf("table %d", i), tables[i])
+		}
+		for i := 1; i <= 2; i++ {
+			run(fmt.Sprintf("figure %d", i), figures[i])
+		}
+		run("extensions table", experiments.TableExtensions)
+	case *ext:
+		run("extensions table", experiments.TableExtensions)
+	case *tableN != 0:
+		f, ok := tables[*tableN]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: no table %d (want 1-5)\n", *tableN)
+			os.Exit(2)
+		}
+		run(fmt.Sprintf("table %d", *tableN), f)
+	case *figureN != 0:
+		f, ok := figures[*figureN]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: no figure %d (want 1-2)\n", *figureN)
+			os.Exit(2)
+		}
+		run(fmt.Sprintf("figure %d", *figureN), f)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

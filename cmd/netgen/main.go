@@ -1,0 +1,70 @@
+// Command netgen emits benchmark netlists in the text interchange format.
+//
+// Usage:
+//
+//	netgen -list                      # show the registered benchmarks
+//	netgen -name prim1 > prim1.net    # full published size
+//	netgen -name industry2 -scale 0.1 -o ind2_small.net
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	spectral "repro"
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		name   = flag.String("name", "", "benchmark name")
+		scale  = flag.Float64("scale", 1.0, "scale factor (0,1]")
+		out    = flag.String("o", "", "output file (default stdout)")
+		format = flag.String("format", "text", "output format: text|hmetis")
+		list   = flag.Bool("list", false, "list registered benchmarks")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %8s %8s %8s\n", "name", "modules", "nets", "pins")
+		for _, c := range bench.Table1 {
+			fmt.Printf("%-12s %8d %8d %8d\n", c.Name, c.Modules, c.Nets, c.Pins)
+		}
+		return
+	}
+	if *name == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	h, err := spectral.GenerateBenchmark(*name, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "hmetis":
+		if err := spectral.SaveHMetis(w, h); err != nil {
+			fatal(err)
+		}
+	case "text", "":
+		if err := spectral.SaveNetlist(w, *name, h); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text|hmetis)", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netgen:", err)
+	os.Exit(1)
+}

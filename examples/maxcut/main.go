@@ -1,0 +1,47 @@
+// Maxcut: the paper's §3 shows the vector-partitioning view also covers
+// MAXIMUM cut — with the sqrt(λ_j) scaling, maximizing Σ_h ‖Y_h‖² is
+// maximizing the cut. This example compares the probe-rounding heuristic
+// (Goemans–Williamson-style hyperplane probes in the eigenvector space)
+// against greedy local search and the exact optimum on small graphs.
+//
+//	go run ./examples/maxcut
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/maxcut"
+)
+
+func main() {
+	fmt.Printf("%-22s %-8s %-8s %-8s %-8s\n", "graph", "total W", "greedy", "probe", "optimum")
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"K8", graph.Complete(8)},
+		{"C9 (odd cycle)", graph.Cycle(9)},
+		{"C10 (even cycle)", graph.Cycle(10)},
+		{"4x4 grid", graph.Grid(4, 4)},
+		{"random n=16", graph.RandomConnected(16, 40, 7)},
+		{"two clusters", graph.TwoClusters(8, 8, 3, 1, 5)},
+	}
+	for _, c := range cases {
+		var total float64
+		for _, e := range c.g.Edges() {
+			total += e.W
+		}
+		_, greedy := maxcut.Greedy(c.g, 1)
+		_, probe, err := maxcut.Probe(c.g, maxcut.ProbeOptions{Probes: 200, Seed: 1})
+		if err != nil {
+			fmt.Println("probe error:", err)
+			return
+		}
+		_, opt := maxcut.BruteForce(c.g)
+		fmt.Printf("%-22s %-8.1f %-8.1f %-8.1f %-8.1f\n", c.name, total, greedy, probe, opt)
+	}
+	fmt.Println("\nthe probe heuristic rounds random directions in the full eigenvector")
+	fmt.Println("space; with all n eigenvectors the objective equals the (doubled) cut")
+	fmt.Println("exactly, so better vector partitions ARE better cuts.")
+}

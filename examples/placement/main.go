@@ -1,0 +1,112 @@
+// Placement: the quadratic-placement lineage of the paper's machinery —
+// Hall's spectral placement [27] and pad-constrained placement (the
+// formulation behind the PARABOLI-style baseline). Compares spectral
+// placements of a benchmark netlist against random placement by
+// half-perimeter wirelength (HPWL).
+//
+//	go run ./examples/placement
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	spectral "repro"
+	"repro/internal/graph"
+	"repro/internal/place"
+)
+
+func main() {
+	h, err := spectral.GenerateBenchmark("struct", 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := graph.FromHypergraph(h, graph.PartitioningSpecific, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := g.N()
+	fmt.Printf("circuit struct (scaled): %d modules, %d nets\n\n", n, h.NumNets())
+
+	// Hall's 2-D spectral placement (eigenvectors 2 and 3).
+	hall, err := place.Hall(g, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hall.Spread()
+
+	// Pad-constrained placement: pin the four Fiedler-extreme modules to
+	// the corners of the unit square.
+	hall1, err := place.Hall(g, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corners := extremeModules(hall1)
+	padded, err := place.WithPads(g, 2, []place.Pad{
+		{Vertex: corners[0], At: []float64{0, 0}},
+		{Vertex: corners[1], At: []float64{1, 0}},
+		{Vertex: corners[2], At: []float64{0, 1}},
+		{Vertex: corners[3], At: []float64{1, 1}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Random placement baseline.
+	rng := rand.New(rand.NewSource(1))
+	coords := make([][]float64, n)
+	for i := range coords {
+		coords[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	random := &place.Placement{Coords: coords, R: 2}
+
+	fmt.Printf("%-24s %-12s %-14s\n", "placement", "HPWL", "quadratic WL")
+	for _, row := range []struct {
+		name string
+		p    *place.Placement
+	}{
+		{"random", random},
+		{"Hall spectral (2-D)", hall},
+		{"pad-constrained", padded},
+	} {
+		fmt.Printf("%-24s %-12.2f %-14.4f\n", row.name,
+			place.HPWL(h, row.p), place.QuadraticWirelength(g, row.p))
+	}
+	fmt.Println("\nHall's placement minimizes quadratic wirelength among balanced")
+	fmt.Println("placements (value = λ2+λ3); the same eigenvectors that order MELO's")
+	fmt.Println("vectors place the circuit — one spectral decomposition, many uses.")
+}
+
+// extremeModules returns the modules at the min/max of each dimension.
+func extremeModules(p *place.Placement) [4]int {
+	var out [4]int
+	minX, maxX, minY, maxY := 0, 0, 0, 0
+	for i := 1; i < p.N(); i++ {
+		if p.At(i, 0) < p.At(minX, 0) {
+			minX = i
+		}
+		if p.At(i, 0) > p.At(maxX, 0) {
+			maxX = i
+		}
+		if p.At(i, 1) < p.At(minY, 1) {
+			minY = i
+		}
+		if p.At(i, 1) > p.At(maxY, 1) {
+			maxY = i
+		}
+	}
+	out = [4]int{minX, maxX, minY, maxY}
+	// Deduplicate defensively (degenerate geometries).
+	seen := map[int]bool{}
+	next := 0
+	for i, v := range out {
+		for seen[v] {
+			v = (v + 1) % p.N()
+		}
+		seen[v] = true
+		out[i] = v
+		_ = next
+	}
+	return out
+}

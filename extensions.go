@@ -1,0 +1,135 @@
+package spectral
+
+// This file exposes the extension systems built around the core
+// reproduction: direct vector k-partitioning (the paper's closing
+// research direction), hierarchical clustering, spectral lower bounds,
+// the Hendrickson–Leland 2^d-way partitioner, and the Frankle–Karp probe
+// bipartitioner.
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/cluster"
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/hl"
+	"repro/internal/linalg"
+	"repro/internal/probe"
+	"repro/internal/vecpart"
+	"repro/internal/vkp"
+)
+
+// ClusterTree is a hierarchical clustering of a netlist (see Cluster).
+type ClusterTree = cluster.Node
+
+// Cluster builds a hierarchical clustering of the netlist by recursive
+// MELO bipartitioning, stopping at clusters of leafSize modules. Use
+// (*ClusterTree).Flatten to extract a k-way partitioning and
+// (*ClusterTree).Dendrogram to render the hierarchy.
+func Cluster(h *Netlist, leafSize int) (*ClusterTree, error) {
+	return cluster.Build(h, cluster.Options{LeafSize: leafSize, Model: graph.PartitioningSpecific})
+}
+
+// VectorPartition partitions the netlist with the direct vector
+// k-partitioning heuristic: grow all k clusters simultaneously in the
+// d-dimensional vector space, maximizing Σ_h ‖Y_h‖², then refine with
+// single-vector moves. This is the "more sophisticated vector
+// partitioning heuristics" direction the paper's conclusion proposes.
+func VectorPartition(h *Netlist, k, d int) (*Partitioning, error) {
+	if d <= 0 {
+		d = 10
+	}
+	g, dec, err := decompose(h, graph.PartitioningSpecific, d)
+	if err != nil {
+		return nil, err
+	}
+	used := d
+	if used > dec.D()-1 {
+		used = dec.D() - 1
+	}
+	if used < 1 {
+		return nil, fmt.Errorf("spectral: netlist too small for vector partitioning")
+	}
+	// Skip the trivial eigenvector; scale with the truncation-balanced H.
+	trimmed := trimTrivial(dec, used)
+	H := vecpart.ChooseH(g.TotalDegree(), append([]float64{0}, trimmed.Values...), g.N())
+	v, err := vecpart.FromDecomposition(trimmed, used, vecpart.MaxSum, H)
+	if err != nil {
+		return nil, err
+	}
+	res, err := vkp.Partition(v, vkp.Options{K: k})
+	if err != nil {
+		return nil, err
+	}
+	return res.Partition, nil
+}
+
+// trimTrivial drops the first (constant) eigenpair and keeps d pairs.
+func trimTrivial(dec *eigen.Decomposition, d int) *eigen.Decomposition {
+	n := dec.Vectors.Rows
+	trimmed := linalg.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			trimmed.Set(i, j, dec.Vectors.At(i, j+1))
+		}
+	}
+	return &eigen.Decomposition{
+		Values:  append([]float64(nil), dec.Values[1:d+1]...),
+		Vectors: trimmed,
+	}
+}
+
+// HypercubePartition runs the Hendrickson–Leland style partitioner: d
+// non-trivial eigenvectors produce 2^d balanced clusters via recursive
+// median splits.
+func HypercubePartition(h *Netlist, d int) (*Partitioning, error) {
+	_, dec, err := decompose(h, graph.PartitioningSpecific, d)
+	if err != nil {
+		return nil, err
+	}
+	return hl.Partition(dec, d)
+}
+
+// ProbeBipartition runs the Frankle–Karp probe-vector bipartitioner on
+// the netlist's vector instance: probes directions in d-space, rounds
+// each to the best-projecting bipartition, keeps the best.
+func ProbeBipartition(h *Netlist, d, probes int, minFrac float64) (*Partitioning, error) {
+	if d <= 0 {
+		d = 10
+	}
+	if minFrac <= 0 {
+		minFrac = 0.45
+	}
+	g, dec, err := decompose(h, graph.PartitioningSpecific, d)
+	if err != nil {
+		return nil, err
+	}
+	used := d
+	if used > dec.D()-1 {
+		used = dec.D() - 1
+	}
+	trimmed := trimTrivial(dec, used)
+	H := vecpart.ChooseH(g.TotalDegree(), append([]float64{0}, trimmed.Values...), g.N())
+	v, err := vecpart.FromDecomposition(trimmed, used, vecpart.MaxSum, H)
+	if err != nil {
+		return nil, err
+	}
+	res, err := probe.Bipartition(v, probe.Options{Probes: probes, MinFrac: minFrac})
+	if err != nil {
+		return nil, err
+	}
+	return res.Partition, nil
+}
+
+// CutLowerBound returns the Donath–Hoffman spectral lower bound on the
+// paper's cut objective f(P_k) = Σ_h E_h over all partitionings of the
+// netlist's clique-model graph with the given cluster sizes. Any
+// heuristic solution's F value can be compared against it.
+func CutLowerBound(h *Netlist, sizes []int) (float64, error) {
+	g, err := graph.FromHypergraph(h, graph.PartitioningSpecific, 0)
+	if err != nil {
+		return 0, err
+	}
+	return bounds.DonathHoffman(g, sizes)
+}

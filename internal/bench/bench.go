@@ -1,0 +1,297 @@
+// Package bench provides the benchmark suite for the experiments: a
+// registry of the paper's Table 1 ACM/SIGDA circuits and a deterministic
+// synthetic netlist generator that reproduces each circuit's published
+// module/net/pin statistics.
+//
+// The original MCNC/ACM-SIGDA netlist files are not distributable with
+// this repository, so each named benchmark is synthesized as a clustered
+// VLSI-like hypergraph with exactly the published number of modules, nets
+// and pins (see DESIGN.md §5 for why this substitution preserves the
+// paper's comparisons: every algorithm is run on the identical instance,
+// and the instances match the originals' scale and net-size statistics).
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"repro/internal/hypergraph"
+)
+
+// Circuit describes one benchmark: its published statistics from the
+// paper's Table 1.
+type Circuit struct {
+	Name    string
+	Modules int
+	Nets    int
+	Pins    int
+}
+
+// Table1 lists the paper's benchmark suite with the published statistics
+// of the ACM/SIGDA circuits.
+var Table1 = []Circuit{
+	{"bm1", 882, 902, 2910},
+	{"prim1", 833, 902, 2908},
+	{"prim2", 3014, 3029, 11219},
+	{"test02", 1663, 1720, 6134},
+	{"test03", 1607, 1618, 5807},
+	{"test04", 1515, 1658, 5975},
+	{"test05", 2595, 2750, 10076},
+	{"test06", 1752, 1541, 6638},
+	{"struct", 1952, 1920, 5471},
+	{"19ks", 2844, 3282, 10547},
+	{"biomed", 6514, 5742, 21040},
+	{"industry2", 12637, 13419, 48404},
+}
+
+// Lookup returns the registered circuit with the given name.
+func Lookup(name string) (Circuit, error) {
+	for _, c := range Table1 {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Circuit{}, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// Scaled returns a copy of the circuit with statistics scaled by f
+// (0 < f <= 1), preserving the pins/net and nets/module ratios. Useful
+// for fast test runs; f = 1 reproduces the published sizes.
+func (c Circuit) Scaled(f float64) Circuit {
+	if f >= 1 {
+		return c
+	}
+	s := Circuit{Name: c.Name}
+	s.Modules = maxInt(8, int(float64(c.Modules)*f))
+	s.Nets = maxInt(8, int(float64(c.Nets)*f))
+	s.Pins = maxInt(2*s.Nets, int(float64(c.Pins)*f))
+	return s
+}
+
+// MaxNetSize caps generated net sizes (matching practical netlists, where
+// the largest nets are clock/reset trees; the paper notes [10] dropped
+// nets over 99 pins).
+const MaxNetSize = 64
+
+// Generate synthesizes the circuit as a connected hypergraph with exactly
+// c.Modules modules, c.Nets nets and c.Pins pins. Generation is
+// deterministic: the same circuit always yields the same netlist.
+//
+// Structure: a "skeleton" of overlapping nets covering the modules in
+// index order guarantees connectivity and local structure; the remaining
+// nets choose a home cluster on a grid of ~16-module clusters and draw
+// almost all pins from the home's 3×3 neighborhood, giving the locality
+// (and the small ratio cuts) real circuits exhibit.
+func Generate(c Circuit) (*hypergraph.Hypergraph, error) {
+	if c.Modules < 2 || c.Nets < 1 || c.Pins < 2*c.Nets {
+		return nil, fmt.Errorf("bench: infeasible circuit %+v (need pins >= 2·nets)", c)
+	}
+	if c.Pins > c.Nets*MaxNetSize {
+		return nil, fmt.Errorf("bench: circuit %+v exceeds max net size %d", c, MaxNetSize)
+	}
+	rng := rand.New(rand.NewSource(seedFor(c.Name)))
+
+	// Skeleton: nets of size s covering modules [j(s−1), j(s−1)+s−1], so
+	// consecutive nets overlap in one module and the whole chain is
+	// connected. Choose the smallest s (>= 3) whose skeleton fits in half
+	// the net budget.
+	s := 3
+	skeletonCount := func(s int) int { return (c.Modules - 2 + s - 2) / (s - 1) }
+	for s < MaxNetSize && (skeletonCount(s) > c.Nets/2 || skeletonCount(s)*s > c.Pins/2) {
+		s++
+	}
+	kSkel := skeletonCount(s)
+	skelPins := 0
+	type pendingNet struct{ mods []int }
+	var nets []pendingNet
+	for j := 0; j < kSkel; j++ {
+		start := j * (s - 1)
+		end := start + s - 1
+		if end > c.Modules-1 {
+			end = c.Modules - 1
+		}
+		if end-start+1 < 2 {
+			start = end - 1
+		}
+		mods := make([]int, 0, end-start+1)
+		for m := start; m <= end; m++ {
+			mods = append(mods, m)
+		}
+		nets = append(nets, pendingNet{mods})
+		skelPins += len(mods)
+	}
+	remainingNets := c.Nets - len(nets)
+	remainingPins := c.Pins - skelPins
+	if remainingNets < 0 || remainingPins < 2*remainingNets || remainingPins > remainingNets*MaxNetSize {
+		return nil, fmt.Errorf("bench: %s: skeleton of %d nets leaves infeasible budget (%d nets, %d pins)",
+			c.Name, kSkel, remainingNets, remainingPins)
+	}
+
+	// Cluster geometry for the random nets: ~16 modules per cluster on a
+	// grid.
+	clusterSize := 16
+	numClusters := (c.Modules + clusterSize - 1) / clusterSize
+	gridSide := 1
+	for gridSide*gridSide < numClusters {
+		gridSide++
+	}
+	clusterMembers := make([][]int, numClusters)
+	for m := 0; m < c.Modules; m++ {
+		cl := m / clusterSize
+		clusterMembers[cl] = append(clusterMembers[cl], m)
+	}
+	neighborhood := func(cl int) []int {
+		r, col := cl/gridSide, cl%gridSide
+		var mods []int
+		for dr := -1; dr <= 1; dr++ {
+			for dc := -1; dc <= 1; dc++ {
+				nr, nc := r+dr, col+dc
+				if nr < 0 || nc < 0 || nr >= gridSide || nc >= gridSide {
+					continue
+				}
+				ncl := nr*gridSide + nc
+				if ncl < numClusters {
+					mods = append(mods, clusterMembers[ncl]...)
+				}
+			}
+		}
+		return mods
+	}
+
+	sizes := randomSizes(rng, remainingPins, remainingNets)
+	drawNet := func(size int) pendingNet {
+		home := rng.Intn(numClusters)
+		pool := clusterMembers[home]
+		wide := neighborhood(home)
+		seen := make(map[int]bool, size)
+		mods := make([]int, 0, size)
+		attempts := 0
+		for len(mods) < size && attempts < 60*size {
+			attempts++
+			var m int
+			switch r := rng.Float64(); {
+			case r < 0.70 && len(pool) > 0:
+				m = pool[rng.Intn(len(pool))] // home cluster
+			case r < 0.95 && len(wide) > 0:
+				m = wide[rng.Intn(len(wide))] // 3×3 neighborhood
+			default:
+				m = rng.Intn(c.Modules) // global
+			}
+			if !seen[m] {
+				seen[m] = true
+				mods = append(mods, m)
+			}
+		}
+		for len(mods) < size {
+			m := rng.Intn(c.Modules)
+			if !seen[m] {
+				seen[m] = true
+				mods = append(mods, m)
+			}
+		}
+		return pendingNet{mods}
+	}
+	for _, sz := range sizes {
+		nets = append(nets, drawNet(sz))
+	}
+
+	b := hypergraph.NewBuilder()
+	for m := 0; m < c.Modules; m++ {
+		b.AddModule(fmt.Sprintf("%s.m%d", c.Name, m))
+	}
+	for i, net := range nets {
+		if err := b.AddNet(fmt.Sprintf("%s.n%d", c.Name, i), net.mods...); err != nil {
+			return nil, fmt.Errorf("bench: %s: %v", c.Name, err)
+		}
+	}
+	h := b.Build()
+	if got := h.Stats(); got.Modules != c.Modules || got.Nets != c.Nets || got.Pins != c.Pins {
+		return nil, fmt.Errorf("bench: %s generated %+v, want %+v", c.Name, got, c)
+	}
+	if !h.IsConnected() {
+		return nil, fmt.Errorf("bench: %s generated a disconnected netlist", c.Name)
+	}
+	return h, nil
+}
+
+// randomSizes draws count net sizes (each in [2, MaxNetSize]) from a
+// geometric tail distribution and adjusts them to sum exactly to pins.
+func randomSizes(rng *rand.Rand, pins, count int) []int {
+	if count == 0 {
+		return nil
+	}
+	mean := float64(pins) / float64(count)
+	// size = 2 + Geometric with success probability p has mean 2 + (1−p)/p.
+	p := 1.0
+	if mean > 2 {
+		p = 1 / (mean - 1)
+	}
+	if p > 0.95 {
+		p = 0.95
+	}
+	if p < 0.05 {
+		p = 0.05
+	}
+	sizes := make([]int, count)
+	total := 0
+	for i := range sizes {
+		sz := 2
+		for rng.Float64() > p && sz < MaxNetSize {
+			sz++
+		}
+		sizes[i] = sz
+		total += sz
+	}
+	for total < pins {
+		i := rng.Intn(count)
+		if sizes[i] < MaxNetSize {
+			sizes[i]++
+			total++
+		}
+	}
+	for total > pins {
+		i := rng.Intn(count)
+		if sizes[i] > 2 {
+			sizes[i]--
+			total--
+		}
+	}
+	return sizes
+}
+
+// AttachAreas assigns deterministic skewed module areas to a generated
+// netlist, modelling real cell libraries: most cells near unit size with
+// a lognormal-style tail of macros. The distribution is reproducible per
+// netlist (seeded by the module count and the given salt).
+func AttachAreas(h *hypergraph.Hypergraph, salt int64) error {
+	rng := rand.New(rand.NewSource(seedFor(fmt.Sprintf("areas:%d:%d", h.NumModules(), salt))))
+	areas := make([]float64, h.NumModules())
+	for i := range areas {
+		// exp(N(0, 0.5)) concentrates near 1 with a right tail; clamp to
+		// [0.25, 16] to keep the balance problems well-posed.
+		a := math.Exp(rng.NormFloat64() * 0.5)
+		if a < 0.25 {
+			a = 0.25
+		}
+		if a > 16 {
+			a = 16
+		}
+		areas[i] = a
+	}
+	return h.SetAreas(areas)
+}
+
+func seedFor(name string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte("melo-bench:" + name))
+	return int64(h.Sum64())
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestLookup(t *testing.T) {
+	c, err := Lookup("prim1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Modules != 833 || c.Nets != 902 || c.Pins != 2908 {
+		t.Errorf("prim1 = %+v", c)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestGenerateMatchesPublishedStats(t *testing.T) {
+	// Full-size generation for the two smallest circuits; scaled versions
+	// of the rest (full-size generation of every circuit runs in the
+	// benchmarks).
+	for _, c := range []Circuit{mustLookup(t, "bm1"), mustLookup(t, "prim1")} {
+		h, err := Generate(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		s := h.Stats()
+		if s.Modules != c.Modules || s.Nets != c.Nets || s.Pins != c.Pins {
+			t.Errorf("%s: generated %+v, want %+v", c.Name, s, c)
+		}
+		if !h.IsConnected() {
+			t.Errorf("%s: disconnected", c.Name)
+		}
+		if s.MaxNetSize > MaxNetSize {
+			t.Errorf("%s: net of %d pins exceeds cap", c.Name, s.MaxNetSize)
+		}
+		if err := h.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestGenerateScaledAll(t *testing.T) {
+	for _, c := range Table1 {
+		sc := c.Scaled(0.05)
+		h, err := Generate(sc)
+		if err != nil {
+			t.Fatalf("%s scaled: %v", c.Name, err)
+		}
+		s := h.Stats()
+		if s.Modules != sc.Modules || s.Nets != sc.Nets || s.Pins != sc.Pins {
+			t.Errorf("%s scaled: %+v, want %+v", c.Name, s, sc)
+		}
+		if !h.IsConnected() {
+			t.Errorf("%s scaled: disconnected", c.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := mustLookup(t, "bm1").Scaled(0.2)
+	h1, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.NumNets() != h2.NumNets() {
+		t.Fatal("net counts differ across runs")
+	}
+	for e := range h1.Nets {
+		if len(h1.Nets[e]) != len(h2.Nets[e]) {
+			t.Fatalf("net %d sizes differ", e)
+		}
+		for i := range h1.Nets[e] {
+			if h1.Nets[e][i] != h2.Nets[e][i] {
+				t.Fatalf("net %d contents differ", e)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsInfeasible(t *testing.T) {
+	if _, err := Generate(Circuit{Name: "x", Modules: 10, Nets: 10, Pins: 5}); err == nil {
+		t.Error("pins < 2·nets accepted")
+	}
+	if _, err := Generate(Circuit{Name: "x", Modules: 1000, Nets: 1, Pins: 1000}); err == nil {
+		t.Error("net over MaxNetSize accepted")
+	}
+	if _, err := Generate(Circuit{Name: "x", Modules: 1, Nets: 2, Pins: 4}); err == nil {
+		t.Error("single-module circuit accepted")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := mustLookup(t, "industry2")
+	s := c.Scaled(0.1)
+	if s.Modules >= c.Modules || s.Nets >= c.Nets || s.Pins >= c.Pins {
+		t.Errorf("Scaled did not shrink: %+v", s)
+	}
+	if s.Pins < 2*s.Nets {
+		t.Errorf("Scaled broke feasibility: %+v", s)
+	}
+	if same := c.Scaled(1); same != c {
+		t.Error("Scaled(1) should be identity")
+	}
+}
+
+func TestGeneratedNetlistHasLocality(t *testing.T) {
+	// A clustered netlist must have a much better balanced bipartition
+	// than a uniformly random hypergraph of the same size; check the
+	// trivial ordering split is far below the ~50% of nets a random
+	// netlist would cut.
+	c := mustLookup(t, "prim1").Scaled(0.3)
+	h, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity order follows module index, which follows cluster layout.
+	order := make([]int, h.NumModules())
+	for i := range order {
+		order[i] = i
+	}
+	// Count nets cut at the middle.
+	mid := len(order) / 2
+	cut := 0
+	for _, net := range h.Nets {
+		lo, hi := net[0], net[0]
+		for _, m := range net {
+			if m < lo {
+				lo = m
+			}
+			if m > hi {
+				hi = m
+			}
+		}
+		if lo < mid && hi >= mid {
+			cut++
+		}
+	}
+	if frac := float64(cut) / float64(h.NumNets()); frac > 0.35 {
+		t.Errorf("middle split cuts %.0f%% of nets; expected locality", 100*frac)
+	}
+}
+
+func TestAttachAreas(t *testing.T) {
+	c := mustLookup(t, "bm1").Scaled(0.2)
+	h, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachAreas(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !h.HasAreas() {
+		t.Fatal("areas not set")
+	}
+	var min, max float64 = 1e9, 0
+	for i := 0; i < h.NumModules(); i++ {
+		a := h.Area(i)
+		if a < min {
+			min = a
+		}
+		if a > max {
+			max = a
+		}
+	}
+	if min < 0.25 || max > 16 {
+		t.Errorf("areas out of clamp range: [%v, %v]", min, max)
+	}
+	if max/min < 2 {
+		t.Errorf("areas not skewed enough: [%v, %v]", min, max)
+	}
+	// Deterministic.
+	h2, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachAreas(h2, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < h.NumModules(); i++ {
+		if h.Area(i) != h2.Area(i) {
+			t.Fatal("areas differ across identical runs")
+		}
+	}
+}
+
+func mustLookup(t *testing.T, name string) Circuit {
+	t.Helper()
+	c, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,206 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/vecpart"
+)
+
+// bruteMinF returns the minimum f(P_k) over all partitions with exactly
+// the given sizes (as a multiset).
+func bruteMinF(g *graph.Graph, sizes []int) float64 {
+	n := g.N()
+	k := len(sizes)
+	best := math.Inf(1)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			p := partition.Partition{Assign: assign, K: k}
+			if f := partition.F(g, &p); f < best {
+				best = f
+			}
+			return
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] < sizes[c] {
+				counts[c]++
+				assign[i] = c
+				rec(i + 1)
+				counts[c]--
+			}
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestDonathHoffmanIsValidLowerBound(t *testing.T) {
+	cases := []struct {
+		g     *graph.Graph
+		sizes []int
+	}{
+		{graph.RandomConnected(9, 14, 1), []int{5, 4}},
+		{graph.RandomConnected(9, 14, 2), []int{3, 3, 3}},
+		{graph.RandomConnected(10, 20, 3), []int{4, 3, 3}},
+		{graph.Cycle(8), []int{4, 4}},
+		{graph.Grid(3, 3), []int{3, 3, 3}},
+	}
+	for i, c := range cases {
+		b, err := DonathHoffman(c.g, c.sizes)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		opt := bruteMinF(c.g, c.sizes)
+		if b > opt+1e-9 {
+			t.Errorf("case %d: bound %v exceeds optimum %v", i, b, opt)
+		}
+		if b < 0 {
+			t.Errorf("case %d: negative bound %v", i, b)
+		}
+	}
+}
+
+func TestDonathHoffmanTightOnCompleteGraph(t *testing.T) {
+	// K_n with equal sizes: every balanced partition has
+	// f = n² − Σ m_h² and the bound is tight.
+	n, k := 12, 3
+	g := graph.Complete(n)
+	sizes := []int{4, 4, 4}
+	b, err := DonathHoffman(g, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n*n) - 3*16
+	if math.Abs(b-want) > 1e-8 {
+		t.Errorf("bound %v, want tight %v (k=%d)", b, want, k)
+	}
+}
+
+func TestBipartitionCutBound(t *testing.T) {
+	g := graph.RandomConnected(12, 25, 7)
+	for _, m1 := range []int{3, 6} {
+		b, err := BipartitionCutBound(g, m1, 12-m1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := bruteMinF(g, []int{m1, 12 - m1}) / 2 // f counts twice
+		if b > opt+1e-9 {
+			t.Errorf("m1=%d: bound %v exceeds optimal cut %v", m1, b, opt)
+		}
+	}
+	if _, err := BipartitionCutBound(g, 5, 5); err == nil {
+		t.Error("sizes not summing to n accepted")
+	}
+}
+
+func TestRatioCutBound(t *testing.T) {
+	g := graph.RandomConnected(11, 25, 4)
+	b, err := RatioCutBound(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check against the best ratio cut by enumeration.
+	n := g.N()
+	best := math.Inf(1)
+	for mask := 1; mask < 1<<(n-1); mask++ {
+		assign := make([]int, n)
+		ones := 0
+		for i := 0; i < n-1; i++ {
+			assign[i] = (mask >> i) & 1
+			ones += assign[i]
+		}
+		if ones == 0 {
+			continue
+		}
+		p := partition.MustNew(assign, 2)
+		rc := partition.GraphRatioCut(g, p)
+		if rc < best {
+			best = rc
+		}
+	}
+	if b > best+1e-9 {
+		t.Errorf("ratio-cut bound %v exceeds optimum %v", b, best)
+	}
+}
+
+func TestOptimizeDiagonalImprovesAndStaysValid(t *testing.T) {
+	g := graph.RandomConnected(10, 18, 9)
+	sizes := []int{5, 5}
+	base, err := DonathHoffman(g, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, diag, err := OptimizeDiagonal(g, sizes, OptimizeDiagonalOptions{Iterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved < base-1e-9 {
+		t.Errorf("optimized bound %v below unoptimized %v", improved, base)
+	}
+	// Zero trace is the validity condition.
+	var tr float64
+	for _, d := range diag {
+		tr += d
+	}
+	if math.Abs(tr) > 1e-8 {
+		t.Errorf("diagonal trace %v, want 0", tr)
+	}
+	// Still a lower bound on the true optimum.
+	opt := bruteMinF(g, sizes)
+	if improved > opt+1e-9 {
+		t.Errorf("optimized bound %v exceeds optimum %v", improved, opt)
+	}
+	t.Logf("bound: %v -> %v (optimum %v)", base, improved, opt)
+}
+
+func TestBoundErrors(t *testing.T) {
+	g := graph.Path(5)
+	if _, err := DonathHoffman(g, nil); err == nil {
+		t.Error("empty sizes accepted")
+	}
+	if _, err := DonathHoffman(g, []int{5, 0}); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, _, err := OptimizeDiagonal(g, []int{1, 1, 1, 1, 1, 1}, OptimizeDiagonalOptions{}); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+// TestBoundVersusVectorObjective ties the bound to the vector view: for
+// any partition, n·H − Σ‖Y_h‖² = f ≥ bound.
+func TestBoundVersusVectorObjective(t *testing.T) {
+	g := graph.RandomConnected(8, 12, 13)
+	n := g.N()
+	dec := mustEig(t, g)
+	H := vecpart.ChooseH(g.TotalDegree(), dec.Values, n)
+	v, err := vecpart.FromDecomposition(dec, n, vecpart.MaxSum, H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{4, 4}
+	bound, err := DonathHoffman(g, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A specific balanced partition.
+	p := partition.MustNew([]int{0, 0, 0, 0, 1, 1, 1, 1}, 2)
+	f := float64(n)*H - v.SumSquaredSubsets(p)
+	if f < bound-1e-8 {
+		t.Errorf("vector-derived f %v below the bound %v", f, bound)
+	}
+}
+
+func mustEig(t *testing.T, g *graph.Graph) *eigen.Decomposition {
+	t.Helper()
+	dec, err := eigen.SymEig(g.LaplacianDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dec
+}

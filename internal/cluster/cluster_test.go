@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// plantedNetlist builds k clusters of the given size with dense internal
+// 2-pin nets and one bridge net between consecutive clusters.
+func plantedNetlist(t *testing.T, k, size int, seed int64) *hypergraph.Hypergraph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.AddModules(k * size)
+	for c := 0; c < k; c++ {
+		base := c * size
+		for i := 0; i < size-1; i++ {
+			_ = b.AddNet("", base+i, base+i+1)
+		}
+		for e := 0; e < 2*size; e++ {
+			i, j := rng.Intn(size), rng.Intn(size)
+			if i != j {
+				_ = b.AddNet("", base+i, base+j)
+			}
+		}
+	}
+	for c := 0; c+1 < k; c++ {
+		_ = b.AddNet("", c*size+rng.Intn(size), (c+1)*size+rng.Intn(size))
+	}
+	return b.Build()
+}
+
+func TestBuildCoversAllModules(t *testing.T) {
+	h := plantedNetlist(t, 3, 10, 1)
+	tree, err := Build(h, Options{LeafSize: 5, Model: graph.PartitioningSpecific})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 30 {
+		t.Fatalf("root size %d", tree.Size())
+	}
+	seen := make([]bool, 30)
+	total := 0
+	for _, leaf := range tree.Leaves() {
+		for _, m := range leaf.Members {
+			if seen[m] {
+				t.Fatalf("module %d in two leaves", m)
+			}
+			seen[m] = true
+			total++
+		}
+		if leaf.Size() > 30 {
+			t.Error("leaf larger than root")
+		}
+	}
+	if total != 30 {
+		t.Fatalf("leaves cover %d of 30 modules", total)
+	}
+}
+
+func TestFlattenRecoversPlantedClusters(t *testing.T) {
+	k, size := 4, 12
+	h := plantedNetlist(t, k, size, 3)
+	tree, err := Build(h, Options{LeafSize: size, Model: graph.PartitioningSpecific})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tree.Flatten(h, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != k {
+		t.Fatalf("K = %d, want %d", p.K, k)
+	}
+	if cut := partition.NetCut(h, p); cut > k-1 {
+		t.Errorf("net cut %d, want <= %d bridges", cut, k-1)
+	}
+	for c := 0; c < k; c++ {
+		first := p.Assign[c*size]
+		for i := 1; i < size; i++ {
+			if p.Assign[c*size+i] != first {
+				t.Errorf("planted cluster %d split", c)
+				break
+			}
+		}
+	}
+}
+
+func TestLeafSizeRespected(t *testing.T) {
+	h := plantedNetlist(t, 2, 16, 5)
+	tree, err := Build(h, Options{LeafSize: 4, Model: graph.Standard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leaf := range tree.Leaves() {
+		// Leaves stop splitting at <= LeafSize but a split of a 5-module
+		// cluster can produce leaves up to 4; parents larger than
+		// LeafSize must have been split (unless depth-capped).
+		if leaf.Size() > 4 && leaf.Depth < 16 {
+			t.Errorf("leaf of %d modules above LeafSize", leaf.Size())
+		}
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	h := plantedNetlist(t, 2, 20, 7)
+	tree, err := Build(h, Options{LeafSize: 2, MaxDepth: 2, Model: graph.Standard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leaf := range tree.Leaves() {
+		if leaf.Depth > 2 {
+			t.Errorf("leaf at depth %d > MaxDepth 2", leaf.Depth)
+		}
+	}
+}
+
+func TestFlattenFewerClustersThanRequested(t *testing.T) {
+	h := plantedNetlist(t, 2, 4, 9)
+	tree, err := Build(h, Options{LeafSize: 8, Model: graph.Standard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LeafSize 8 on 8 modules: root is a leaf, so k=4 flattens to 1.
+	p, err := tree.Flatten(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K > 4 {
+		t.Errorf("K = %d", p.K)
+	}
+	if _, err := tree.Flatten(h, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestDendrogram(t *testing.T) {
+	h := plantedNetlist(t, 2, 6, 11)
+	tree, err := Build(h, Options{LeafSize: 6, Model: graph.Standard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tree.Dendrogram(&buf, h.Names)
+	out := buf.String()
+	if !strings.Contains(out, "split ratio cut") || !strings.Contains(out, "leaf") {
+		t.Errorf("dendrogram output unexpected:\n%s", out)
+	}
+}
+
+func TestDisconnectedNetlist(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddModules(12)
+	for i := 0; i < 5; i++ {
+		_ = b.AddNet("", i, i+1)
+	}
+	for i := 6; i < 11; i++ {
+		_ = b.AddNet("", i, i+1)
+	}
+	h := b.Build()
+	tree, err := Build(h, Options{LeafSize: 6, Model: graph.Standard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.IsLeaf() {
+		t.Fatal("disconnected netlist should split")
+	}
+	if tree.Cut != 0 {
+		t.Errorf("component split should have zero cut, got %v", tree.Cut)
+	}
+}

@@ -1,0 +1,242 @@
+package dprp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// Options configures the DP-RP dynamic program.
+type Options struct {
+	// K is the number of clusters. Required, >= 2.
+	K int
+	// MinSize and MaxSize bound every cluster's size. Zero values select
+	// the defaults n/(2k) and ceil(2n/k), the "restricted partitioning"
+	// bounds of [1].
+	MinSize, MaxSize int
+}
+
+// Result is a DP-RP solution.
+type Result struct {
+	// Partition assigns original indices to clusters 0..K−1 in ordering
+	// order (cluster 0 is the first block).
+	Partition *partition.Partition
+	// Splits are the K−1 block boundaries in the ordering.
+	Splits []int
+	// ScaledCost is the Scaled Cost of the solution.
+	ScaledCost float64
+}
+
+// Partition runs DP-RP: it finds the k-way partitioning of the ordering
+// into contiguous blocks, with block sizes in [MinSize, MaxSize],
+// minimizing Scaled Cost — Σ_blocks E_b/|b| scaled by 1/(n(k−1)), where
+// E_b counts nets with a pin inside block b and a pin outside it.
+//
+// The dynamic program is dp[t][j] = min over block starts i of
+// dp[t−1][i−1] + E(i,j)/(j−i+1). Block costs are produced incrementally by
+// walking the window start i downward for each block end j, so the total
+// cost is O(n·(W + pins·W/n) + n·k·W) where W = MaxSize−MinSize+1.
+func Partition(h *hypergraph.Hypergraph, order []int, opts Options) (*Result, error) {
+	n := len(order)
+	if n != h.NumModules() {
+		return nil, fmt.Errorf("dprp: ordering covers %d modules, hypergraph has %d", n, h.NumModules())
+	}
+	k := opts.K
+	if k < 2 {
+		return nil, fmt.Errorf("dprp: k = %d, want >= 2", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("dprp: k = %d exceeds n = %d", k, n)
+	}
+	lo, hi := opts.MinSize, opts.MaxSize
+	if lo <= 0 {
+		lo = n / (2 * k)
+		if lo < 1 {
+			lo = 1
+		}
+	}
+	if hi <= 0 {
+		hi = (2*n + k - 1) / k
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo*k > n || hi*k < n {
+		return nil, fmt.Errorf("dprp: size bounds [%d,%d] infeasible for n=%d k=%d", lo, hi, n, k)
+	}
+
+	pos := invert(order)
+	m := h.NumNets()
+	minPos := make([]int, m)
+	maxPos := make([]int, m)
+	// beforeCnt[i]: nets with maxPos < i. afterCnt[j]: nets with
+	// minPos >= j. Used for the O(1) first-block (i = 0) costs, where
+	// span overlap and pin containment coincide.
+	beforeCnt := make([]int, n+1)
+	afterCnt := make([]int, n+1)
+	for e, net := range h.Nets {
+		lo2, hi2 := span(net, pos)
+		minPos[e], maxPos[e] = lo2, hi2
+		beforeCnt[hi2+1]++
+		afterCnt[lo2]++
+	}
+	for i := 1; i <= n; i++ {
+		beforeCnt[i] += beforeCnt[i-1]
+	}
+	for j := n - 1; j >= 0; j-- {
+		afterCnt[j] += afterCnt[j+1]
+	}
+
+	// netsAtPos[p] lists the nets with a pin at ordering position p;
+	// nextPin[idx] is, for that (position, net) incidence, the smallest
+	// pin position of the same net greater than p (n if none). minStart[p]
+	// lists nets whose minimum pin position is p.
+	netsAtPos := make([][]int, n)
+	minStart := make([][]int, n)
+	for e, net := range h.Nets {
+		for _, mod := range net {
+			p := pos[mod]
+			netsAtPos[p] = append(netsAtPos[p], e)
+		}
+		minStart[minPos[e]] = append(minStart[minPos[e]], e)
+	}
+	// Per-net sorted pin positions, for next-pin lookups.
+	netPins := make([][]int, m)
+	for e, net := range h.Nets {
+		ps := make([]int, len(net))
+		for i2, mod := range net {
+			ps[i2] = pos[mod]
+		}
+		sortInts(ps)
+		netPins[e] = ps
+	}
+
+	const infCost = math.MaxFloat64 / 4
+	dp := make([][]float64, k+1)
+	parent := make([][]int, k+1)
+	for t := 0; t <= k; t++ {
+		dp[t] = make([]float64, n)
+		parent[t] = make([]int, n)
+		for j := range dp[t] {
+			dp[t][j] = infCost
+			parent[t][j] = -1
+		}
+	}
+
+	cost := make([]float64, n) // cost[i] = E(i,j)/(j-i+1) for current j
+
+	for j := 0; j < n; j++ {
+		// First block starts at 0: E(0,j) = pinned(0,j) − contained(0,j),
+		// where pinned(0,j) = nets with minPos <= j and contained =
+		// nets with maxPos <= j.
+		size := j + 1
+		if size >= lo && size <= hi {
+			pinned := m - afterCnt[j+1]
+			contained := beforeCnt[j+1]
+			dp[1][j] = float64(pinned-contained) / float64(size)
+			parent[1][j] = 0
+		}
+		if k >= 2 {
+			// Walk i from j down to the lowest start any block ending at
+			// j may use, maintaining:
+			//   pinned    = # nets with >= 1 pin in [i, j]
+			//   contained = # nets with all pins in [i, j]
+			iLo := j - hi + 1
+			if iLo < 1 {
+				iLo = 1
+			}
+			pinned, contained := 0, 0
+			for i := j; i >= iLo; i-- {
+				for _, e := range netsAtPos[i] {
+					// Net e gains its first pin in the window iff its next
+					// pin after position i lies beyond j.
+					if nextPinAfter(netPins[e], i) > j {
+						pinned++
+					}
+				}
+				for _, e := range minStart[i] {
+					if maxPos[e] <= j {
+						contained++
+					}
+				}
+				cost[i] = float64(pinned-contained) / float64(j-i+1)
+			}
+			iHi := j - lo + 1
+			if iHi > j {
+				iHi = j
+			}
+			for t := 2; t <= k; t++ {
+				best := infCost
+				bestI := -1
+				for i := iLo; i <= iHi; i++ {
+					prev := dp[t-1][i-1]
+					if prev >= infCost {
+						continue
+					}
+					if c := prev + cost[i]; c < best {
+						best = c
+						bestI = i
+					}
+				}
+				dp[t][j] = best
+				parent[t][j] = bestI
+			}
+		}
+	}
+
+	if dp[k][n-1] >= infCost {
+		return nil, fmt.Errorf("dprp: no feasible %d-way restricted partitioning with bounds [%d,%d]", k, lo, hi)
+	}
+
+	// Reconstruct block boundaries right-to-left.
+	splits := make([]int, 0, k-1)
+	j := n - 1
+	for t := k; t >= 2; t-- {
+		i := parent[t][j]
+		splits = append(splits, i)
+		j = i - 1
+	}
+	for l, r := 0, len(splits)-1; l < r; l, r = l+1, r-1 {
+		splits[l], splits[r] = splits[r], splits[l]
+	}
+	p, err := partition.FromOrderSplit(order, splits, k)
+	if err != nil {
+		return nil, err
+	}
+	sc := dp[k][n-1] / (float64(n) * float64(k-1))
+	return &Result{Partition: p, Splits: splits, ScaledCost: sc}, nil
+}
+
+// nextPinAfter returns the smallest element of sorted ps strictly greater
+// than p, or a value larger than any position if none exists.
+func nextPinAfter(ps []int, p int) int {
+	lo, hi := 0, len(ps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ps[mid] <= p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(ps) {
+		return int(^uint(0) >> 1) // MaxInt
+	}
+	return ps[lo]
+}
+
+func sortInts(a []int) {
+	// Insertion sort: net sizes are small; avoids pulling in sort for the
+	// hot path.
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

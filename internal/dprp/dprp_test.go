@@ -1,0 +1,248 @@
+package dprp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+func randomNetlist(t *testing.T, n, nets int, seed int64) *hypergraph.Hypergraph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.AddModules(n)
+	for e := 0; e < nets; e++ {
+		size := 2 + rng.Intn(4)
+		if size > n {
+			size = n
+		}
+		mods := rng.Perm(n)[:size]
+		if err := b.AddNet("", mods...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func identityOrder(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+func TestCutProfileMatchesDirectNetCut(t *testing.T) {
+	h := randomNetlist(t, 12, 20, 1)
+	rng := rand.New(rand.NewSource(2))
+	order := rng.Perm(12)
+	profile := CutProfile(h, order)
+	if len(profile) != 11 {
+		t.Fatalf("profile length %d", len(profile))
+	}
+	for s := 1; s < 12; s++ {
+		p, err := partition.FromOrderSplit(order, []int{s}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(partition.NetCut(h, p))
+		if profile[s-1] != want {
+			t.Errorf("split %d: profile %v, direct %v", s, profile[s-1], want)
+		}
+	}
+}
+
+func TestGraphCutProfileMatchesDirectCut(t *testing.T) {
+	g := graph.RandomConnected(15, 25, 3)
+	rng := rand.New(rand.NewSource(4))
+	order := rng.Perm(15)
+	profile := GraphCutProfile(g, order)
+	for s := 1; s < 15; s++ {
+		p, err := partition.FromOrderSplit(order, []int{s}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := partition.CutWeight(g, p)
+		if math.Abs(profile[s-1]-want) > 1e-9 {
+			t.Errorf("split %d: profile %v, direct %v", s, profile[s-1], want)
+		}
+	}
+}
+
+func TestBestBalancedSplit(t *testing.T) {
+	// Two cliques of 4 joined by one net: best balanced split cuts 1 net.
+	b := hypergraph.NewBuilder()
+	b.AddModules(8)
+	for _, pair := range [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}} {
+		_ = b.AddNet("", pair[0], pair[1])
+	}
+	for _, pair := range [][2]int{{4, 5}, {4, 6}, {4, 7}, {5, 6}, {5, 7}, {6, 7}} {
+		_ = b.AddNet("", pair[0], pair[1])
+	}
+	_ = b.AddNet("bridge", 3, 4)
+	h := b.Build()
+	res, err := BestBalancedSplit(h, identityOrder(8), 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pos != 4 || res.Cut != 1 {
+		t.Errorf("pos=%d cut=%v, want 4 and 1", res.Pos, res.Cut)
+	}
+	sizes := res.Partition.Sizes()
+	if sizes[0] != 4 || sizes[1] != 4 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	// Balance bound must be respected even when a lopsided cut is lower.
+	res2, err := BestBalancedSplit(h, identityOrder(8), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Pos != 4 {
+		t.Errorf("50%% balance must force the middle split, got %d", res2.Pos)
+	}
+}
+
+func TestBestRatioCutSplit(t *testing.T) {
+	h := randomNetlist(t, 10, 15, 5)
+	order := identityOrder(10)
+	res, err := BestRatioCutSplit(h, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify optimality by scanning.
+	profile := CutProfile(h, order)
+	best := math.Inf(1)
+	for s := 1; s < 10; s++ {
+		rc := profile[s-1] / (float64(s) * float64(10-s))
+		if rc < best {
+			best = rc
+		}
+	}
+	if math.Abs(res.Cut-best) > 1e-12 {
+		t.Errorf("ratio cut %v, want %v", res.Cut, best)
+	}
+}
+
+func TestBestSplitErrors(t *testing.T) {
+	h := randomNetlist(t, 4, 3, 6)
+	if _, err := BestBalancedSplit(h, []int{0}, 0.4); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := BestBalancedSplit(h, identityOrder(4), 0.9); err == nil {
+		t.Error("infeasible balance accepted")
+	}
+}
+
+// bruteDPRP enumerates all contiguous k-way splits and returns the minimal
+// Scaled Cost.
+func bruteDPRP(h *hypergraph.Hypergraph, order []int, k, lo, hi int) float64 {
+	n := len(order)
+	best := math.Inf(1)
+	var rec func(start, t int, splits []int)
+	rec = func(start, t int, splits []int) {
+		if t == k {
+			size := n - start
+			if size < lo || size > hi {
+				return
+			}
+			p, err := partition.FromOrderSplit(order, splits, k)
+			if err != nil {
+				return
+			}
+			if sc := partition.ScaledCost(h, p); sc < best {
+				best = sc
+			}
+			return
+		}
+		for size := lo; size <= hi && start+size < n; size++ {
+			rec(start+size, t+1, append(splits, start+size))
+		}
+	}
+	rec(0, 1, nil)
+	return best
+}
+
+func TestDPRPMatchesBruteForce(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		n := 10 + trial
+		h := randomNetlist(t, n, 2*n, int64(trial+10))
+		rng := rand.New(rand.NewSource(int64(trial)))
+		order := rng.Perm(n)
+		for _, k := range []int{2, 3, 4} {
+			lo, hi := 1, n
+			res, err := Partition(h, order, Options{K: k, MinSize: lo, MaxSize: hi})
+			if err != nil {
+				t.Fatalf("trial %d k=%d: %v", trial, k, err)
+			}
+			want := bruteDPRP(h, order, k, lo, hi)
+			if math.Abs(res.ScaledCost-want) > 1e-9 {
+				t.Errorf("trial %d k=%d: DP %v, brute force %v", trial, k, res.ScaledCost, want)
+			}
+			// The reported Scaled Cost must match the metric on the
+			// returned partition.
+			direct := partition.ScaledCost(h, res.Partition)
+			if math.Abs(res.ScaledCost-direct) > 1e-9 {
+				t.Errorf("trial %d k=%d: reported %v, metric %v", trial, k, res.ScaledCost, direct)
+			}
+		}
+	}
+}
+
+func TestDPRPRespectsSizeBounds(t *testing.T) {
+	h := randomNetlist(t, 20, 40, 99)
+	res, err := Partition(h, identityOrder(20), Options{K: 4, MinSize: 4, MaxSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Partition.Sizes() {
+		if s < 4 || s > 6 {
+			t.Errorf("cluster size %d outside [4,6]", s)
+		}
+	}
+	if len(res.Splits) != 3 {
+		t.Errorf("splits = %v", res.Splits)
+	}
+}
+
+func TestDPRPDefaultsAndErrors(t *testing.T) {
+	h := randomNetlist(t, 16, 30, 7)
+	res, err := Partition(h, identityOrder(16), Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default bounds: [n/(2k), ceil(2n/k)] = [2, 8].
+	for _, s := range res.Partition.Sizes() {
+		if s < 2 || s > 8 {
+			t.Errorf("cluster size %d outside default bounds", s)
+		}
+	}
+	if _, err := Partition(h, identityOrder(16), Options{K: 1}); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Partition(h, identityOrder(16), Options{K: 17}); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := Partition(h, identityOrder(8), Options{K: 2}); err == nil {
+		t.Error("ordering/hypergraph size mismatch accepted")
+	}
+	if _, err := Partition(h, identityOrder(16), Options{K: 4, MinSize: 5, MaxSize: 5}); err == nil {
+		t.Error("infeasible bounds accepted (4 clusters of exactly 5 != 16)")
+	}
+}
+
+func TestNextPinAfter(t *testing.T) {
+	ps := []int{1, 4, 9}
+	if got := nextPinAfter(ps, 0); got != 1 {
+		t.Errorf("nextPinAfter(0) = %d", got)
+	}
+	if got := nextPinAfter(ps, 1); got != 4 {
+		t.Errorf("nextPinAfter(1) = %d", got)
+	}
+	if got := nextPinAfter(ps, 9); got < 1<<30 {
+		t.Errorf("nextPinAfter(9) = %d, want MaxInt", got)
+	}
+}

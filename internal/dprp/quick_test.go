@@ -1,0 +1,102 @@
+package dprp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// TestQuickCutProfileReversal: reversing the ordering mirrors the cut
+// profile.
+func TestQuickCutProfileReversal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		h := randomNetlistSeeded(rng, n)
+		order := rng.Perm(n)
+		rev := make([]int, n)
+		for i, v := range order {
+			rev[n-1-i] = v
+		}
+		p1 := CutProfile(h, order)
+		p2 := CutProfile(h, rev)
+		for s := 1; s < n; s++ {
+			if p1[s-1] != p2[n-s-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDPRPNeverWorseThanEvenSplit: DP-RP's optimum over contiguous
+// partitions is at most the cost of the even contiguous split.
+func TestQuickDPRPNeverWorseThanEvenSplit(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 9 + rng.Intn(15)
+		h := randomNetlistSeeded(rng, n)
+		order := rng.Perm(n)
+		k := 2 + rng.Intn(2)
+		res, err := Partition(h, order, Options{K: k, MinSize: 1, MaxSize: n})
+		if err != nil {
+			return false
+		}
+		// Even contiguous split.
+		splits := make([]int, k-1)
+		for i := range splits {
+			splits[i] = (i + 1) * n / k
+		}
+		p, err := partition.FromOrderSplit(order, splits, k)
+		if err != nil {
+			return false
+		}
+		even := partition.ScaledCost(h, p)
+		return res.ScaledCost <= even+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBalancedSplitRespectsBound: the returned split never violates
+// the requested minimum fraction.
+func TestQuickBalancedSplitRespectsBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(20)
+		h := randomNetlistSeeded(rng, n)
+		order := rng.Perm(n)
+		frac := 0.2 + 0.25*rng.Float64()
+		res, err := BestBalancedSplit(h, order, frac)
+		if err != nil {
+			return true // infeasible fraction for tiny n: acceptable
+		}
+		lo := int(math.Ceil(frac * float64(n)))
+		sizes := res.Partition.Sizes()
+		return sizes[0] >= lo && sizes[1] >= lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomNetlistSeeded(rng *rand.Rand, n int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.AddModules(n)
+	for e := 0; e < 2*n; e++ {
+		size := 2 + rng.Intn(3)
+		if size > n {
+			size = n
+		}
+		_ = b.AddNet("", rng.Perm(n)[:size]...)
+	}
+	return b.Build()
+}

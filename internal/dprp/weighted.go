@@ -1,0 +1,55 @@
+package dprp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// BestBalancedSplitAreas is BestBalancedSplit with balance measured in
+// module AREA: the smaller side must hold at least minFrac of the total
+// area (the paper's weighted-vertex constraint L_h ≤ w(S_h) ≤ W_h).
+// For unit-area netlists it coincides with BestBalancedSplit up to ties.
+func BestBalancedSplitAreas(h *hypergraph.Hypergraph, order []int, minFrac float64) (SplitResult, error) {
+	n := len(order)
+	if n != h.NumModules() {
+		return SplitResult{}, fmt.Errorf("dprp: ordering covers %d modules, hypergraph has %d", n, h.NumModules())
+	}
+	if n < 2 {
+		return SplitResult{}, fmt.Errorf("dprp: cannot split an ordering of %d elements", n)
+	}
+	profile := CutProfile(h, order)
+	total := h.TotalArea()
+	loArea := minFrac * total
+
+	// prefixArea[s] = area of order[0:s].
+	prefixArea := make([]float64, n+1)
+	for s := 1; s <= n; s++ {
+		prefixArea[s] = prefixArea[s-1] + h.Area(order[s-1])
+	}
+
+	bestPos := -1
+	best := math.Inf(1)
+	half := total / 2
+	for s := 1; s < n; s++ {
+		a := prefixArea[s]
+		if a < loArea || total-a < loArea {
+			continue
+		}
+		c := profile[s-1]
+		if c < best || (c == best && math.Abs(a-half) < math.Abs(prefixArea[bestPos]-half)) {
+			best = c
+			bestPos = s
+		}
+	}
+	if bestPos == -1 {
+		return SplitResult{}, fmt.Errorf("dprp: area balance %.2f leaves no feasible split", minFrac)
+	}
+	p, err := partition.FromOrderSplit(order, []int{bestPos}, 2)
+	if err != nil {
+		return SplitResult{}, err
+	}
+	return SplitResult{Pos: bestPos, Cut: best, Partition: p}, nil
+}

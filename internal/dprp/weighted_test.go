@@ -1,0 +1,76 @@
+package dprp
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestBestBalancedSplitAreasUnitEqualsUnweighted(t *testing.T) {
+	h := randomNetlist(t, 14, 25, 3)
+	order := identityOrder(14)
+	w, err := BestBalancedSplitAreas(h, order, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := BestBalancedSplit(h, order, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Cut != u.Cut {
+		t.Errorf("unit-area weighted split cut %v != unweighted %v", w.Cut, u.Cut)
+	}
+}
+
+func TestBestBalancedSplitAreasRespectsAreas(t *testing.T) {
+	h := randomNetlist(t, 10, 20, 5)
+	// Module 0 is huge: an area-balanced split must put it alone-ish.
+	areas := make([]float64, 10)
+	for i := range areas {
+		areas[i] = 1
+	}
+	areas[0] = 9 // total 18; each side needs >= 7.2
+	if err := h.SetAreas(areas); err != nil {
+		t.Fatal(err)
+	}
+	order := identityOrder(10)
+	res, err := BestBalancedSplitAreas(h, order, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := partition.ClusterAreas(h, res.Partition)
+	if a[0] < 7.2 || a[1] < 7.2 {
+		t.Errorf("areas %v violate 40%% area balance", a)
+	}
+	// With module counts, side 0 can be tiny (the big module alone is
+	// almost enough area): verify the split is not count-balanced.
+	if res.Pos > 4 {
+		t.Logf("split pos %d (count-unbalanced as expected)", res.Pos)
+	}
+}
+
+func TestBestBalancedSplitAreasInfeasible(t *testing.T) {
+	h := randomNetlist(t, 6, 10, 7)
+	areas := []float64{100, 1, 1, 1, 1, 1}
+	if err := h.SetAreas(areas); err != nil {
+		t.Fatal(err)
+	}
+	// Every split puts the 100-area module on one side: min side frac of
+	// 0.45 is unreachable (other side max 5/105 < 45%).
+	if _, err := BestBalancedSplitAreas(h, identityOrder(6), 0.45); err == nil {
+		t.Error("infeasible area balance accepted")
+	}
+}
+
+func TestAreaScaledCostUnitMatches(t *testing.T) {
+	h := randomNetlist(t, 12, 24, 9)
+	p, err := partition.FromOrderSplit(identityOrder(12), []int{6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := partition.ScaledCost(h, p)
+	w := partition.AreaScaledCost(h, p)
+	if diff := u - w; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("unit-area AreaScaledCost %v != ScaledCost %v", w, u)
+	}
+}

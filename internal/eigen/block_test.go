@@ -1,0 +1,112 @@
+package eigen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestBlockKrylovMatchesDense(t *testing.T) {
+	lap := pathLaplacian(120)
+	dec, err := BlockKrylov(lap, 5, &BlockKrylovOptions{Block: 2, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pathEigenvalues(120)
+	for j := 0; j < 5; j++ {
+		if math.Abs(dec.Values[j]-want[j]) > 1e-7 {
+			t.Errorf("λ_%d = %v, want %v", j+1, dec.Values[j], want[j])
+		}
+	}
+	if r := Residual(lap, dec); r > 1e-6 {
+		t.Errorf("residual %v", r)
+	}
+}
+
+func TestBlockKrylovDegenerateSpectrum(t *testing.T) {
+	// Two identical disjoint paths: EVERY eigenvalue has multiplicity 2.
+	// The block solver (block >= 2) must find both copies of the smallest
+	// eigenvalues without relying on random restarts.
+	n := 80
+	m := linalg.NewDense(n, n)
+	for _, base := range []int{0, n / 2} {
+		for i := base; i < base+n/2-1; i++ {
+			m.Add(i, i, 1)
+			m.Add(i+1, i+1, 1)
+			m.Add(i, i+1, -1)
+			m.Add(i+1, i, -1)
+		}
+	}
+	dec, err := BlockKrylov(m, 4, &BlockKrylovOptions{Block: 2, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eigenvalues come in pairs: {0, 0, λ, λ}.
+	if math.Abs(dec.Values[0]) > 1e-8 || math.Abs(dec.Values[1]) > 1e-8 {
+		t.Errorf("double zero eigenvalue missed: %v", dec.Values)
+	}
+	if math.Abs(dec.Values[2]-dec.Values[3]) > 1e-7 {
+		t.Errorf("degenerate pair split: %v vs %v", dec.Values[2], dec.Values[3])
+	}
+	if dec.Values[2] < 1e-6 {
+		t.Errorf("third eigenvalue should be positive: %v", dec.Values[2])
+	}
+	if r := Residual(m, dec); r > 1e-6 {
+		t.Errorf("residual %v", r)
+	}
+}
+
+func TestBlockKrylovHighMultiplicity(t *testing.T) {
+	// K_12: eigenvalue 12 with multiplicity 11; ask for the 6 smallest
+	// (0 and five copies of 12).
+	lap := completeLaplacian(12)
+	dec, err := BlockKrylov(lap, 6, &BlockKrylovOptions{Block: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dec.Values[0]) > 1e-8 {
+		t.Errorf("λ_1 = %v", dec.Values[0])
+	}
+	for j := 1; j < 6; j++ {
+		if math.Abs(dec.Values[j]-12) > 1e-7 {
+			t.Errorf("λ_%d = %v, want 12", j+1, dec.Values[j])
+		}
+	}
+}
+
+func TestBlockKrylovValidation(t *testing.T) {
+	lap := pathLaplacian(10)
+	if _, err := BlockKrylov(lap, 0, nil); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := BlockKrylov(lap, 11, nil); err == nil {
+		t.Error("d>n accepted")
+	}
+}
+
+func TestBlockKrylovCycleDegeneratePairs(t *testing.T) {
+	// The cycle's nonzero eigenvalues all have multiplicity 2 — the case
+	// that famously defeats single-vector Lanczos (it sees one copy per
+	// Krylov space and silently skips to the next distinct eigenvalue).
+	// The block solver must match the exact dense spectrum.
+	n := 90
+	lap := cycleLaplacian(n)
+	blk, err := BlockKrylov(lap, 5, &BlockKrylovOptions{Block: 2, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := SymEig(lap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 5; j++ {
+		if math.Abs(blk.Values[j]-dense.Values[j]) > 1e-7 {
+			t.Errorf("λ_%d: block %v vs dense %v", j+1, blk.Values[j], dense.Values[j])
+		}
+	}
+	// And the degenerate pairs must actually be pairs.
+	if math.Abs(blk.Values[1]-blk.Values[2]) > 1e-8 || math.Abs(blk.Values[3]-blk.Values[4]) > 1e-8 {
+		t.Errorf("degenerate pairs split: %v", blk.Values)
+	}
+}

@@ -1,0 +1,287 @@
+package eigen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// LanczosOptions configures the Lanczos solver. The zero value selects
+// sensible defaults.
+type LanczosOptions struct {
+	// Tol is the relative residual tolerance for Ritz pair convergence.
+	// Default 1e-9.
+	Tol float64
+	// MaxDim caps the Krylov subspace dimension. Default
+	// min(n, max(6d+40, 120)).
+	MaxDim int
+	// Seed seeds the deterministic starting vector. Default 1.
+	Seed int64
+	// CheckEvery controls how often (in Lanczos steps) convergence is
+	// tested. Default 10.
+	CheckEvery int
+}
+
+func (o *LanczosOptions) withDefaults(n, d int) LanczosOptions {
+	v := LanczosOptions{Tol: 1e-9, Seed: 1, CheckEvery: 10}
+	if o != nil {
+		if o.Tol > 0 {
+			v.Tol = o.Tol
+		}
+		if o.MaxDim > 0 {
+			v.MaxDim = o.MaxDim
+		}
+		if o.Seed != 0 {
+			v.Seed = o.Seed
+		}
+		if o.CheckEvery > 0 {
+			v.CheckEvery = o.CheckEvery
+		}
+	}
+	if v.MaxDim == 0 {
+		// Clustered spectra (typical for netlist-derived Laplacians) need
+		// a generous Krylov space; full reorthogonalization keeps the cost
+		// at O(MaxDim²·n), which is acceptable at these problem sizes.
+		v.MaxDim = 12*d + 100
+		if v.MaxDim < 300 {
+			v.MaxDim = 300
+		}
+	}
+	if v.MaxDim > n {
+		v.MaxDim = n
+	}
+	return v
+}
+
+// Lanczos computes the d smallest eigenpairs of the symmetric operator a
+// using the Lanczos iteration with full reorthogonalization. The smallest
+// eigenpairs of a graph Laplacian converge first, matching the behaviour
+// the paper relied on from LASO2: "when computing the eigenvectors with
+// the smallest corresponding eigenvalues, vector i will always converge
+// faster than vector j if i < j".
+//
+// Limitation inherited from single-vector Lanczos: an eigenvalue of
+// multiplicity m > 1 contributes only one copy per Krylov space, so extra
+// copies are found only via the invariant-subspace restart (exact
+// degeneracy with a proper invariant subspace, e.g. disconnected graphs).
+// For spectra with exactly degenerate interior eigenvalues (highly
+// symmetric graphs such as cycles), use BlockKrylov, which resolves
+// multiplicities up to its block width directly.
+//
+// The operator must be symmetric; this is not checked (a full check would
+// be as expensive as the solve for sparse operators).
+func Lanczos(a linalg.Operator, d int, opts *LanczosOptions) (*Decomposition, error) {
+	n := a.Dim()
+	if d <= 0 {
+		return nil, errors.New("eigen: Lanczos requires d >= 1")
+	}
+	if d > n {
+		return nil, fmt.Errorf("eigen: cannot compute %d eigenpairs of a %d-dimensional operator", d, n)
+	}
+	o := opts.withDefaults(n, d)
+	if o.MaxDim < d {
+		o.MaxDim = d
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	// Krylov basis, alpha (diagonal of T) and beta (subdiagonal of T).
+	basis := make([][]float64, 0, o.MaxDim)
+	alphas := make([]float64, 0, o.MaxDim)
+	betas := make([]float64, 0, o.MaxDim) // betas[j] couples basis[j] and basis[j+1]
+
+	v := randomUnit(rng, n)
+	w := make([]float64, n)
+
+	// scale estimates ‖A‖ for the relative residual test; refined as the
+	// largest Ritz value seen.
+	scale := 1.0
+
+	for len(basis) < o.MaxDim {
+		basis = append(basis, v)
+		a.MatVec(v, w)
+		alpha := linalg.Dot(v, w)
+		alphas = append(alphas, alpha)
+		// w -= alpha*v + beta*v_prev, then full reorthogonalization for
+		// numerical stability (the classic Lanczos loss-of-orthogonality
+		// fix; selective reorthogonalization would be cheaper but full is
+		// simpler and robust at these problem sizes).
+		linalg.Axpy(-alpha, v, w)
+		if len(basis) >= 2 {
+			linalg.Axpy(-betas[len(betas)-1], basis[len(basis)-2], w)
+		}
+		linalg.Orthogonalize(w, basis)
+		beta := linalg.Norm2(w)
+
+		j := len(basis)
+		invariant := beta <= 1e-12*scale
+		if j >= d && (j%o.CheckEvery == 0 || j == o.MaxDim || j == n || (invariant && j+1 >= n)) {
+			vals, svecs, err := SymTridiagEig(alphas, betas[:j-1], true)
+			if err != nil {
+				return nil, err
+			}
+			if m := vals[len(vals)-1]; m > scale {
+				scale = m
+			}
+			// When the basis spans the whole space the Ritz pairs are
+			// exact; otherwise require the residual estimates to pass.
+			if j == n || convergedSmallest(vals, svecs, beta, d, o.Tol*scale) {
+				// An exactly invariant proper subspace can hide extra
+				// copies of degenerate eigenvalues (single-vector Lanczos
+				// sees one vector per eigenspace); force a restart sweep
+				// before accepting in that case.
+				if !invariant || j == n {
+					return ritzPairs(basis, vals, svecs, d), nil
+				}
+			}
+			if j == o.MaxDim {
+				return nil, ErrNoConvergence
+			}
+		}
+
+		if invariant {
+			// Invariant subspace found (e.g. one component of a
+			// disconnected graph, or a degenerate eigenspace exhausted).
+			// Restart with a fresh random direction orthogonal to the
+			// current basis so the remaining spectrum is explored.
+			v = randomUnit(rng, n)
+			linalg.Orthogonalize(v, basis)
+			if linalg.Normalize(v) == 0 {
+				// Basis already spans the whole space; the j == n branch
+				// above should have fired, so treat this as failure.
+				return nil, ErrNoConvergence
+			}
+			betas = append(betas, 0)
+			w = make([]float64, n)
+			continue
+		}
+		betas = append(betas, beta)
+		linalg.Scale(1/beta, w)
+		v, w = w, make([]float64, n)
+	}
+	return nil, ErrNoConvergence
+}
+
+// convergedSmallest reports whether the d smallest Ritz pairs of the
+// current tridiagonal matrix have residual estimates |beta·s_last| below
+// tol. vals/svecs come from SymTridiagEig (sorted ascending).
+func convergedSmallest(vals []float64, svecs *linalg.Dense, beta float64, d int, tol float64) bool {
+	m := len(vals)
+	if m < d {
+		return false
+	}
+	for i := 0; i < d; i++ {
+		if math.Abs(beta*svecs.At(m-1, i)) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ritzPairs assembles the d smallest Ritz pairs from the Lanczos basis and
+// the tridiagonal eigendecomposition.
+func ritzPairs(basis [][]float64, vals []float64, svecs *linalg.Dense, d int) *Decomposition {
+	n := len(basis[0])
+	m := len(basis)
+	u := linalg.NewDense(n, d)
+	for j := 0; j < d; j++ {
+		col := make([]float64, n)
+		for k := 0; k < m; k++ {
+			linalg.Axpy(svecs.At(k, j), basis[k], col)
+		}
+		linalg.Normalize(col)
+		for i := 0; i < n; i++ {
+			u.Set(i, j, col[i])
+		}
+	}
+	return &Decomposition{Values: linalg.CopyVec(vals[:d]), Vectors: u}
+}
+
+func randomUnit(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	if linalg.Normalize(v) == 0 {
+		v[0] = 1
+	}
+	return v
+}
+
+// SmallestEigenpairs computes the d smallest eigenpairs of the symmetric
+// operator a, dispatching between the dense solver (small problems, or
+// d close to n) and Lanczos (large sparse problems). This is the main
+// entry point used by the partitioning pipeline.
+//
+// The default relative residual tolerance of 1e-6 is chosen for spectral
+// partitioning, where eigenvector coordinates feed ordering heuristics
+// and residuals far below the eigenvalue gaps add cost without changing
+// any ordering. Use SmallestEigenpairsTol for stricter tolerances.
+func SmallestEigenpairs(a linalg.Operator, d int) (*Decomposition, error) {
+	return SmallestEigenpairsTol(a, d, 1e-6)
+}
+
+// SmallestEigenpairsTol is SmallestEigenpairs with an explicit relative
+// residual tolerance. For large sparse operators it retries Lanczos with
+// progressively larger Krylov budgets (netlist Laplacians have tightly
+// clustered small eigenvalues, so the required subspace dimension varies
+// widely between instances).
+func SmallestEigenpairsTol(a linalg.Operator, d int, tol float64) (*Decomposition, error) {
+	n := a.Dim()
+	if d > n {
+		return nil, fmt.Errorf("eigen: requested %d eigenpairs of a %d-dimensional operator", d, n)
+	}
+	if n <= 256 || d > n/3 {
+		var dm *linalg.Dense
+		switch t := a.(type) {
+		case *linalg.Dense:
+			dm = t
+		case *linalg.CSR:
+			dm = t.ToDense()
+		default:
+			dm = densify(a)
+		}
+		dec, err := SymEig(dm)
+		if err != nil {
+			return nil, err
+		}
+		return dec.Truncate(d)
+	}
+	dim := 12*d + 100
+	if dim < 300 {
+		dim = 300
+	}
+	for {
+		if dim > n {
+			dim = n
+		}
+		dec, err := Lanczos(a, d, &LanczosOptions{Tol: tol, MaxDim: dim})
+		if err == nil {
+			return dec, nil
+		}
+		if !errors.Is(err, ErrNoConvergence) || dim >= n {
+			return nil, err
+		}
+		dim *= 2
+	}
+}
+
+// densify materializes an arbitrary operator by applying it to the
+// standard basis vectors. Only used for small dimensions.
+func densify(a linalg.Operator) *linalg.Dense {
+	n := a.Dim()
+	m := linalg.NewDense(n, n)
+	e := make([]float64, n)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		a.MatVec(e, col)
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			m.Set(i, j, col[i])
+		}
+	}
+	return m
+}

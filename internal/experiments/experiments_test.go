@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyLab() *Lab {
+	return NewLab(Config{
+		Out:        &bytes.Buffer{},
+		Scale:      0.04,
+		Benchmarks: []string{"bm1", "prim1", "struct"},
+	})
+}
+
+func output(l *Lab) string {
+	return l.Config().Out.(*bytes.Buffer).String()
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Scale != 1 || c.D != 10 || len(c.Benchmarks) != 12 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	l := tinyLab()
+	if err := Table1(l); err != nil {
+		t.Fatal(err)
+	}
+	out := output(l)
+	for _, want := range []string{"Table 1", "bm1", "prim1", "struct", "882/902/2910"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	l := tinyLab()
+	if err := Table2(l); err != nil {
+		t.Fatal(err)
+	}
+	out := output(l)
+	for _, want := range []string{"Table 2", "#1 gain", "#2 cosine", "sum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %q", want)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	l := tinyLab()
+	if err := Table3(l); err != nil {
+		t.Fatal(err)
+	}
+	out := output(l)
+	for _, want := range []string{"Table 3", "d=1", "d=10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 output missing %q", want)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	l := tinyLab()
+	if err := Table4(l); err != nil {
+		t.Fatal(err)
+	}
+	out := output(l)
+	for _, want := range []string{"Table 4", "RSB", "KP", "SFC", "MELO", "improvement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 output missing %q", want)
+		}
+	}
+}
+
+func TestTable5(t *testing.T) {
+	l := tinyLab()
+	if err := Table5(l); err != nil {
+		t.Fatal(err)
+	}
+	out := output(l)
+	for _, want := range []string{"Table 5", "SB", "PARABOLI", "MELO", "t(d=2)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 5 output missing %q", want)
+		}
+	}
+}
+
+func TestFigures(t *testing.T) {
+	l := tinyLab()
+	if err := Figure1(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure2(l); err != nil {
+		t.Fatal(err)
+	}
+	out := output(l)
+	for _, want := range []string{"Figure 1", "reduction is exact", "Figure 2", "ordering:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figures output missing %q", want)
+		}
+	}
+}
+
+func TestTableExtensions(t *testing.T) {
+	l := tinyLab()
+	if err := TableExtensions(l); err != nil {
+		t.Fatal(err)
+	}
+	out := output(l)
+	for _, want := range []string{"Extensions", "MELO", "VKP", "Barnes", "HL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extensions table missing %q", want)
+		}
+	}
+}
+
+func TestLabCaching(t *testing.T) {
+	l := tinyLab()
+	h1, err := l.Netlist("bm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := l.Netlist("bm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("Netlist not cached")
+	}
+	r1, err := l.MeloOrdering("bm1", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.MeloOrdering("bm1", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("MeloOrdering not cached")
+	}
+}
+
+func TestLabUnknownBenchmark(t *testing.T) {
+	l := tinyLab()
+	if _, err := l.Netlist("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestTableRenderGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tb := &table{header: []string{"a", "bb"}}
+	tb.addRow("x", "1")
+	tb.addRow("long", "2")
+	tb.render(&buf, "Title")
+	want := "Title\n" +
+		"----------\n" +
+		"a     bb  \n" +
+		"----------\n" +
+		"x     1   \n" +
+		"long  2   \n" +
+		"----------\n"
+	if buf.String() != want {
+		t.Errorf("render mismatch:\ngot:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestAvgImprovement(t *testing.T) {
+	got := avgImprovement([]float64{10, 20}, []float64{9, 10})
+	// (10-9)/10 = 10%, (20-10)/20 = 50% -> avg 30%.
+	if got < 29.99 || got > 30.01 {
+		t.Errorf("avgImprovement = %v, want 30", got)
+	}
+	if avgImprovement(nil, nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+	if avgImprovement([]float64{0}, []float64{1}) != 0 {
+		t.Error("zero baseline should be skipped")
+	}
+}

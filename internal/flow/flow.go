@@ -1,0 +1,253 @@
+// Package flow implements a minimum-cost maximum-flow solver (successive
+// shortest paths with Johnson potentials) and the balanced transportation
+// problem built on it. It is the substrate for Barnes' spectral
+// partitioning algorithm [7], which rounds eigenvector approximations to
+// cluster indicators via a transportation problem.
+package flow
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Network is a directed flow network with per-arc capacity and cost,
+// built incrementally. Node ids are dense from 0.
+type Network struct {
+	n    int
+	arcs []arc // forward/backward pairs: arc i ^ 1 is the reverse
+	head [][]int
+}
+
+type arc struct {
+	to   int
+	cap  float64
+	cost float64
+}
+
+// NewNetwork creates a network with n nodes.
+func NewNetwork(n int) *Network {
+	return &Network{n: n, head: make([][]int, n)}
+}
+
+// AddArc adds a directed arc with the given capacity and cost and returns
+// its id (usable with Flow after solving).
+func (nw *Network) AddArc(from, to int, capacity, cost float64) (int, error) {
+	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
+		return 0, fmt.Errorf("flow: arc (%d,%d) out of range [0,%d)", from, to, nw.n)
+	}
+	if capacity < 0 {
+		return 0, fmt.Errorf("flow: negative capacity %v", capacity)
+	}
+	id := len(nw.arcs)
+	nw.arcs = append(nw.arcs, arc{to: to, cap: capacity, cost: cost})
+	nw.arcs = append(nw.arcs, arc{to: from, cap: 0, cost: -cost})
+	nw.head[from] = append(nw.head[from], id)
+	nw.head[to] = append(nw.head[to], id+1)
+	return id, nil
+}
+
+// Flow returns the flow routed on the arc with the given id after a
+// MinCostFlow call (the residual capacity of the reverse arc).
+func (nw *Network) Flow(id int) float64 { return nw.arcs[id^1].cap }
+
+// MinCostFlow routes `amount` units from s to t at minimum total cost
+// using successive shortest augmenting paths with potentials (Dijkstra).
+// Arc costs may be negative only if no negative cycle exists; an initial
+// Bellman-Ford pass establishes valid potentials.
+func (nw *Network) MinCostFlow(s, t int, amount float64) (cost float64, err error) {
+	if s < 0 || s >= nw.n || t < 0 || t >= nw.n || s == t {
+		return 0, fmt.Errorf("flow: bad endpoints %d,%d", s, t)
+	}
+	pot := make([]float64, nw.n)
+	if err := nw.bellmanFord(s, pot); err != nil {
+		return 0, err
+	}
+	dist := make([]float64, nw.n)
+	prevArc := make([]int, nw.n)
+	remaining := amount
+
+	for remaining > 1e-12 {
+		// Dijkstra on reduced costs.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevArc[i] = -1
+		}
+		dist[s] = 0
+		pq := &nodeHeap{{node: s, dist: 0}}
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(nodeItem)
+			if it.dist > dist[it.node] {
+				continue
+			}
+			for _, id := range nw.head[it.node] {
+				a := nw.arcs[id]
+				if a.cap <= 1e-12 {
+					continue
+				}
+				nd := it.dist + a.cost + pot[it.node] - pot[a.to]
+				if nd < dist[a.to]-1e-15 {
+					dist[a.to] = nd
+					prevArc[a.to] = id
+					heap.Push(pq, nodeItem{node: a.to, dist: nd})
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			return 0, errors.New("flow: insufficient capacity to route the requested amount")
+		}
+		// Bottleneck along the path.
+		push := remaining
+		for v := t; v != s; {
+			id := prevArc[v]
+			if nw.arcs[id].cap < push {
+				push = nw.arcs[id].cap
+			}
+			v = nw.arcs[id^1].to
+		}
+		for v := t; v != s; {
+			id := prevArc[v]
+			nw.arcs[id].cap -= push
+			nw.arcs[id^1].cap += push
+			cost += push * nw.arcs[id].cost
+			v = nw.arcs[id^1].to
+		}
+		for i := range pot {
+			if !math.IsInf(dist[i], 1) {
+				pot[i] += dist[i]
+			}
+		}
+		remaining -= push
+	}
+	return cost, nil
+}
+
+// bellmanFord initializes potentials; detects negative cycles.
+func (nw *Network) bellmanFord(s int, pot []float64) error {
+	for i := range pot {
+		pot[i] = math.Inf(1)
+	}
+	pot[s] = 0
+	for iter := 0; iter < nw.n; iter++ {
+		changed := false
+		for from := 0; from < nw.n; from++ {
+			if math.IsInf(pot[from], 1) {
+				continue
+			}
+			for _, id := range nw.head[from] {
+				a := nw.arcs[id]
+				if a.cap <= 1e-12 {
+					continue
+				}
+				if nd := pot[from] + a.cost; nd < pot[a.to]-1e-12 {
+					pot[a.to] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter == nw.n-1 {
+			return errors.New("flow: negative cycle detected")
+		}
+	}
+	// Unreached nodes get potential 0 (they are only entered later when
+	// residual arcs open; reduced costs stay valid because Dijkstra
+	// updates potentials each round).
+	for i := range pot {
+		if math.IsInf(pot[i], 1) {
+			pot[i] = 0
+		}
+	}
+	return nil
+}
+
+type nodeItem struct {
+	node int
+	dist float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Transportation solves the balanced transportation problem: supplies[i]
+// units at source i, demands[j] units required at sink j (sums must
+// match), cost[i][j] per unit shipped. Returns the shipment matrix and
+// the total cost.
+func Transportation(supplies, demands []float64, cost [][]float64) ([][]float64, float64, error) {
+	ns, nd := len(supplies), len(demands)
+	if ns == 0 || nd == 0 {
+		return nil, 0, errors.New("flow: empty transportation problem")
+	}
+	if len(cost) != ns {
+		return nil, 0, fmt.Errorf("flow: cost matrix has %d rows, want %d", len(cost), ns)
+	}
+	var supSum, demSum float64
+	for _, s := range supplies {
+		if s < 0 {
+			return nil, 0, errors.New("flow: negative supply")
+		}
+		supSum += s
+	}
+	for _, d := range demands {
+		if d < 0 {
+			return nil, 0, errors.New("flow: negative demand")
+		}
+		demSum += d
+	}
+	if math.Abs(supSum-demSum) > 1e-6*(1+supSum) {
+		return nil, 0, fmt.Errorf("flow: unbalanced problem (supply %v, demand %v)", supSum, demSum)
+	}
+
+	// Nodes: 0 = source, 1..ns = supplies, ns+1..ns+nd = demands, last = sink.
+	n := ns + nd + 2
+	src, sink := 0, n-1
+	nw := NewNetwork(n)
+	ids := make([][]int, ns)
+	for i := 0; i < ns; i++ {
+		if _, err := nw.AddArc(src, 1+i, supplies[i], 0); err != nil {
+			return nil, 0, err
+		}
+		if len(cost[i]) != nd {
+			return nil, 0, fmt.Errorf("flow: cost row %d has %d entries, want %d", i, len(cost[i]), nd)
+		}
+		ids[i] = make([]int, nd)
+		for j := 0; j < nd; j++ {
+			id, err := nw.AddArc(1+i, 1+ns+j, supplies[i], cost[i][j])
+			if err != nil {
+				return nil, 0, err
+			}
+			ids[i][j] = id
+		}
+	}
+	for j := 0; j < nd; j++ {
+		if _, err := nw.AddArc(1+ns+j, sink, demands[j], 0); err != nil {
+			return nil, 0, err
+		}
+	}
+	total, err := nw.MinCostFlow(src, sink, supSum)
+	if err != nil {
+		return nil, 0, err
+	}
+	ship := make([][]float64, ns)
+	for i := range ship {
+		ship[i] = make([]float64, nd)
+		for j := range ship[i] {
+			ship[i][j] = nw.Flow(ids[i][j])
+		}
+	}
+	return ship, total, nil
+}

@@ -1,0 +1,167 @@
+package flow
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMinCostFlowSimple(t *testing.T) {
+	// Two parallel paths s->t: cheap capacity 1, expensive capacity 10.
+	nw := NewNetwork(2)
+	cheap, _ := nw.AddArc(0, 1, 1, 1)
+	exp, _ := nw.AddArc(0, 1, 10, 5)
+	cost, err := nw.MinCostFlow(0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 1*1+2*5 {
+		t.Errorf("cost = %v, want 11", cost)
+	}
+	if nw.Flow(cheap) != 1 || nw.Flow(exp) != 2 {
+		t.Errorf("flows = %v,%v", nw.Flow(cheap), nw.Flow(exp))
+	}
+}
+
+func TestMinCostFlowChoosesCheaperPath(t *testing.T) {
+	// s -> a -> t cost 2; s -> b -> t cost 3.
+	nw := NewNetwork(4)
+	_, _ = nw.AddArc(0, 1, 5, 1)
+	_, _ = nw.AddArc(1, 3, 5, 1)
+	_, _ = nw.AddArc(0, 2, 5, 1)
+	_, _ = nw.AddArc(2, 3, 5, 2)
+	cost, err := nw.MinCostFlow(0, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 units via a (cost 2), 2 units via b (cost 3).
+	if cost != 5*2+2*3 {
+		t.Errorf("cost = %v, want 16", cost)
+	}
+}
+
+func TestMinCostFlowInsufficientCapacity(t *testing.T) {
+	nw := NewNetwork(2)
+	_, _ = nw.AddArc(0, 1, 1, 1)
+	if _, err := nw.MinCostFlow(0, 1, 5); err == nil {
+		t.Error("over-capacity request accepted")
+	}
+}
+
+func TestMinCostFlowNegativeCosts(t *testing.T) {
+	// Negative arc cost without a negative cycle must be handled by the
+	// Bellman-Ford potential initialization.
+	nw := NewNetwork(3)
+	_, _ = nw.AddArc(0, 1, 2, -3)
+	_, _ = nw.AddArc(1, 2, 2, 1)
+	_, _ = nw.AddArc(0, 2, 2, 0)
+	cost, err := nw.MinCostFlow(0, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 units via the negative path (-2 each), 1 direct (0).
+	if cost != 2*(-2)+0 {
+		t.Errorf("cost = %v, want -4", cost)
+	}
+}
+
+func TestAddArcValidation(t *testing.T) {
+	nw := NewNetwork(2)
+	if _, err := nw.AddArc(0, 5, 1, 1); err == nil {
+		t.Error("out-of-range arc accepted")
+	}
+	if _, err := nw.AddArc(0, 1, -1, 1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := nw.MinCostFlow(0, 0, 1); err == nil {
+		t.Error("s == t accepted")
+	}
+}
+
+func TestTransportationSquare(t *testing.T) {
+	// Classic 2x2: optimal is diagonal assignment.
+	ship, cost, err := Transportation(
+		[]float64{1, 1},
+		[]float64{1, 1},
+		[][]float64{{1, 10}, {10, 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Errorf("cost = %v, want 2", cost)
+	}
+	if ship[0][0] != 1 || ship[1][1] != 1 || ship[0][1] != 0 || ship[1][0] != 0 {
+		t.Errorf("shipment = %v", ship)
+	}
+}
+
+func TestTransportationRectangular(t *testing.T) {
+	// 3 supplies, 2 demands.
+	ship, cost, err := Transportation(
+		[]float64{2, 3, 1},
+		[]float64{4, 2},
+		[][]float64{{1, 4}, {2, 1}, {3, 3}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify feasibility: row sums == supplies, column sums == demands.
+	for i, s := range []float64{2, 3, 1} {
+		var sum float64
+		for j := range ship[i] {
+			sum += ship[i][j]
+		}
+		if math.Abs(sum-s) > 1e-9 {
+			t.Errorf("row %d ships %v, want %v", i, sum, s)
+		}
+	}
+	for j, d := range []float64{4, 2} {
+		var sum float64
+		for i := range ship {
+			sum += ship[i][j]
+		}
+		if math.Abs(sum-d) > 1e-9 {
+			t.Errorf("col %d receives %v, want %v", j, sum, d)
+		}
+	}
+	// Optimal: supply1->d0 (2·1), supply2: 2 to d1 (2·1), 1 to d0 (1·2),
+	// supply3: 1 to d0 (1·3) = 2+2+2+3 = 9.
+	if math.Abs(cost-9) > 1e-9 {
+		t.Errorf("cost = %v, want 9", cost)
+	}
+}
+
+func TestTransportationValidation(t *testing.T) {
+	if _, _, err := Transportation(nil, []float64{1}, nil); err == nil {
+		t.Error("empty supplies accepted")
+	}
+	if _, _, err := Transportation([]float64{1}, []float64{2}, [][]float64{{1}}); err == nil {
+		t.Error("unbalanced problem accepted")
+	}
+	if _, _, err := Transportation([]float64{-1}, []float64{-1}, [][]float64{{1}}); err == nil {
+		t.Error("negative supply accepted")
+	}
+	if _, _, err := Transportation([]float64{1}, []float64{1}, [][]float64{{1, 2}}); err == nil {
+		t.Error("ragged cost matrix accepted")
+	}
+}
+
+func TestTransportationIntegrality(t *testing.T) {
+	// Integral supplies/demands admit an integral optimum (network flow
+	// integrality); the SSP solver should return one.
+	ship, _, err := Transportation(
+		[]float64{3, 3, 3},
+		[]float64{3, 3, 3},
+		[][]float64{{1, 2, 3}, {2, 1, 3}, {3, 2, 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ship {
+		for j := range ship[i] {
+			if math.Abs(ship[i][j]-math.Round(ship[i][j])) > 1e-9 {
+				t.Fatalf("non-integral shipment %v at (%d,%d)", ship[i][j], i, j)
+			}
+		}
+	}
+}

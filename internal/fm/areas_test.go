@@ -1,0 +1,80 @@
+package fm
+
+import (
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// weightedNetlist: 8 unit modules plus one 6-area macro (module 0).
+func weightedNetlist(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	b.AddModules(9)
+	for i := 0; i < 8; i++ {
+		_ = b.AddNet("", i, i+1)
+	}
+	_ = b.AddNet("", 0, 4)
+	_ = b.AddNet("", 2, 6)
+	h := b.Build()
+	areas := []float64{6, 1, 1, 1, 1, 1, 1, 1, 1} // total 14
+	if err := h.SetAreas(areas); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestRefineRespectsAreaBalance(t *testing.T) {
+	h := weightedNetlist(t)
+	// Start: macro alone vs everything else — areas 6 vs 8; both sides
+	// are >= 40% of 14 (5.6).
+	assign := []int{0, 1, 1, 1, 1, 1, 1, 1, 1}
+	p := partition.MustNew(assign, 2)
+	res, err := Refine(h, p, Options{MinFrac: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	areas := partition.ClusterAreas(h, res.Partition)
+	if areas[0] < 5.6-1e-9 || areas[1] < 5.6-1e-9 {
+		t.Errorf("refined areas %v violate the 40%% area bound", areas)
+	}
+	if res.Cut > res.InitialCut {
+		t.Errorf("cut worsened %d -> %d", res.InitialCut, res.Cut)
+	}
+}
+
+func TestRefineRejectsAreaImbalancedInput(t *testing.T) {
+	h := weightedNetlist(t)
+	// All unit modules on one side: areas 6 vs 8 is fine at 0.4, but
+	// macro + all on one side (14 vs 0) must be rejected.
+	assign := make([]int, 9)
+	p := partition.MustNew(assign, 1)
+	_ = p
+	all := partition.MustNew(assign, 2)
+	if _, err := Refine(h, all, Options{MinFrac: 0.4}); err == nil {
+		t.Error("area-imbalanced input accepted")
+	}
+}
+
+func TestRefineUnitAreasUnchangedSemantics(t *testing.T) {
+	// Without explicit areas the area machinery must reduce to module
+	// counts: a 10-module netlist with MinFrac 0.4 keeps >= 4 modules per
+	// side.
+	b := hypergraph.NewBuilder()
+	b.AddModules(10)
+	for i := 0; i < 9; i++ {
+		_ = b.AddNet("", i, i+1)
+	}
+	h := b.Build()
+	assign := []int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+	p := partition.MustNew(assign, 2)
+	res, err := Refine(h, p, Options{MinFrac: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, _ := res.Partition.MinMaxSize()
+	if min < 4 {
+		t.Errorf("side shrank below the count bound: sizes %v", res.Partition.Sizes())
+	}
+}

@@ -1,0 +1,177 @@
+package fm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+func randomNetlist(t *testing.T, n, nets int, seed int64) *hypergraph.Hypergraph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.AddModules(n)
+	for e := 0; e < nets; e++ {
+		size := 2 + rng.Intn(3)
+		if size > n {
+			size = n
+		}
+		mods := rng.Perm(n)[:size]
+		if err := b.AddNet("", mods...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func randomBalancedBipartition(rng *rand.Rand, n int) *partition.Partition {
+	assign := make([]int, n)
+	perm := rng.Perm(n)
+	for i, v := range perm {
+		if i < n/2 {
+			assign[v] = 0
+		} else {
+			assign[v] = 1
+		}
+	}
+	return partition.MustNew(assign, 2)
+}
+
+func TestRefineNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(40)
+		h := randomNetlist(t, n, 3*n, int64(trial))
+		p := randomBalancedBipartition(rng, n)
+		res, err := Refine(h, p, Options{MinFrac: 0.45})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cut > res.InitialCut {
+			t.Errorf("trial %d: cut worsened %d -> %d", trial, res.InitialCut, res.Cut)
+		}
+		// Reported cut must match the metric.
+		if got := partition.NetCut(h, res.Partition); got != res.Cut {
+			t.Errorf("trial %d: reported %d, metric %d", trial, res.Cut, got)
+		}
+		// Balance must hold.
+		lo := int(float64(n)*0.45 + 0.999999)
+		if !res.Partition.IsBalanced(lo, n-lo) {
+			t.Errorf("trial %d: sizes %v violate balance", trial, res.Partition.Sizes())
+		}
+	}
+}
+
+func TestRefineImprovesBadStart(t *testing.T) {
+	// Two cliques of 10 joined by one net, started from a deliberately
+	// interleaved partition: FM must find the planted cut of 1.
+	b := hypergraph.NewBuilder()
+	b.AddModules(20)
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			_ = b.AddNet("", i, j)
+			_ = b.AddNet("", 10+i, 10+j)
+		}
+	}
+	_ = b.AddNet("bridge", 9, 10)
+	h := b.Build()
+	assign := make([]int, 20)
+	for i := range assign {
+		assign[i] = i % 2 // worst case: alternate sides
+	}
+	p := partition.MustNew(assign, 2)
+	res, err := Refine(h, p, Options{MinFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut != 1 {
+		t.Errorf("cut = %d, want 1 after refinement", res.Cut)
+	}
+	if res.Cut >= res.InitialCut {
+		t.Errorf("no improvement recorded: %d -> %d", res.InitialCut, res.Cut)
+	}
+}
+
+func TestRefineLocalOptimumIsStable(t *testing.T) {
+	// Refining an already-optimal partition must leave the cut unchanged.
+	b := hypergraph.NewBuilder()
+	b.AddModules(8)
+	for i := 0; i < 3; i++ {
+		_ = b.AddNet("", i, i+1)
+	}
+	for i := 4; i < 7; i++ {
+		_ = b.AddNet("", i, i+1)
+	}
+	_ = b.AddNet("bridge", 3, 4)
+	h := b.Build()
+	p := partition.MustNew([]int{0, 0, 0, 0, 1, 1, 1, 1}, 2)
+	res, err := Refine(h, p, Options{MinFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut != 1 || res.InitialCut != 1 {
+		t.Errorf("cut %d (initial %d), want 1/1", res.Cut, res.InitialCut)
+	}
+}
+
+func TestRefineValidation(t *testing.T) {
+	h := randomNetlist(t, 10, 15, 2)
+	p2 := partition.MustNew(make([]int, 10), 2) // all on side 0: imbalanced
+	if _, err := Refine(h, p2, Options{MinFrac: 0.4}); err == nil {
+		t.Error("imbalanced input accepted")
+	}
+	p3 := partition.MustNew([]int{0, 1, 2, 0, 1, 2, 0, 1, 2, 0}, 3)
+	if _, err := Refine(h, p3, Options{MinFrac: 0.4}); err == nil {
+		t.Error("3-way partition accepted")
+	}
+	pOK := partition.MustNew([]int{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}, 2)
+	if _, err := Refine(h, pOK, Options{MinFrac: 0}); err == nil {
+		t.Error("MinFrac=0 accepted")
+	}
+	if _, err := Refine(h, pOK, Options{MinFrac: 0.8}); err == nil {
+		t.Error("MinFrac>0.5 accepted")
+	}
+	short := partition.MustNew([]int{0, 1}, 2)
+	if _, err := Refine(h, short, Options{MinFrac: 0.4}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestRefineDoesNotMutateInput(t *testing.T) {
+	h := randomNetlist(t, 16, 30, 8)
+	rng := rand.New(rand.NewSource(3))
+	p := randomBalancedBipartition(rng, 16)
+	orig := append([]int(nil), p.Assign...)
+	if _, err := Refine(h, p, Options{MinFrac: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if p.Assign[i] != orig[i] {
+			t.Fatal("input partition mutated")
+		}
+	}
+}
+
+// Property-based: for random netlists and random balanced starts, the
+// refined partition always satisfies the balance bound and never worsens
+// the cut.
+func TestQuickRefineInvariants(t *testing.T) {
+	h := randomNetlist(t, 24, 60, 12)
+	n := 24
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomBalancedBipartition(rng, n)
+		res, err := Refine(h, p, Options{MinFrac: 0.4})
+		if err != nil {
+			return false
+		}
+		lo := int(float64(n)*0.4 + 0.999999)
+		return res.Cut <= res.InitialCut && res.Partition.IsBalanced(lo, n-lo)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package fm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// plantedKNetlist builds k dense clusters with a few bridges.
+func plantedKNetlist(t *testing.T, k, size int, seed int64) *hypergraph.Hypergraph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.AddModules(k * size)
+	for c := 0; c < k; c++ {
+		base := c * size
+		for i := 0; i < size-1; i++ {
+			_ = b.AddNet("", base+i, base+i+1)
+		}
+		for e := 0; e < 2*size; e++ {
+			i, j := rng.Intn(size), rng.Intn(size)
+			if i != j {
+				_ = b.AddNet("", base+i, base+j)
+			}
+		}
+	}
+	for c := 0; c+1 < k; c++ {
+		_ = b.AddNet("", c*size+rng.Intn(size), (c+1)*size+rng.Intn(size))
+	}
+	return b.Build()
+}
+
+func TestRefineKWayNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 6; trial++ {
+		k := 3 + trial%2
+		h := plantedKNetlist(t, k, 10, int64(trial))
+		n := h.NumModules()
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = rng.Intn(k)
+		}
+		// Ensure non-empty clusters.
+		for c := 0; c < k; c++ {
+			assign[c] = c
+		}
+		p := partition.MustNew(assign, k)
+		res, err := RefineKWay(h, p, KWayOptions{MinSize: 1})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Cut > res.InitialCut {
+			t.Errorf("trial %d: cut worsened %d -> %d", trial, res.InitialCut, res.Cut)
+		}
+		if got := partition.NetCut(h, res.Partition); got != res.Cut {
+			t.Errorf("trial %d: reported %d, metric %d", trial, res.Cut, got)
+		}
+	}
+}
+
+func TestRefineKWayFixesScrambledPlanted(t *testing.T) {
+	k, size := 3, 12
+	h := plantedKNetlist(t, k, size, 7)
+	// Start from the planted partition with 30% of modules scrambled.
+	rng := rand.New(rand.NewSource(5))
+	assign := make([]int, k*size)
+	for c := 0; c < k; c++ {
+		for i := 0; i < size; i++ {
+			assign[c*size+i] = c
+		}
+	}
+	for i := range assign {
+		if rng.Float64() < 0.3 {
+			assign[i] = rng.Intn(k)
+		}
+	}
+	for c := 0; c < k; c++ {
+		assign[c*size] = c // keep all clusters non-empty
+	}
+	p := partition.MustNew(assign, k)
+	res, err := RefineKWay(h, p, KWayOptions{MinSize: 4, MaxRounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut >= res.InitialCut {
+		t.Errorf("no improvement: %d -> %d", res.InitialCut, res.Cut)
+	}
+	// The planted optimum cuts only the k−1 bridges; refinement should
+	// get close.
+	if res.Cut > 3*(k-1) {
+		t.Errorf("cut %d far from planted %d", res.Cut, k-1)
+	}
+	t.Logf("scrambled %d -> refined %d (planted %d)", res.InitialCut, res.Cut, k-1)
+}
+
+func TestRefineKWayPreservesSizesBound(t *testing.T) {
+	h := plantedKNetlist(t, 4, 8, 9)
+	n := h.NumModules()
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = i % 4
+	}
+	p := partition.MustNew(assign, 4)
+	res, err := RefineKWay(h, p, KWayOptions{MinSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, s := range res.Partition.Sizes() {
+		if s < 5 {
+			t.Errorf("cluster %d shrank to %d < 5", c, s)
+		}
+	}
+}
+
+func TestRefineKWayValidation(t *testing.T) {
+	h := plantedKNetlist(t, 2, 5, 1)
+	p1 := partition.MustNew(make([]int, 10), 1)
+	if _, err := RefineKWay(h, p1, KWayOptions{}); err == nil {
+		t.Error("k=1 accepted")
+	}
+	short := partition.MustNew([]int{0, 1}, 2)
+	if _, err := RefineKWay(h, short, KWayOptions{}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestRefineKWayInputNotMutated(t *testing.T) {
+	h := plantedKNetlist(t, 3, 6, 3)
+	assign := make([]int, 18)
+	for i := range assign {
+		assign[i] = i % 3
+	}
+	p := partition.MustNew(assign, 3)
+	orig := append([]int(nil), p.Assign...)
+	if _, err := RefineKWay(h, p, KWayOptions{MinSize: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if p.Assign[i] != orig[i] {
+			t.Fatal("input partition mutated")
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package graph
+
+import "math/rand"
+
+// The generators in this file produce the standard test-bed graphs used
+// throughout the test suites and ablation benches.
+
+// Path returns the unweighted path graph on n vertices.
+func Path(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{U: i, V: i + 1, W: 1})
+	}
+	return MustNew(n, edges)
+}
+
+// Cycle returns the unweighted cycle on n >= 3 vertices.
+func Cycle(n int) *Graph {
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{U: i, V: (i + 1) % n, W: 1})
+	}
+	return MustNew(n, edges)
+}
+
+// Complete returns the unweighted complete graph K_n.
+func Complete(n int) *Graph {
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{U: i, V: j, W: 1})
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// Star returns the star K_{1,n-1} centered at vertex 0.
+func Star(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{U: 0, V: i, W: 1})
+	}
+	return MustNew(n, edges)
+}
+
+// Grid returns the rows×cols 4-neighbor grid graph.
+func Grid(rows, cols int) *Graph {
+	var edges []Edge
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, Edge{U: id(r, c), V: id(r, c+1), W: 1})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{U: id(r, c), V: id(r+1, c), W: 1})
+			}
+		}
+	}
+	return MustNew(rows*cols, edges)
+}
+
+// RandomConnected returns a connected random graph on n vertices: a random
+// spanning tree plus extra random edges, with weights in [1, 2). The
+// generator is deterministic for a given seed.
+func RandomConnected(n, extraEdges int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		edges = append(edges, Edge{U: perm[i], V: perm[j], W: 1 + rng.Float64()})
+	}
+	for k := 0; k < extraEdges; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, Edge{U: u, V: v, W: 1 + rng.Float64()})
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// TwoClusters returns a graph of two dense clusters of the given sizes
+// joined by bridge edges of weight bridgeW — the canonical partitioning
+// test case with a known optimal cut.
+func TwoClusters(sizeA, sizeB, bridges int, bridgeW float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	// Dense intra-cluster edges.
+	for i := 0; i < sizeA; i++ {
+		for j := i + 1; j < sizeA; j++ {
+			if rng.Float64() < 0.6 {
+				edges = append(edges, Edge{U: i, V: j, W: 1})
+			}
+		}
+	}
+	for i := 0; i < sizeB; i++ {
+		for j := i + 1; j < sizeB; j++ {
+			if rng.Float64() < 0.6 {
+				edges = append(edges, Edge{U: sizeA + i, V: sizeA + j, W: 1})
+			}
+		}
+	}
+	// Spanning paths guarantee connectivity inside each cluster.
+	for i := 0; i < sizeA-1; i++ {
+		edges = append(edges, Edge{U: i, V: i + 1, W: 1})
+	}
+	for i := 0; i < sizeB-1; i++ {
+		edges = append(edges, Edge{U: sizeA + i, V: sizeA + i + 1, W: 1})
+	}
+	for b := 0; b < bridges; b++ {
+		edges = append(edges, Edge{U: rng.Intn(sizeA), V: sizeA + rng.Intn(sizeB), W: bridgeW})
+	}
+	return MustNew(sizeA+sizeB, edges)
+}

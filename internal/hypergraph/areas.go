@@ -1,0 +1,55 @@
+package hypergraph
+
+import "fmt"
+
+// Module areas support the paper's weighted-vertex extension: "when the
+// weight of vertex v_i is extended to be the weight of y_i, the vector
+// partitioning constraints are simply L_h ≤ w(S_h) ≤ W_h". Areas default
+// to 1 (unit-area modules) when never set.
+
+// SetAreas assigns an area to every module. The slice is copied.
+func (h *Hypergraph) SetAreas(areas []float64) error {
+	if len(areas) != h.NumModules() {
+		return fmt.Errorf("hypergraph: %d areas for %d modules", len(areas), h.NumModules())
+	}
+	for i, a := range areas {
+		if a <= 0 {
+			return fmt.Errorf("hypergraph: module %d area %v, want > 0", i, a)
+		}
+	}
+	h.areas = make([]float64, len(areas))
+	copy(h.areas, areas)
+	return nil
+}
+
+// Area returns module i's area (1 if areas were never set).
+func (h *Hypergraph) Area(i int) float64 {
+	if h.areas == nil {
+		return 1
+	}
+	return h.areas[i]
+}
+
+// TotalArea returns the sum of all module areas.
+func (h *Hypergraph) TotalArea() float64 {
+	if h.areas == nil {
+		return float64(h.NumModules())
+	}
+	var t float64
+	for _, a := range h.areas {
+		t += a
+	}
+	return t
+}
+
+// AreaOf returns the total area of a module subset.
+func (h *Hypergraph) AreaOf(modules []int) float64 {
+	var t float64
+	for _, m := range modules {
+		t += h.Area(m)
+	}
+	return t
+}
+
+// HasAreas reports whether explicit areas were assigned.
+func (h *Hypergraph) HasAreas() bool { return h.areas != nil }

@@ -1,0 +1,100 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAreasDefaultToUnit(t *testing.T) {
+	h := tiny(t)
+	if h.HasAreas() {
+		t.Fatal("fresh hypergraph should not have explicit areas")
+	}
+	if h.Area(0) != 1 || h.TotalArea() != 5 {
+		t.Errorf("unit areas wrong: %v / %v", h.Area(0), h.TotalArea())
+	}
+	if h.AreaOf([]int{0, 2}) != 2 {
+		t.Errorf("AreaOf = %v", h.AreaOf([]int{0, 2}))
+	}
+}
+
+func TestSetAreas(t *testing.T) {
+	h := tiny(t)
+	areas := []float64{1, 2, 3, 4, 5}
+	if err := h.SetAreas(areas); err != nil {
+		t.Fatal(err)
+	}
+	areas[0] = 99 // must have been copied
+	if h.Area(0) != 1 || h.Area(4) != 5 || h.TotalArea() != 15 {
+		t.Errorf("areas wrong after SetAreas")
+	}
+	if err := h.SetAreas([]float64{1}); err == nil {
+		t.Error("wrong-length areas accepted")
+	}
+	if err := h.SetAreas([]float64{1, 2, 3, 4, 0}); err == nil {
+		t.Error("zero area accepted")
+	}
+	if err := h.SetAreas([]float64{1, 2, 3, 4, -1}); err == nil {
+		t.Error("negative area accepted")
+	}
+}
+
+func TestInduceCarriesAreas(t *testing.T) {
+	h := tiny(t)
+	if err := h.SetAreas([]float64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := h.Induce([]int{2, 4})
+	if !sub.HasAreas() {
+		t.Fatal("induced hypergraph lost areas")
+	}
+	if sub.Area(0) != 3 || sub.Area(1) != 5 {
+		t.Errorf("induced areas %v / %v", sub.Area(0), sub.Area(1))
+	}
+}
+
+func TestAreasRoundTripThroughIO(t *testing.T) {
+	h := tiny(t)
+	if err := h.SetAreas([]float64{1, 2.5, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "areas", h); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "module b 2.5") {
+		t.Fatalf("serialized form missing area:\n%s", buf.String())
+	}
+	_, h2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h2.HasAreas() || h2.Area(1) != 2.5 || h2.TotalArea() != 15.5 {
+		t.Errorf("areas lost in round trip: %v", h2.TotalArea())
+	}
+}
+
+func TestReadRejectsBadArea(t *testing.T) {
+	for _, src := range []string{
+		"module a zero\nnet n a b\n",
+		"module a 0\nnet n a b\n",
+		"module a -2\nnet n a b\n",
+		"module a 1 2\n",
+	} {
+		if _, _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("input %q accepted", src)
+		}
+	}
+}
+
+func TestReadPartialAreasDefaultRestToUnit(t *testing.T) {
+	src := "module a 3\nnet n a b c\n"
+	_, h, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Area(0) != 3 || h.Area(1) != 1 || h.Area(2) != 1 {
+		t.Errorf("areas = %v %v %v", h.Area(0), h.Area(1), h.Area(2))
+	}
+}

@@ -1,0 +1,70 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the text-format parser: it must never panic, and
+// anything it accepts must round-trip to an equivalent netlist.
+func FuzzRead(f *testing.F) {
+	f.Add("netlist x\nmodule a\nnet n a b\n")
+	f.Add("net n m0 m1 m2\nnet q m2 m3\n")
+	f.Add("# comment\nmodule a 2.5\nnet n a b\n")
+	f.Add("")
+	f.Add("bogus\n")
+	f.Add("net n a\n")
+	f.Add("module a -1\nnet n a b\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		name, h, err := Read(strings.NewReader(src))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("accepted netlist fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, name, h); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		name2, h2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if name2 != name || h2.NumModules() != h.NumModules() ||
+			h2.NumNets() != h.NumNets() || h2.NumPins() != h.NumPins() {
+			t.Fatalf("round trip changed the netlist: %+v vs %+v", h2.Stats(), h.Stats())
+		}
+	})
+}
+
+// FuzzReadHMetis exercises the hMETIS parser the same way.
+func FuzzReadHMetis(f *testing.F) {
+	f.Add("2 3\n1 2\n2 3\n")
+	f.Add("1 2 1\n5 1 2\n")
+	f.Add("1 2 10\n1 2\n3\n4\n")
+	f.Add("1 2 11\n2 1 2\n1\n1\n")
+	f.Add("% only a comment\n")
+	f.Add("x y\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		h, err := ReadHMetis(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("accepted netlist fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteHMetis(&buf, h); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		h2, err := ReadHMetis(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if h2.NumNets() != h.NumNets() || h2.NumPins() != h.NumPins() {
+			t.Fatalf("round trip changed the netlist")
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package hypergraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// hMETIS hypergraph format support (the de-facto standard exchange format
+// for VLSI partitioning benchmarks):
+//
+//	% comment lines
+//	<numNets> <numModules> [fmt]
+//	<net line: 1-indexed module ids>            (one per net)
+//	[<module weight>]                           (one per module, fmt 10/11)
+//
+// fmt 1/11 prefixes each net line with a net weight (parsed and ignored —
+// this repository's cut metrics are unweighted per net); fmt 10/11 append
+// one module-weight line per module, mapped to module areas.
+
+// ReadHMetis parses an hMETIS hypergraph file. Module names are
+// synthesized as "m1".."mN" (matching the format's 1-indexed ids).
+func ReadHMetis(r io.Reader) (*Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	next := func() ([]string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "%") {
+				continue
+			}
+			return strings.Fields(line), nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+
+	header, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("hypergraph: hmetis: missing header: %v", err)
+	}
+	if len(header) < 2 || len(header) > 3 {
+		return nil, fmt.Errorf("hypergraph: hmetis: header wants 2 or 3 fields, got %d", len(header))
+	}
+	numNets, err1 := strconv.Atoi(header[0])
+	numMods, err2 := strconv.Atoi(header[1])
+	if err1 != nil || err2 != nil || numNets < 0 || numMods < 1 {
+		return nil, fmt.Errorf("hypergraph: hmetis: bad header %v", header)
+	}
+	format := 0
+	if len(header) == 3 {
+		format, err = strconv.Atoi(header[2])
+		if err != nil || (format != 0 && format != 1 && format != 10 && format != 11) {
+			return nil, fmt.Errorf("hypergraph: hmetis: unsupported fmt %q", header[2])
+		}
+	}
+	netWeights := format == 1 || format == 11
+	modWeights := format == 10 || format == 11
+
+	b := NewBuilder()
+	for i := 1; i <= numMods; i++ {
+		b.AddModule(fmt.Sprintf("m%d", i))
+	}
+	for e := 0; e < numNets; e++ {
+		fields, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("hypergraph: hmetis: net %d: %v", e+1, err)
+		}
+		start := 0
+		if netWeights {
+			if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+				return nil, fmt.Errorf("hypergraph: hmetis: net %d: bad weight %q", e+1, fields[0])
+			}
+			start = 1
+		}
+		mods := make([]int, 0, len(fields)-start)
+		for _, f := range fields[start:] {
+			id, err := strconv.Atoi(f)
+			if err != nil || id < 1 || id > numMods {
+				return nil, fmt.Errorf("hypergraph: hmetis: net %d: bad module id %q", e+1, f)
+			}
+			mods = append(mods, id-1)
+		}
+		if err := b.AddNet(fmt.Sprintf("n%d", e+1), mods...); err != nil {
+			return nil, fmt.Errorf("hypergraph: hmetis: net %d: %v", e+1, err)
+		}
+	}
+	h := b.Build()
+	if modWeights {
+		areas := make([]float64, numMods)
+		for i := 0; i < numMods; i++ {
+			fields, err := next()
+			if err != nil {
+				return nil, fmt.Errorf("hypergraph: hmetis: module weight %d: %v", i+1, err)
+			}
+			w, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("hypergraph: hmetis: module weight %d: bad value %q", i+1, fields[0])
+			}
+			areas[i] = w
+		}
+		if err := h.SetAreas(areas); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// WriteHMetis serializes the hypergraph in hMETIS format (fmt 10 when
+// explicit areas are present, plain otherwise).
+func WriteHMetis(w io.Writer, h *Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	if h.HasAreas() {
+		fmt.Fprintf(bw, "%d %d 10\n", h.NumNets(), h.NumModules())
+	} else {
+		fmt.Fprintf(bw, "%d %d\n", h.NumNets(), h.NumModules())
+	}
+	for _, net := range h.Nets {
+		for i, m := range net {
+			if i > 0 {
+				fmt.Fprint(bw, " ")
+			}
+			fmt.Fprintf(bw, "%d", m+1)
+		}
+		fmt.Fprintln(bw)
+	}
+	if h.HasAreas() {
+		for i := 0; i < h.NumModules(); i++ {
+			fmt.Fprintf(bw, "%g\n", h.Area(i))
+		}
+	}
+	return bw.Flush()
+}

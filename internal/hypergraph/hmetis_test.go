@@ -1,0 +1,138 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadHMetisPlain(t *testing.T) {
+	src := `% a comment
+4 7
+1 2
+1 7 5 6
+5 6 4
+2 3 4
+`
+	h, err := ReadHMetis(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumModules() != 7 || h.NumNets() != 4 || h.NumPins() != 12 {
+		t.Fatalf("stats = %+v", h.Stats())
+	}
+	// Net 2 connects modules 1,7,5,6 (0-indexed 0,6,4,5).
+	net := h.Nets[1]
+	want := []int{0, 4, 5, 6}
+	for i := range want {
+		if net[i] != want[i] {
+			t.Fatalf("net 2 = %v, want %v", net, want)
+		}
+	}
+	if h.HasAreas() {
+		t.Error("plain format should not set areas")
+	}
+	if h.Names[0] != "m1" || h.Names[6] != "m7" {
+		t.Error("names should be 1-indexed m<i>")
+	}
+}
+
+func TestReadHMetisNetWeights(t *testing.T) {
+	src := "2 3 1\n5 1 2\n2.5 2 3\n"
+	h, err := ReadHMetis(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNets() != 2 || h.NumPins() != 4 {
+		t.Fatalf("stats = %+v", h.Stats())
+	}
+}
+
+func TestReadHMetisModuleWeights(t *testing.T) {
+	src := "1 3 10\n1 2 3\n2\n4.5\n1\n"
+	h, err := ReadHMetis(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.HasAreas() || h.Area(1) != 4.5 || h.TotalArea() != 7.5 {
+		t.Errorf("areas wrong: total %v", h.TotalArea())
+	}
+}
+
+func TestReadHMetisBothWeights(t *testing.T) {
+	src := "1 2 11\n3 1 2\n2\n2\n"
+	h, err := ReadHMetis(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.HasAreas() || h.TotalArea() != 4 {
+		t.Error("fmt 11 parsing wrong")
+	}
+}
+
+func TestReadHMetisErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no header
+		"x 3\n",                 // bad header
+		"1 2 7\n1 2\n",          // unsupported fmt
+		"1 3\n1 9\n",            // module id out of range
+		"2 3\n1 2\n",            // missing net line
+		"1 3\n1\n",              // single-pin net
+		"1 2 10\n1 2\n-1\n-1\n", // bad module weight
+		"1 2 1\nx 1 2\n",        // bad net weight
+	}
+	for _, src := range cases {
+		if _, err := ReadHMetis(strings.NewReader(src)); err == nil {
+			t.Errorf("input %q accepted", src)
+		}
+	}
+}
+
+func TestHMetisRoundTrip(t *testing.T) {
+	h := tiny(t)
+	if err := h.SetAreas([]float64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHMetis(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadHMetis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NumModules() != h.NumModules() || h2.NumNets() != h.NumNets() || h2.NumPins() != h.NumPins() {
+		t.Fatalf("round trip changed shape: %+v vs %+v", h2.Stats(), h.Stats())
+	}
+	if !h2.HasAreas() || h2.TotalArea() != 15 {
+		t.Error("areas lost in round trip")
+	}
+	for e := range h.Nets {
+		if len(h.Nets[e]) != len(h2.Nets[e]) {
+			t.Fatalf("net %d changed", e)
+		}
+		for i := range h.Nets[e] {
+			if h.Nets[e][i] != h2.Nets[e][i] {
+				t.Fatalf("net %d contents changed", e)
+			}
+		}
+	}
+}
+
+func TestHMetisRoundTripNoAreas(t *testing.T) {
+	h := tiny(t)
+	var buf bytes.Buffer
+	if err := WriteHMetis(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), " 10\n") {
+		t.Error("unit-area netlist should use the plain header")
+	}
+	h2, err := ReadHMetis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.HasAreas() {
+		t.Error("round trip invented areas")
+	}
+}

@@ -1,0 +1,200 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns a 5-module, 3-net example used across the tests:
+// n0 = {a,b,c}, n1 = {c,d}, n2 = {d,e}.
+func tiny(t *testing.T) *Hypergraph {
+	t.Helper()
+	b := NewBuilder()
+	a := b.AddModule("a")
+	bb := b.AddModule("b")
+	c := b.AddModule("c")
+	d := b.AddModule("d")
+	e := b.AddModule("e")
+	for _, net := range []struct {
+		name string
+		mods []int
+	}{
+		{"n0", []int{a, bb, c}},
+		{"n1", []int{c, d}},
+		{"n2", []int{d, e}},
+	} {
+		if err := b.AddNet(net.name, net.mods...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderAndStats(t *testing.T) {
+	h := tiny(t)
+	s := h.Stats()
+	if s.Modules != 5 || s.Nets != 3 || s.Pins != 7 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MaxNetSize != 3 {
+		t.Errorf("MaxNetSize = %d, want 3", s.MaxNetSize)
+	}
+	if got := s.AvgNetSize; got < 2.33 || got > 2.34 {
+		t.Errorf("AvgNetSize = %v", got)
+	}
+	if h.Degree(2) != 2 { // module c on n0 and n1
+		t.Errorf("Degree(c) = %d, want 2", h.Degree(2))
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBuilderDeduplicatesModulesAndNets(t *testing.T) {
+	b := NewBuilder()
+	i1 := b.AddModule("x")
+	i2 := b.AddModule("x")
+	if i1 != i2 {
+		t.Fatal("re-adding a module must return the same index")
+	}
+	b.AddModule("y")
+	if err := b.AddNet("n", i1, i1, 1); err != nil {
+		t.Fatal(err)
+	}
+	h := b.Build()
+	if len(h.Nets[0]) != 2 {
+		t.Fatalf("net should collapse duplicates: %v", h.Nets[0])
+	}
+}
+
+func TestAddNetRejectsInvalid(t *testing.T) {
+	b := NewBuilder()
+	b.AddModule("a")
+	if err := b.AddNet("bad", 0); err == nil {
+		t.Error("single-module net accepted")
+	}
+	if err := b.AddNet("bad", 0, 7); err == nil {
+		t.Error("out-of-range module accepted")
+	}
+	if err := b.AddNet("bad", 0, 0); err == nil {
+		t.Error("net of duplicate single module accepted")
+	}
+}
+
+func TestAddModules(t *testing.T) {
+	b := NewBuilder()
+	first := b.AddModules(3)
+	if first != 0 || len(b.Build().Names) != 3 {
+		t.Fatal("AddModules wrong")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	h := tiny(t)
+	if !h.IsConnected() {
+		t.Error("tiny hypergraph should be connected")
+	}
+	// Two disjoint nets.
+	b := NewBuilder()
+	b.AddModules(4)
+	_ = b.AddNet("", 0, 1)
+	_ = b.AddNet("", 2, 3)
+	h2 := b.Build()
+	if h2.IsConnected() {
+		t.Error("disconnected hypergraph reported connected")
+	}
+	comps := h2.Components()
+	if len(comps) != 2 || len(comps[0]) != 2 || comps[0][0] != 0 || comps[1][0] != 2 {
+		t.Errorf("Components = %v", comps)
+	}
+}
+
+func TestInduce(t *testing.T) {
+	h := tiny(t)
+	// Induce on {a,b,c,d}: n0 survives fully, n1 survives, n2 drops to one
+	// module and is removed.
+	sub, back := h.Induce([]int{0, 1, 2, 3})
+	if sub.NumModules() != 4 || sub.NumNets() != 2 {
+		t.Fatalf("induced: %d modules %d nets", sub.NumModules(), sub.NumNets())
+	}
+	if back[3] != 3 || sub.Names[0] != "a" {
+		t.Error("back-mapping wrong")
+	}
+	// Induce on {c,d,e} with non-identity mapping.
+	sub2, back2 := h.Induce([]int{2, 3, 4})
+	if sub2.NumNets() != 2 { // n1 {c,d} and n2 {d,e}; n0 drops to {c} alone
+		t.Fatalf("induced 2: %d nets, want 2", sub2.NumNets())
+	}
+	if back2[0] != 2 || back2[2] != 4 {
+		t.Error("back-mapping 2 wrong")
+	}
+	if err := sub2.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	h := tiny(t)
+	h.Nets[0] = []int{3, 1} // unsorted
+	if err := h.Validate(); err == nil {
+		t.Error("unsorted net not caught")
+	}
+	h.Nets[0] = []int{1, 99}
+	if err := h.Validate(); err == nil {
+		t.Error("out-of-range module not caught")
+	}
+	h.Nets[0] = []int{1}
+	if err := h.Validate(); err == nil {
+		t.Error("degenerate net not caught")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	h := tiny(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, "tiny", h); err != nil {
+		t.Fatal(err)
+	}
+	name, h2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "tiny" {
+		t.Errorf("name = %q", name)
+	}
+	if h2.NumModules() != h.NumModules() || h2.NumNets() != h.NumNets() || h2.NumPins() != h.NumPins() {
+		t.Fatalf("round trip changed shape: %+v vs %+v", h2.Stats(), h.Stats())
+	}
+	for e := range h.Nets {
+		if len(h.Nets[e]) != len(h2.Nets[e]) {
+			t.Fatalf("net %d size changed", e)
+		}
+	}
+}
+
+func TestReadImplicitModules(t *testing.T) {
+	src := "# compact form\nnet n0 a b c\nnet n1 c d\n"
+	_, h, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumModules() != 4 || h.NumNets() != 2 {
+		t.Fatalf("stats = %+v", h.Stats())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"bogus directive\n",
+		"net onlyname\n",
+		"net n a\n", // fewer than 2 modules
+		"module\n",
+		"netlist a b\n",
+	}
+	for _, src := range cases {
+		if _, _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("input %q: expected parse error", src)
+		}
+	}
+}

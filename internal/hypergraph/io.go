@@ -1,0 +1,111 @@
+package hypergraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text interchange format is line oriented:
+//
+//	# comment (anywhere)
+//	netlist <name>            (optional header)
+//	module <name> [area]      (one per module; optional if nets name them)
+//	net <name> <m1> <m2> ...  (module names; >= 2 distinct)
+//
+// Modules referenced by a net line that were not declared with a module
+// line are created on first use, so compact files can consist solely of
+// net lines. The optional area is a positive float (default 1).
+
+// Write serializes the hypergraph to w in the text interchange format.
+func Write(w io.Writer, name string, h *Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	if name != "" {
+		fmt.Fprintf(bw, "netlist %s\n", name)
+	}
+	for i, m := range h.Names {
+		if h.HasAreas() {
+			fmt.Fprintf(bw, "module %s %g\n", m, h.Area(i))
+		} else {
+			fmt.Fprintf(bw, "module %s\n", m)
+		}
+	}
+	for e, net := range h.Nets {
+		fmt.Fprintf(bw, "net %s", h.NetNames[e])
+		for _, m := range net {
+			fmt.Fprintf(bw, " %s", h.Names[m])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses a hypergraph in the text interchange format. It returns the
+// netlist name from the header (or "" if absent) and the hypergraph.
+func Read(r io.Reader) (string, *Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	b := NewBuilder()
+	areas := map[int]float64{}
+	var name string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "netlist":
+			if len(fields) != 2 {
+				return "", nil, fmt.Errorf("hypergraph: line %d: netlist header wants one name", lineNo)
+			}
+			name = fields[1]
+		case "module":
+			if len(fields) != 2 && len(fields) != 3 {
+				return "", nil, fmt.Errorf("hypergraph: line %d: module line wants a name and optional area", lineNo)
+			}
+			idx := b.AddModule(fields[1])
+			if len(fields) == 3 {
+				a, err := strconv.ParseFloat(fields[2], 64)
+				if err != nil || a <= 0 {
+					return "", nil, fmt.Errorf("hypergraph: line %d: bad area %q", lineNo, fields[2])
+				}
+				areas[idx] = a
+			}
+		case "net":
+			if len(fields) < 4 {
+				return "", nil, fmt.Errorf("hypergraph: line %d: net needs a name and >= 2 modules", lineNo)
+			}
+			mods := make([]int, 0, len(fields)-2)
+			for _, mn := range fields[2:] {
+				mods = append(mods, b.AddModule(mn))
+			}
+			if err := b.AddNet(fields[1], mods...); err != nil {
+				return "", nil, fmt.Errorf("hypergraph: line %d: %v", lineNo, err)
+			}
+		default:
+			return "", nil, fmt.Errorf("hypergraph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", nil, fmt.Errorf("hypergraph: read: %v", err)
+	}
+	h := b.Build()
+	if len(areas) > 0 {
+		full := make([]float64, h.NumModules())
+		for i := range full {
+			full[i] = 1
+		}
+		for idx, a := range areas {
+			full[idx] = a
+		}
+		if err := h.SetAreas(full); err != nil {
+			return "", nil, err
+		}
+	}
+	return name, h, nil
+}

@@ -1,0 +1,130 @@
+package kl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func randomBalanced(rng *rand.Rand, n int) *partition.Partition {
+	assign := make([]int, n)
+	perm := rng.Perm(n)
+	for i, v := range perm {
+		if i < n/2 {
+			assign[v] = 0
+		} else {
+			assign[v] = 1
+		}
+	}
+	return partition.MustNew(assign, 2)
+}
+
+func TestRefineNeverWorsensAndPreservesSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		n := 16 + rng.Intn(30)
+		g := graph.RandomConnected(n, 3*n, int64(trial))
+		p := randomBalanced(rng, n)
+		want := p.Sizes()
+		res, err := Refine(g, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cut > res.InitialCut+1e-9 {
+			t.Errorf("trial %d: cut worsened %v -> %v", trial, res.InitialCut, res.Cut)
+		}
+		got := res.Partition.Sizes()
+		if got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("trial %d: sizes changed %v -> %v", trial, want, got)
+		}
+		if direct := partition.CutWeight(g, res.Partition); direct != res.Cut {
+			t.Errorf("trial %d: reported %v, metric %v", trial, res.Cut, direct)
+		}
+	}
+}
+
+func TestRefineFindsPlantedCut(t *testing.T) {
+	g := graph.TwoClusters(12, 12, 2, 0.25, 3)
+	// Worst start: alternating sides.
+	assign := make([]int, 24)
+	for i := range assign {
+		assign[i] = i % 2
+	}
+	p := partition.MustNew(assign, 2)
+	res, err := Refine(g, p, Options{MaxPasses: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut > 0.5+1e-9 {
+		t.Errorf("cut %v, want planted 0.5", res.Cut)
+	}
+	t.Logf("alternating %v -> refined %v in %d passes, %d swaps",
+		res.InitialCut, res.Cut, res.Passes, res.Swaps)
+}
+
+func TestRefineStableAtOptimum(t *testing.T) {
+	g := graph.TwoClusters(10, 10, 1, 0.5, 7)
+	assign := make([]int, 20)
+	for i := 10; i < 20; i++ {
+		assign[i] = 1
+	}
+	p := partition.MustNew(assign, 2)
+	res, err := Refine(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut != res.InitialCut {
+		t.Errorf("optimal partition changed: %v -> %v", res.InitialCut, res.Cut)
+	}
+}
+
+func TestRefineValidation(t *testing.T) {
+	g := graph.Path(6)
+	p3 := partition.MustNew([]int{0, 1, 2, 0, 1, 2}, 3)
+	if _, err := Refine(g, p3, Options{}); err == nil {
+		t.Error("3-way accepted")
+	}
+	short := partition.MustNew([]int{0, 1}, 2)
+	if _, err := Refine(g, short, Options{}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestRefineInputNotMutated(t *testing.T) {
+	g := graph.RandomConnected(20, 50, 3)
+	rng := rand.New(rand.NewSource(9))
+	p := randomBalanced(rng, 20)
+	orig := append([]int(nil), p.Assign...)
+	if _, err := Refine(g, p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if p.Assign[i] != orig[i] {
+			t.Fatal("input mutated")
+		}
+	}
+}
+
+// Property: for arbitrary seeds, refinement never worsens the cut and
+// preserves the size signature.
+func TestQuickRefineInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(20)
+		g := graph.RandomConnected(n, 2*n, seed)
+		p := randomBalanced(rng, n)
+		want := p.Sizes()
+		res, err := Refine(g, p, Options{MaxPasses: 3})
+		if err != nil {
+			return false
+		}
+		got := res.Partition.Sizes()
+		return res.Cut <= res.InitialCut+1e-9 && got[0] == want[0] && got[1] == want[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package kp reimplements the KP algorithm of Chan, Schlag and Zien [10]
+// ("Spectral k-way ratio-cut partitioning and clustering"): embed each
+// vertex as the i-th row of the n×k matrix of the k lowest Laplacian
+// eigenvectors, treat rows as vectors, and cluster by directional cosines
+// against k mutually-orthogonal prototype rows.
+//
+// KP is the paper's representative of the "k eigenvectors for a k-way
+// partitioning" school that MELO's use of many eigenvectors argues
+// against.
+package kp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eigen"
+	"repro/internal/linalg"
+	"repro/internal/partition"
+)
+
+// Options configures KP.
+type Options struct {
+	// K is the number of clusters, >= 2.
+	K int
+	// MinSize forces every cluster to hold at least this many vertices by
+	// reassigning from the prototype-cosine ranking; 1 guarantees
+	// non-empty clusters. Default 1 (0 is treated as 1).
+	MinSize int
+}
+
+// Partition runs KP using the first K eigenpairs of dec (which must hold
+// at least K pairs, computed from the graph's Laplacian).
+func Partition(dec *eigen.Decomposition, opts Options) (*partition.Partition, error) {
+	k := opts.K
+	if k < 2 {
+		return nil, fmt.Errorf("kp: k = %d, want >= 2", k)
+	}
+	if dec.D() < k {
+		return nil, fmt.Errorf("kp: decomposition holds %d pairs, need %d", dec.D(), k)
+	}
+	n := dec.Vectors.Rows
+	if k > n {
+		return nil, fmt.Errorf("kp: k = %d exceeds n = %d", k, n)
+	}
+	minSize := opts.MinSize
+	if minSize < 1 {
+		minSize = 1
+	}
+	if minSize*k > n {
+		return nil, fmt.Errorf("kp: MinSize %d infeasible for n=%d k=%d", minSize, n, k)
+	}
+
+	// Rows of the n×k eigenvector matrix, normalized to the unit sphere.
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		r := make([]float64, k)
+		for j := 0; j < k; j++ {
+			r[j] = dec.Vectors.At(i, j)
+		}
+		if linalg.Normalize(r) == 0 {
+			r[0] = 1 // degenerate all-zero row: park on the first axis
+		}
+		rows[i] = r
+	}
+
+	protos := chooseLinearlyIndependentPrototypes(rows, k)
+
+	// Assign each vertex to the prototype with the largest |cosine|.
+	assign := make([]int, n)
+	cos := make([][]float64, n) // |cosine| per prototype, kept for repair
+	for i := 0; i < n; i++ {
+		cos[i] = make([]float64, k)
+		best, bestC := 0, -1.0
+		for c := 0; c < k; c++ {
+			v := math.Abs(linalg.Dot(rows[i], rows[protos[c]]))
+			cos[i][c] = v
+			if v > bestC {
+				bestC = v
+				best = c
+			}
+		}
+		assign[i] = best
+	}
+
+	repairSizes(assign, cos, k, minSize)
+	return partition.New(assign, k)
+}
+
+// chooseLinearlyIndependentPrototypes greedily picks k row indices that
+// are maximally mutually orthogonal: the first is the row closest to the
+// first axis direction; each subsequent choice minimizes its largest
+// |cosine| to the already-chosen prototypes.
+func chooseLinearlyIndependentPrototypes(rows [][]float64, k int) []int {
+	n := len(rows)
+	protos := make([]int, 0, k)
+	// worst[i] tracks max |cos| of row i to the chosen prototypes.
+	worst := make([]float64, n)
+	first := 0
+	// Seed: row with the largest leading coordinate magnitude (the
+	// direction the trivial eigenvector dominates).
+	bestLead := -1.0
+	for i := 0; i < n; i++ {
+		if a := math.Abs(rows[i][0]); a > bestLead {
+			bestLead = a
+			first = i
+		}
+	}
+	protos = append(protos, first)
+	for i := 0; i < n; i++ {
+		worst[i] = math.Abs(linalg.Dot(rows[i], rows[first]))
+	}
+	for len(protos) < k {
+		next, nextWorst := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if contains(protos, i) {
+				continue
+			}
+			if worst[i] < nextWorst {
+				nextWorst = worst[i]
+				next = i
+			}
+		}
+		protos = append(protos, next)
+		for i := 0; i < n; i++ {
+			if c := math.Abs(linalg.Dot(rows[i], rows[next])); c > worst[i] {
+				worst[i] = c
+			}
+		}
+	}
+	return protos
+}
+
+// repairSizes moves the weakest-affinity members of oversized clusters
+// into undersized ones until every cluster holds at least minSize
+// vertices.
+func repairSizes(assign []int, cos [][]float64, k, minSize int) {
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	for {
+		deficit := -1
+		for c := 0; c < k; c++ {
+			if sizes[c] < minSize {
+				deficit = c
+				break
+			}
+		}
+		if deficit == -1 {
+			return
+		}
+		// Take the vertex from a donor cluster (size > minSize) with the
+		// best affinity to the deficit cluster.
+		best, bestScore := -1, math.Inf(-1)
+		for i, c := range assign {
+			if c == deficit || sizes[c] <= minSize {
+				continue
+			}
+			if s := cos[i][deficit]; s > bestScore {
+				bestScore = s
+				best = i
+			}
+		}
+		if best == -1 {
+			return // nothing movable; leave as is
+		}
+		sizes[assign[best]]--
+		assign[best] = deficit
+		sizes[deficit]++
+	}
+}
+
+func contains(a []int, v int) bool {
+	for _, x := range a {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

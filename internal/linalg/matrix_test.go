@@ -1,0 +1,132 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 1)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 6 {
+		t.Fatalf("At/Set/Add broken: %v", m.Data)
+	}
+	r := m.Row(1)
+	if len(r) != 3 || r[2] != 6 {
+		t.Fatalf("Row view wrong: %v", r)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestDenseMatVec(t *testing.T) {
+	m := NewDense(2, 3)
+	// [1 2 3; 4 5 6]
+	for j := 0; j < 3; j++ {
+		m.Set(0, j, float64(j+1))
+		m.Set(1, j, float64(j+4))
+	}
+	y := make([]float64, 2)
+	m.MatVec([]float64{1, 1, 1}, y)
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MatVec = %v, want [6 15]", y)
+	}
+}
+
+func TestDenseTransposeMulTrace(t *testing.T) {
+	a := NewDense(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, float64(i*3+j+1))
+		}
+	}
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != a.At(1, 2) {
+		t.Fatal("Transpose wrong")
+	}
+	p := Mul(a, at) // 2x2
+	// a = [1 2 3; 4 5 6]; a·aᵀ = [14 32; 32 77]
+	want := [][]float64{{14, 32}, {32, 77}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("Mul = %v, want %v", p.Data, want)
+			}
+		}
+	}
+	if p.Trace() != 91 {
+		t.Fatalf("Trace = %v, want 91", p.Trace())
+	}
+	if !p.IsSymmetric(0) {
+		t.Error("a·aᵀ should be symmetric")
+	}
+}
+
+func TestCSRAssembly(t *testing.T) {
+	ts := []Triplet{
+		{0, 1, 2}, {1, 0, 2}, {0, 1, 3}, // duplicate (0,1) sums to 5
+		{2, 2, 7},
+	}
+	c := NewCSR(3, 3, ts)
+	if c.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 (duplicates summed)", c.NNZ())
+	}
+	if c.At(0, 1) != 5 || c.At(1, 0) != 2 || c.At(2, 2) != 7 {
+		t.Fatalf("At values wrong: %v / %v / %v", c.At(0, 1), c.At(1, 0), c.At(2, 2))
+	}
+	if c.At(0, 0) != 0 {
+		t.Fatal("missing entry should read as 0")
+	}
+	if c.RowNNZ(0) != 1 || c.RowNNZ(1) != 1 || c.RowNNZ(2) != 1 {
+		t.Fatal("RowNNZ wrong")
+	}
+}
+
+func TestCSRMatVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		m := 1 + rng.Intn(30)
+		var ts []Triplet
+		for k := 0; k < rng.Intn(4*n); k++ {
+			ts = append(ts, Triplet{rng.Intn(n), rng.Intn(m), rng.NormFloat64()})
+		}
+		c := NewCSR(n, m, ts)
+		d := c.ToDense()
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		yc := make([]float64, n)
+		yd := make([]float64, n)
+		c.MatVec(x, yc)
+		d.MatVec(x, yd)
+		for i := range yc {
+			if !almostEqual(yc[i], yd[i], 1e-12) {
+				t.Fatalf("trial %d: CSR/dense MatVec disagree at %d: %v vs %v", trial, i, yc[i], yd[i])
+			}
+		}
+	}
+}
+
+func TestCSRDiag(t *testing.T) {
+	c := NewCSR(3, 3, []Triplet{{0, 0, 1}, {1, 1, 2}, {0, 2, 9}})
+	d := c.Diag()
+	if d[0] != 1 || d[1] != 2 || d[2] != 0 {
+		t.Fatalf("Diag = %v", d)
+	}
+}
+
+func TestCSRRejectsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range triplet")
+		}
+	}()
+	NewCSR(2, 2, []Triplet{{2, 0, 1}})
+}

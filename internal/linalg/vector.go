@@ -1,0 +1,132 @@
+// Package linalg provides the dense and sparse linear-algebra kernels used
+// throughout the repository: BLAS-1 style vector operations, dense
+// symmetric matrices, and compressed sparse row (CSR) matrices.
+//
+// Everything is implemented with float64 and plain slices; there are no
+// external dependencies. The package favours clarity and numerical
+// robustness over raw speed, but all kernels are O(nnz) or O(n) and are
+// fast enough for the graph sizes used by the partitioning experiments
+// (tens of thousands of vertices).
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of x and y.
+// It panics if the lengths differ.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x, computed with scaling to avoid
+// overflow and underflow.
+func Norm2(x []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormSq returns the squared Euclidean norm of x.
+func NormSq(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Zero sets every element of x to zero.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// CopyVec returns a newly allocated copy of x.
+func CopyVec(x []float64) []float64 {
+	y := make([]float64, len(x))
+	copy(y, x)
+	return y
+}
+
+// Normalize scales x to unit Euclidean norm and returns the original norm.
+// A zero vector is left unchanged and 0 is returned.
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n == 0 {
+		return 0
+	}
+	Scale(1/n, x)
+	return n
+}
+
+// Orthogonalize subtracts from v its projections onto each row of basis
+// (classical Gram-Schmidt, applied twice for numerical stability). Rows of
+// basis are assumed to have unit norm.
+func Orthogonalize(v []float64, basis [][]float64) {
+	for pass := 0; pass < 2; pass++ {
+		for _, b := range basis {
+			Axpy(-Dot(v, b), b, v)
+		}
+	}
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute value in x, or 0 for an empty slice.
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

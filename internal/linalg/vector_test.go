@@ -1,0 +1,135 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		x, y []float64
+		want float64
+	}{
+		{nil, nil, 0},
+		{[]float64{1}, []float64{2}, 2},
+		{[]float64{1, 2, 3}, []float64{4, 5, 6}, 32},
+		{[]float64{-1, 1}, []float64{1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Dot(c.x, c.y); got != c.want {
+			t.Errorf("Dot(%v,%v)=%v want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched lengths")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); !almostEqual(got, 5, 1e-14) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Errorf("Norm2(nil) = %v, want 0", got)
+	}
+	// Scaling must prevent overflow.
+	big := []float64{1e300, 1e300}
+	if got := Norm2(big); math.IsInf(got, 0) {
+		t.Error("Norm2 overflowed on large inputs")
+	}
+}
+
+func TestNormSqMatchesNorm2(t *testing.T) {
+	f := func(x []float64) bool {
+		// Keep magnitudes moderate so the naive square does not overflow.
+		for i := range x {
+			x[i] = math.Mod(x[i], 1e6)
+			if math.IsNaN(x[i]) {
+				x[i] = 0
+			}
+		}
+		n := Norm2(x)
+		return almostEqual(n*n, NormSq(x), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAxpyAndScale(t *testing.T) {
+	y := []float64{1, 2, 3}
+	Axpy(2, []float64{1, 1, 1}, y)
+	want := []float64{3, 4, 5}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy result %v, want %v", y, want)
+		}
+	}
+	Scale(0.5, y)
+	want = []float64{1.5, 2, 2.5}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Scale result %v, want %v", y, want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := []float64{0, 3, 4}
+	n := Normalize(x)
+	if !almostEqual(n, 5, 1e-14) {
+		t.Errorf("Normalize returned %v, want 5", n)
+	}
+	if !almostEqual(Norm2(x), 1, 1e-14) {
+		t.Errorf("normalized vector has norm %v", Norm2(x))
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 {
+		t.Error("Normalize of zero vector should return 0")
+	}
+}
+
+func TestOrthogonalize(t *testing.T) {
+	b1 := []float64{1, 0, 0}
+	b2 := []float64{0, 1, 0}
+	v := []float64{3, 4, 5}
+	Orthogonalize(v, [][]float64{b1, b2})
+	if !almostEqual(v[0], 0, 1e-14) || !almostEqual(v[1], 0, 1e-14) || !almostEqual(v[2], 5, 1e-14) {
+		t.Errorf("Orthogonalize result %v, want [0 0 5]", v)
+	}
+}
+
+func TestSumAndMaxAbs(t *testing.T) {
+	if got := Sum([]float64{1, -2, 4}); got != 3 {
+		t.Errorf("Sum = %v, want 3", got)
+	}
+	if got := MaxAbs([]float64{1, -7, 4}); got != 7 {
+		t.Errorf("MaxAbs = %v, want 7", got)
+	}
+	if got := MaxAbs(nil); got != 0 {
+		t.Errorf("MaxAbs(nil) = %v, want 0", got)
+	}
+}
+
+func TestZeroAndCopyVec(t *testing.T) {
+	x := []float64{1, 2}
+	y := CopyVec(x)
+	Zero(x)
+	if x[0] != 0 || x[1] != 0 {
+		t.Error("Zero did not clear the slice")
+	}
+	if y[0] != 1 || y[1] != 2 {
+		t.Error("CopyVec did not produce an independent copy")
+	}
+}

@@ -1,0 +1,172 @@
+package maxcut
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/vecpart"
+)
+
+func TestValueKnownCuts(t *testing.T) {
+	// K4: max cut = 4 (2+2 split cuts 4 of 6 edges).
+	g := graph.Complete(4)
+	p := partition.MustNew([]int{0, 0, 1, 1}, 2)
+	if v := Value(g, p); v != 4 {
+		t.Errorf("K4 2+2 cut = %v, want 4", v)
+	}
+	// Even cycle: alternating sides cut every edge.
+	c := graph.Cycle(6)
+	alt := partition.MustNew([]int{0, 1, 0, 1, 0, 1}, 2)
+	if v := Value(c, alt); v != 6 {
+		t.Errorf("C6 alternating cut = %v, want 6", v)
+	}
+}
+
+func TestBruteForceKnownOptima(t *testing.T) {
+	// K_n: max cut = floor(n/2)*ceil(n/2).
+	for _, n := range []int{4, 5, 6} {
+		_, v := BruteForce(graph.Complete(n))
+		want := float64((n / 2) * ((n + 1) / 2))
+		if v != want {
+			t.Errorf("K%d max cut = %v, want %v", n, v, want)
+		}
+	}
+	// Even cycle: n; odd cycle: n-1.
+	if _, v := BruteForce(graph.Cycle(8)); v != 8 {
+		t.Errorf("C8 max cut = %v, want 8", v)
+	}
+	if _, v := BruteForce(graph.Cycle(7)); v != 6 {
+		t.Errorf("C7 max cut = %v, want 6", v)
+	}
+}
+
+// TestReductionExactness: maximizing Σ‖Y_h‖² over the full-spectrum
+// MinSum instance is exactly maximizing the cut (paper §3).
+func TestReductionExactness(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := graph.RandomConnected(9, 14, seed)
+		v, err := Instance(g, g.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// For every bipartition: Σ‖Y_h‖² = f = 2·cut.
+		n := g.N()
+		for mask := 1; mask < 1<<(n-1); mask++ {
+			assign := make([]int, n)
+			for i := 0; i < n-1; i++ {
+				assign[i] = (mask >> i) & 1
+			}
+			p := partition.MustNew(assign, 2)
+			obj := v.SumSquaredSubsets(p)
+			want := 2 * Value(g, p)
+			if math.Abs(obj-want) > 1e-6*(1+want) {
+				t.Fatalf("seed %d mask %d: obj %v, want 2·cut %v", seed, mask, obj, want)
+			}
+		}
+		// Argmax coincidence.
+		pVec, _ := vecpart.BestVectorPartition(maxSumView(v), 2)
+		_, cutOpt := BruteForce(g)
+		if got := Value(g, pVec); math.Abs(got-cutOpt) > 1e-9 {
+			t.Errorf("seed %d: vector argmax cut %v, brute force %v", seed, got, cutOpt)
+		}
+	}
+}
+
+// maxSumView relabels a MinSum instance as MaxSum so that
+// BestVectorPartition maximizes (the vectors are unchanged).
+func maxSumView(v *vecpart.Vectors) *vecpart.Vectors {
+	return &vecpart.Vectors{Y: v.Y, H: v.H, Lambda: v.Lambda, Scale: vecpart.MaxSum}
+}
+
+func TestProbeNearOptimal(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := graph.RandomConnected(14, 30, seed)
+		p, cut, err := Probe(g, ProbeOptions{Probes: 200, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.K != 2 {
+			t.Fatal("not a bipartition")
+		}
+		_, opt := BruteForce(g)
+		if cut < 0.85*opt {
+			t.Errorf("seed %d: probe cut %v below 85%% of optimum %v", seed, cut, opt)
+		}
+		if cut > opt+1e-9 {
+			t.Errorf("seed %d: probe cut %v exceeds optimum %v", seed, cut, opt)
+		}
+	}
+}
+
+func TestGreedyIsLocalOptimum(t *testing.T) {
+	g := graph.RandomConnected(40, 120, 5)
+	p, cut := Greedy(g, 7)
+	// No single flip may improve the cut.
+	for i := 0; i < g.N(); i++ {
+		flipped := append([]int(nil), p.Assign...)
+		flipped[i] = 1 - flipped[i]
+		q := partition.MustNew(flipped, 2)
+		if Value(g, q) > cut+1e-9 {
+			t.Fatalf("flipping %d improves the greedy cut", i)
+		}
+	}
+	// Local optima of max-cut cut at least half the total weight.
+	var total float64
+	for _, e := range g.Edges() {
+		total += e.W
+	}
+	if cut < total/2 {
+		t.Errorf("greedy cut %v below half of total weight %v", cut, total)
+	}
+}
+
+func TestProbeBeatsOrMatchesGreedyOnAverage(t *testing.T) {
+	var probeSum, greedySum float64
+	for seed := int64(0); seed < 5; seed++ {
+		g := graph.RandomConnected(30, 90, seed+40)
+		_, pc, err := Probe(g, ProbeOptions{Probes: 100, Seed: seed + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, gc := Greedy(g, seed+1)
+		probeSum += pc
+		greedySum += gc
+	}
+	t.Logf("probe total %v, greedy total %v", probeSum, greedySum)
+	if probeSum < 0.95*greedySum {
+		t.Errorf("probe (%v) much worse than greedy (%v)", probeSum, greedySum)
+	}
+}
+
+func TestInstanceValidation(t *testing.T) {
+	g := graph.Path(5)
+	if _, err := Instance(g, 0); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := Instance(g, 6); err == nil {
+		t.Error("d>n accepted")
+	}
+	if _, _, err := Probe(graph.MustNew(1, nil), ProbeOptions{}); err == nil {
+		t.Error("1-vertex graph accepted")
+	}
+}
+
+func TestInstanceTruncationKeepsLargest(t *testing.T) {
+	g := graph.RandomConnected(12, 30, 3)
+	v, err := Instance(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.D() != 4 {
+		t.Fatalf("D = %d", v.D())
+	}
+	// The kept eigenvalues must be the largest ones (ascending order
+	// preserved within the kept block).
+	for j := 1; j < 4; j++ {
+		if v.Lambda[j] < v.Lambda[j-1]-1e-12 {
+			t.Error("kept eigenvalues not ascending")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package melo
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/vecpart"
+)
+
+// OrderVectors constructs a MELO ordering directly from a prepared
+// vector-partitioning instance (vectors already scaled, e.g. by
+// vecpart.FromDecomposition): greedily insert the vector that best
+// extends the running subset vector under the chosen weighting scheme.
+//
+// Unlike Order, this variant needs no graph and performs no adaptive H
+// re-estimation — the instance's scaling is taken as given. It is the
+// natural entry point when experimenting with alternative scalings
+// (MinSum, custom H) or with vectors from other sources.
+func OrderVectors(v *vecpart.Vectors, scheme Scheme) (*Result, error) {
+	n := v.N()
+	if n == 0 {
+		return nil, errors.New("melo: empty vector instance")
+	}
+	d := v.D()
+	res := &Result{
+		Order:     make([]int, 0, n),
+		Objective: make([]float64, 0, n),
+		H:         make([]float64, 0, n),
+		D:         d,
+		Scheme:    scheme,
+	}
+	sum := make([]float64, d)
+	placed := make([]bool, n)
+
+	for t := 0; t < n; t++ {
+		yNorm := linalg.Norm2(sum)
+		best := -1
+		bestScore := math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if placed[i] {
+				continue
+			}
+			row := v.Row(i)
+			ns := linalg.NormSq(row)
+			var score float64
+			if t == 0 {
+				score = ns
+			} else {
+				dot := linalg.Dot(sum, row)
+				switch scheme {
+				case SchemeCosine:
+					den := yNorm * math.Sqrt(ns)
+					if den < 1e-300 {
+						score = ns
+					} else {
+						score = dot / den
+					}
+				case SchemeNormalizedGain:
+					den := math.Sqrt(ns)
+					if den < 1e-300 {
+						score = 0
+					} else {
+						score = (2*dot + ns) / den
+					}
+				case SchemeProjection:
+					score = dot
+				default: // SchemeGain
+					score = 2*dot + ns
+				}
+			}
+			if score > bestScore {
+				bestScore = score
+				best = i
+			}
+		}
+		placed[best] = true
+		linalg.Axpy(1, v.Row(best), sum)
+		res.Order = append(res.Order, best)
+		res.Objective = append(res.Objective, linalg.NormSq(sum))
+		res.H = append(res.H, v.H)
+	}
+	return res, nil
+}

@@ -1,0 +1,97 @@
+package paraboli
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+func twoClusterNetlist(t *testing.T, size int, bridges int, seed int64) *hypergraph.Hypergraph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.AddModules(2 * size)
+	for c := 0; c < 2; c++ {
+		base := c * size
+		for i := 0; i < size-1; i++ {
+			_ = b.AddNet("", base+i, base+i+1)
+		}
+		for e := 0; e < 3*size; e++ {
+			i, j := rng.Intn(size), rng.Intn(size)
+			if i != j {
+				_ = b.AddNet("", base+i, base+j)
+			}
+		}
+	}
+	for bg := 0; bg < bridges; bg++ {
+		_ = b.AddNet("", rng.Intn(size), size+rng.Intn(size))
+	}
+	return b.Build()
+}
+
+func TestBipartitionRecoversPlantedCut(t *testing.T) {
+	h := twoClusterNetlist(t, 20, 3, 5)
+	res, err := Bipartition(h, Options{Model: graph.PartitioningSpecific, MinFrac: 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := partition.NetCut(h, res.Partition); got > 3 {
+		t.Errorf("net cut = %d, want <= 3 (planted bridges)", got)
+	}
+	if !res.Partition.IsBalanced(18, 22) {
+		t.Errorf("sizes = %v outside 45%% balance", res.Partition.Sizes())
+	}
+}
+
+func TestBipartitionPathNetlist(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	n := 30
+	b.AddModules(n)
+	for i := 0; i < n-1; i++ {
+		_ = b.AddNet("", i, i+1)
+	}
+	h := b.Build()
+	res, err := Bipartition(h, Options{Model: graph.Standard, MinFrac: 0.45, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := partition.NetCut(h, res.Partition); got != 1 {
+		t.Errorf("path net cut = %d, want 1", got)
+	}
+}
+
+func TestBipartitionValidation(t *testing.T) {
+	h := twoClusterNetlist(t, 5, 1, 1)
+	if _, err := Bipartition(h, Options{MinFrac: 0}); err == nil {
+		t.Error("MinFrac=0 accepted")
+	}
+	if _, err := Bipartition(h, Options{MinFrac: 0.7}); err == nil {
+		t.Error("MinFrac>0.5 accepted")
+	}
+	tiny := hypergraph.NewBuilder()
+	tiny.AddModule("only")
+	if _, err := Bipartition(tiny.Build(), Options{MinFrac: 0.4}); err == nil {
+		t.Error("1-module netlist accepted")
+	}
+}
+
+func TestBipartitionDeterministic(t *testing.T) {
+	h := twoClusterNetlist(t, 12, 2, 9)
+	opts := Options{Model: graph.Standard, MinFrac: 0.45}
+	r1, err := Bipartition(h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Bipartition(h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Partition.Assign {
+		if r1.Partition.Assign[i] != r2.Partition.Assign[i] {
+			t.Fatal("two identical runs disagreed")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package partition
+
+import "fmt"
+
+// Agreement metrics between two partitions of the same element set, used
+// to quantify how well a heuristic recovers a reference (e.g. planted)
+// clustering independent of label permutations.
+
+// RandIndex returns the Rand index between two partitions: the fraction
+// of element pairs on which they agree (both together or both apart).
+// 1 means identical clusterings up to relabeling.
+func RandIndex(a, b *Partition) (float64, error) {
+	n := a.N()
+	if b.N() != n {
+		return 0, fmt.Errorf("partition: RandIndex over %d vs %d elements", n, b.N())
+	}
+	if n < 2 {
+		return 1, nil
+	}
+	// Count pair agreements via the contingency table: agreements =
+	// C(n,2) + 2Σ_ij C(n_ij,2) − Σ_i C(a_i,2) − Σ_j C(b_j,2).
+	nij := make(map[[2]int]int)
+	ai := make([]int, a.K)
+	bj := make([]int, b.K)
+	for idx := 0; idx < n; idx++ {
+		ca, cb := a.Assign[idx], b.Assign[idx]
+		nij[[2]int{ca, cb}]++
+		ai[ca]++
+		bj[cb]++
+	}
+	var sumNij, sumA, sumB float64
+	for _, v := range nij {
+		sumNij += choose2(v)
+	}
+	for _, v := range ai {
+		sumA += choose2(v)
+	}
+	for _, v := range bj {
+		sumB += choose2(v)
+	}
+	total := choose2(n)
+	return (total + 2*sumNij - sumA - sumB) / total, nil
+}
+
+// AdjustedRandIndex returns the chance-corrected Rand index: 0 in
+// expectation for independent random clusterings, 1 for identical ones.
+func AdjustedRandIndex(a, b *Partition) (float64, error) {
+	n := a.N()
+	if b.N() != n {
+		return 0, fmt.Errorf("partition: AdjustedRandIndex over %d vs %d elements", n, b.N())
+	}
+	if n < 2 {
+		return 1, nil
+	}
+	nij := make(map[[2]int]int)
+	ai := make([]int, a.K)
+	bj := make([]int, b.K)
+	for idx := 0; idx < n; idx++ {
+		nij[[2]int{a.Assign[idx], b.Assign[idx]}]++
+		ai[a.Assign[idx]]++
+		bj[b.Assign[idx]]++
+	}
+	var index, sumA, sumB float64
+	for _, v := range nij {
+		index += choose2(v)
+	}
+	for _, v := range ai {
+		sumA += choose2(v)
+	}
+	for _, v := range bj {
+		sumB += choose2(v)
+	}
+	total := choose2(n)
+	expected := sumA * sumB / total
+	max := (sumA + sumB) / 2
+	if max == expected {
+		return 1, nil // both partitions trivial (all-one-cluster)
+	}
+	return (index - expected) / (max - expected), nil
+}
+
+func choose2(v int) float64 {
+	return float64(v) * float64(v-1) / 2
+}

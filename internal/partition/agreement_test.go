@@ -1,0 +1,105 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandIndexIdentical(t *testing.T) {
+	p := MustNew([]int{0, 0, 1, 1, 2}, 3)
+	q := MustNew([]int{2, 2, 0, 0, 1}, 3) // same clustering, relabeled
+	ri, err := RandIndex(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 1 {
+		t.Errorf("RandIndex = %v, want 1", ri)
+	}
+	ari, err := AdjustedRandIndex(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ari-1) > 1e-12 {
+		t.Errorf("ARI = %v, want 1", ari)
+	}
+}
+
+func TestRandIndexDisjoint(t *testing.T) {
+	// Maximally disagreeing small case: {01|23} vs {02|13} share no
+	// within-pairs; agreements are only the cross pairs.
+	p := MustNew([]int{0, 0, 1, 1}, 2)
+	q := MustNew([]int{0, 1, 0, 1}, 2)
+	ri, err := RandIndex(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs: 6 total; agree on pairs that are apart in both: (0,3),(1,2)
+	// => 2 agreements.
+	if math.Abs(ri-2.0/6.0) > 1e-12 {
+		t.Errorf("RandIndex = %v, want 1/3", ri)
+	}
+}
+
+func TestRandIndexKnownValue(t *testing.T) {
+	// Hand-computed example.
+	p := MustNew([]int{0, 0, 0, 1, 1, 1}, 2)
+	q := MustNew([]int{0, 0, 1, 1, 1, 1}, 2)
+	// Together in both: (0,1),(3,4),(3,5),(4,5) = 4... plus (2 with 3,4,5
+	// in q but apart in p). Apart in both: (0,3),(0,4),(0,5),(1,3),(1,4),
+	// (1,5) = 6. Agreements = 4+6 = 10 of 15.
+	ri, err := RandIndex(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ri-10.0/15.0) > 1e-12 {
+		t.Errorf("RandIndex = %v, want 2/3", ri)
+	}
+}
+
+func TestAdjustedRandIndexNearZeroForRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 400
+	var sum float64
+	trials := 20
+	for tr := 0; tr < trials; tr++ {
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(4)
+		}
+		ari, err := AdjustedRandIndex(MustNew(a, 4), MustNew(b, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += ari
+	}
+	if avg := sum / float64(trials); math.Abs(avg) > 0.02 {
+		t.Errorf("mean ARI of independent clusterings = %v, want ~0", avg)
+	}
+}
+
+func TestAgreementValidation(t *testing.T) {
+	p := MustNew([]int{0, 1}, 2)
+	q := MustNew([]int{0, 1, 0}, 2)
+	if _, err := RandIndex(p, q); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := AdjustedRandIndex(p, q); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	one := MustNew([]int{0}, 1)
+	if ri, err := RandIndex(one, one); err != nil || ri != 1 {
+		t.Error("singleton should be trivially 1")
+	}
+}
+
+func TestARITrivialPartitions(t *testing.T) {
+	// Both all-in-one-cluster: max == expected, defined as 1.
+	p := MustNew([]int{0, 0, 0}, 1)
+	ari, err := AdjustedRandIndex(p, p)
+	if err != nil || ari != 1 {
+		t.Errorf("ARI of trivial partitions = %v, %v", ari, err)
+	}
+}

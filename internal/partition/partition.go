@@ -1,0 +1,148 @@
+// Package partition represents k-way partitionings of modules/vertices
+// and implements the cost metrics used across the paper's experiments:
+// weighted graph cut f(P_k), hyperedge (net) cut, Scaled Cost, and ratio
+// cut, together with balance constraints.
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition assigns each of n elements to one of K clusters.
+type Partition struct {
+	Assign []int // Assign[i] in [0, K)
+	K      int
+}
+
+// New creates a partition from an assignment slice, validating ranges.
+func New(assign []int, k int) (*Partition, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k = %d, want >= 1", k)
+	}
+	for i, c := range assign {
+		if c < 0 || c >= k {
+			return nil, fmt.Errorf("partition: element %d assigned to cluster %d, out of [0,%d)", i, c, k)
+		}
+	}
+	cp := make([]int, len(assign))
+	copy(cp, assign)
+	return &Partition{Assign: cp, K: k}, nil
+}
+
+// MustNew is New but panics on error; for tests and literals.
+func MustNew(assign []int, k int) *Partition {
+	p, err := New(assign, k)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// N returns the number of elements.
+func (p *Partition) N() int { return len(p.Assign) }
+
+// Sizes returns the number of elements in each cluster.
+func (p *Partition) Sizes() []int {
+	s := make([]int, p.K)
+	for _, c := range p.Assign {
+		s[c]++
+	}
+	return s
+}
+
+// Cluster returns the sorted elements of cluster h.
+func (p *Partition) Cluster(h int) []int {
+	var c []int
+	for i, a := range p.Assign {
+		if a == h {
+			c = append(c, i)
+		}
+	}
+	return c
+}
+
+// Clusters returns all clusters as sorted slices (empty clusters
+// included).
+func (p *Partition) Clusters() [][]int {
+	cs := make([][]int, p.K)
+	for i, a := range p.Assign {
+		cs[a] = append(cs[a], i)
+	}
+	return cs
+}
+
+// MinMaxSize returns the smallest and largest cluster sizes.
+func (p *Partition) MinMaxSize() (min, max int) {
+	s := p.Sizes()
+	min, max = s[0], s[0]
+	for _, v := range s[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// IsBalanced reports whether every cluster holds at least lo and at most
+// hi elements.
+func (p *Partition) IsBalanced(lo, hi int) bool {
+	min, max := p.MinMaxSize()
+	return min >= lo && max <= hi
+}
+
+// Canonical returns a copy with clusters renumbered in order of first
+// appearance, so that partitions that differ only by cluster labels
+// compare equal. Useful for deduplication in search/tests.
+func (p *Partition) Canonical() *Partition {
+	relabel := make([]int, p.K)
+	for i := range relabel {
+		relabel[i] = -1
+	}
+	next := 0
+	out := make([]int, len(p.Assign))
+	for i, c := range p.Assign {
+		if relabel[c] == -1 {
+			relabel[c] = next
+			next++
+		}
+		out[i] = relabel[c]
+	}
+	return &Partition{Assign: out, K: p.K}
+}
+
+// FromOrderSplit builds a k-way partition from a vertex ordering and
+// k−1 split positions: ordering[0:splits[0]] forms cluster 0, and so on.
+// splits must be strictly increasing positions in (0, len(order)).
+func FromOrderSplit(order []int, splits []int, k int) (*Partition, error) {
+	if len(splits) != k-1 {
+		return nil, fmt.Errorf("partition: %d splits cannot form %d clusters", len(splits), k)
+	}
+	if !sort.IntsAreSorted(splits) {
+		return nil, fmt.Errorf("partition: splits %v are not sorted", splits)
+	}
+	assign := make([]int, len(order))
+	for i := range assign {
+		assign[i] = -1
+	}
+	cluster, next := 0, 0
+	for pos, v := range order {
+		for next < len(splits) && pos >= splits[next] {
+			cluster++
+			next++
+		}
+		if v < 0 || v >= len(order) || assign[v] != -1 {
+			return nil, fmt.Errorf("partition: ordering is not a permutation (element %d)", v)
+		}
+		assign[v] = cluster
+	}
+	for i, s := range splits {
+		if s <= 0 || s >= len(order) || (i > 0 && s == splits[i-1]) {
+			return nil, fmt.Errorf("partition: split %v out of range or empty cluster", splits)
+		}
+	}
+	return New(assign, k)
+}

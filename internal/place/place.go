@@ -1,0 +1,225 @@
+// Package place implements the quadratic placement machinery the paper's
+// methods descend from: Hall's r-dimensional spectral placement [27]
+// (eigenvectors 2..r+1 of the Laplacian minimize quadratic wirelength
+// among balanced placements), and constrained quadratic placement with
+// fixed pads solved by conjugate gradients (the Charney–Plato [11] /
+// PROUD-style formulation the PARABOLI substitute builds on).
+//
+// Wirelength metrics for evaluating placements of netlists are included:
+// quadratic and linear graph wirelength, and half-perimeter wirelength
+// (HPWL) over hypergraph nets.
+package place
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/linalg"
+)
+
+// Placement holds r-dimensional coordinates, one row per vertex.
+type Placement struct {
+	Coords [][]float64 // Coords[i] has length R
+	R      int
+}
+
+// At returns vertex i's coordinate in dimension j.
+func (p *Placement) At(i, j int) float64 { return p.Coords[i][j] }
+
+// N returns the number of placed vertices.
+func (p *Placement) N() int { return len(p.Coords) }
+
+// Hall computes Hall's r-dimensional spectral placement: coordinate j of
+// vertex i is the i-th entry of Laplacian eigenvector j+1 (skipping the
+// trivial constant). Among placements with zero mean and unit norm per
+// dimension (and mutually orthogonal dimensions), it minimizes the total
+// quadratic wirelength Σ_e w_e·‖x_u − x_v‖², achieving Σ_{j=2..r+1} λ_j.
+func Hall(g *graph.Graph, r int) (*Placement, error) {
+	n := g.N()
+	if r < 1 || r >= n {
+		return nil, fmt.Errorf("place: r = %d out of range [1,%d)", r, n)
+	}
+	dec, err := eigen.SmallestEigenpairs(g.Laplacian(), r+1)
+	if err != nil {
+		return nil, err
+	}
+	coords := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, r)
+		for j := 0; j < r; j++ {
+			row[j] = dec.Vectors.At(i, j+1)
+		}
+		coords[i] = row
+	}
+	return &Placement{Coords: coords, R: r}, nil
+}
+
+// QuadraticWirelength returns Σ_e w_e·‖x_u − x_v‖² for a placement.
+func QuadraticWirelength(g *graph.Graph, p *Placement) float64 {
+	var total float64
+	for u := 0; u < g.N(); u++ {
+		for _, h := range g.Adj(u) {
+			if u < h.To {
+				var d2 float64
+				for j := 0; j < p.R; j++ {
+					d := p.At(u, j) - p.At(h.To, j)
+					d2 += d * d
+				}
+				total += h.W * d2
+			}
+		}
+	}
+	return total
+}
+
+// LinearWirelength returns Σ_e w_e·‖x_u − x_v‖₂.
+func LinearWirelength(g *graph.Graph, p *Placement) float64 {
+	var total float64
+	for u := 0; u < g.N(); u++ {
+		for _, h := range g.Adj(u) {
+			if u < h.To {
+				var d2 float64
+				for j := 0; j < p.R; j++ {
+					d := p.At(u, j) - p.At(h.To, j)
+					d2 += d * d
+				}
+				total += h.W * math.Sqrt(d2)
+			}
+		}
+	}
+	return total
+}
+
+// HPWL returns the half-perimeter wirelength of a netlist placement: for
+// each net, the sum over dimensions of the coordinate span of its pins.
+func HPWL(h *hypergraph.Hypergraph, p *Placement) float64 {
+	var total float64
+	for _, net := range h.Nets {
+		for j := 0; j < p.R; j++ {
+			lo, hi := p.At(net[0], j), p.At(net[0], j)
+			for _, m := range net[1:] {
+				v := p.At(m, j)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			total += hi - lo
+		}
+	}
+	return total
+}
+
+// Pad fixes a vertex at a location during constrained placement.
+type Pad struct {
+	Vertex int
+	At     []float64 // length R
+}
+
+// WithPads solves the constrained quadratic placement: minimize
+// Σ_e w_e·‖x_u − x_v‖² with the pad vertices fixed. Each free coordinate
+// dimension solves the SPD system L_ff·x_f = −L_fp·x_p by Jacobi-
+// preconditioned CG, where f/p index free/pad vertices.
+func WithPads(g *graph.Graph, r int, pads []Pad) (*Placement, error) {
+	n := g.N()
+	if r < 1 {
+		return nil, fmt.Errorf("place: r = %d", r)
+	}
+	if len(pads) == 0 {
+		return nil, fmt.Errorf("place: constrained placement needs at least one pad")
+	}
+	fixed := make([]bool, n)
+	coords := make([][]float64, n)
+	for i := range coords {
+		coords[i] = make([]float64, r)
+	}
+	for _, pad := range pads {
+		if pad.Vertex < 0 || pad.Vertex >= n {
+			return nil, fmt.Errorf("place: pad vertex %d out of range", pad.Vertex)
+		}
+		if len(pad.At) != r {
+			return nil, fmt.Errorf("place: pad at %v has %d coordinates, want %d", pad.Vertex, len(pad.At), r)
+		}
+		if fixed[pad.Vertex] {
+			return nil, fmt.Errorf("place: vertex %d fixed twice", pad.Vertex)
+		}
+		fixed[pad.Vertex] = true
+		copy(coords[pad.Vertex], pad.At)
+	}
+
+	// Index the free vertices.
+	free := make([]int, 0, n)
+	idx := make([]int, n)
+	for i := 0; i < n; i++ {
+		if !fixed[i] {
+			idx[i] = len(free)
+			free = append(free, i)
+		}
+	}
+	if len(free) == 0 {
+		return &Placement{Coords: coords, R: r}, nil
+	}
+
+	// Assemble L_ff (free-free block) once.
+	var ts []linalg.Triplet
+	diag := make([]float64, len(free))
+	for fi, u := range free {
+		ts = append(ts, linalg.Triplet{Row: fi, Col: fi, Val: g.Degree(u)})
+		diag[fi] = g.Degree(u)
+		for _, h := range g.Adj(u) {
+			if !fixed[h.To] {
+				ts = append(ts, linalg.Triplet{Row: fi, Col: idx[h.To], Val: -h.W})
+			}
+		}
+	}
+	lff := linalg.NewCSR(len(free), len(free), ts)
+
+	// Solve per dimension: rhs_f = Σ_{pads p adjacent} w_up·x_p[j].
+	for j := 0; j < r; j++ {
+		b := make([]float64, len(free))
+		for fi, u := range free {
+			for _, h := range g.Adj(u) {
+				if fixed[h.To] {
+					b[fi] += h.W * coords[h.To][j]
+				}
+			}
+		}
+		x, _, err := eigen.CG(lff, b, nil, diag, &eigen.CGOptions{Tol: 1e-10})
+		if err != nil {
+			return nil, fmt.Errorf("place: dimension %d solve: %v", j, err)
+		}
+		for fi, u := range free {
+			coords[u][j] = x[fi]
+		}
+	}
+	return &Placement{Coords: coords, R: r}, nil
+}
+
+// Spread rescales each dimension of a placement to the unit interval —
+// convenient before quantizing to rows/slots.
+func (p *Placement) Spread() {
+	for j := 0; j < p.R; j++ {
+		lo, hi := p.At(0, j), p.At(0, j)
+		for i := 1; i < p.N(); i++ {
+			v := p.At(i, j)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		span := hi - lo
+		if span == 0 {
+			continue
+		}
+		for i := 0; i < p.N(); i++ {
+			p.Coords[i][j] = (p.Coords[i][j] - lo) / span
+		}
+	}
+}

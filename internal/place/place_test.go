@@ -1,0 +1,178 @@
+package place
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+)
+
+func TestHallAchievesEigenvalueSum(t *testing.T) {
+	// Hall's theorem: the r-dimensional spectral placement has quadratic
+	// wirelength Σ_{j=2..r+1} λ_j.
+	g := graph.RandomConnected(30, 80, 3)
+	dec, err := eigen.SmallestEigenpairs(g.Laplacian(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 3; r++ {
+		p, err := Hall(g, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := QuadraticWirelength(g, p)
+		var want float64
+		for j := 1; j <= r; j++ {
+			want += dec.Values[j]
+		}
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Errorf("r=%d: wirelength %v, want Σλ = %v", r, got, want)
+		}
+	}
+}
+
+func TestHallIsOptimalAmongNormalizedPlacements(t *testing.T) {
+	// Any competing zero-mean unit-norm 1-D placement must have
+	// wirelength >= λ_2 (compare a few arbitrary ones).
+	g := graph.RandomConnected(15, 35, 5)
+	hall, err := Hall(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := QuadraticWirelength(g, hall)
+	n := g.N()
+	for seed := 0; seed < 5; seed++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(float64(i*(seed+2)) * 1.7)
+		}
+		// Normalize to zero mean, unit norm.
+		var mean float64
+		for _, v := range x {
+			mean += v
+		}
+		mean /= float64(n)
+		var ns float64
+		for i := range x {
+			x[i] -= mean
+			ns += x[i] * x[i]
+		}
+		scale := 1 / math.Sqrt(ns)
+		coords := make([][]float64, n)
+		for i := range coords {
+			coords[i] = []float64{x[i] * scale}
+		}
+		p := &Placement{Coords: coords, R: 1}
+		if QuadraticWirelength(g, p) < opt-1e-9 {
+			t.Fatalf("seed %d: competing placement beats Hall's optimum", seed)
+		}
+	}
+}
+
+func TestHallValidation(t *testing.T) {
+	g := graph.Path(5)
+	if _, err := Hall(g, 0); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := Hall(g, 5); err == nil {
+		t.Error("r=n accepted")
+	}
+}
+
+func TestWithPadsPathInterpolates(t *testing.T) {
+	// A path with endpoints pinned at 0 and 1: the quadratic optimum
+	// spaces the vertices evenly.
+	n := 6
+	g := graph.Path(n)
+	p, err := WithPads(g, 1, []Pad{
+		{Vertex: 0, At: []float64{0}},
+		{Vertex: n - 1, At: []float64{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := float64(i) / float64(n-1)
+		if math.Abs(p.At(i, 0)-want) > 1e-7 {
+			t.Errorf("vertex %d at %v, want %v", i, p.At(i, 0), want)
+		}
+	}
+}
+
+func TestWithPads2D(t *testing.T) {
+	// Grid corners pinned to the unit square: interior must stay inside
+	// the square (discrete maximum principle) and wirelength must be
+	// finite and small.
+	g := graph.Grid(4, 4)
+	p, err := WithPads(g, 2, []Pad{
+		{Vertex: 0, At: []float64{0, 0}},
+		{Vertex: 3, At: []float64{1, 0}},
+		{Vertex: 12, At: []float64{0, 1}},
+		{Vertex: 15, At: []float64{1, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N(); i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) < -1e-9 || p.At(i, j) > 1+1e-9 {
+				t.Errorf("vertex %d dim %d at %v, outside [0,1]", i, j, p.At(i, j))
+			}
+		}
+	}
+}
+
+func TestWithPadsValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := WithPads(g, 1, nil); err == nil {
+		t.Error("no pads accepted")
+	}
+	if _, err := WithPads(g, 1, []Pad{{Vertex: 9, At: []float64{0}}}); err == nil {
+		t.Error("out-of-range pad accepted")
+	}
+	if _, err := WithPads(g, 2, []Pad{{Vertex: 0, At: []float64{0}}}); err == nil {
+		t.Error("wrong pad dimensionality accepted")
+	}
+	if _, err := WithPads(g, 1, []Pad{{Vertex: 0, At: []float64{0}}, {Vertex: 0, At: []float64{1}}}); err == nil {
+		t.Error("duplicate pad accepted")
+	}
+}
+
+func TestWirelengthMetrics(t *testing.T) {
+	g := graph.Path(3)
+	p := &Placement{Coords: [][]float64{{0}, {1}, {3}}, R: 1}
+	if got := QuadraticWirelength(g, p); got != 1+4 {
+		t.Errorf("quadratic = %v, want 5", got)
+	}
+	if got := LinearWirelength(g, p); got != 1+2 {
+		t.Errorf("linear = %v, want 3", got)
+	}
+}
+
+func TestHPWL(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddModules(3)
+	_ = b.AddNet("", 0, 1, 2)
+	h := b.Build()
+	p := &Placement{Coords: [][]float64{{0, 0}, {2, 1}, {1, 5}}, R: 2}
+	// Span x: 2, span y: 5.
+	if got := HPWL(h, p); got != 7 {
+		t.Errorf("HPWL = %v, want 7", got)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	p := &Placement{Coords: [][]float64{{-2}, {0}, {2}}, R: 1}
+	p.Spread()
+	if p.At(0, 0) != 0 || p.At(1, 0) != 0.5 || p.At(2, 0) != 1 {
+		t.Errorf("spread coords %v", p.Coords)
+	}
+	// Degenerate dimension stays put.
+	q := &Placement{Coords: [][]float64{{3}, {3}}, R: 1}
+	q.Spread()
+	if q.At(0, 0) != 3 {
+		t.Error("degenerate dimension modified")
+	}
+}

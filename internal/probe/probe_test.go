@@ -1,0 +1,123 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/vecpart"
+)
+
+func instance(t *testing.T, g *graph.Graph, d int) *vecpart.Vectors {
+	t.Helper()
+	dec, err := eigen.SymEig(g.LaplacianDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	if d > n {
+		d = n
+	}
+	H := vecpart.ChooseH(g.TotalDegree(), dec.Values[:d], n)
+	v, err := vecpart.FromDecomposition(dec, d, vecpart.MaxSum, H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestProbeFindsPlantedCut(t *testing.T) {
+	g := graph.TwoClusters(10, 10, 2, 0.25, 3)
+	v := instance(t, g, 6)
+	res, err := Bipartition(v, Options{Probes: 32, MinFrac: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := partition.CutWeight(g, res.Partition)
+	if cut > 0.5+1e-9 {
+		t.Errorf("cut %v, want planted 0.5", cut)
+	}
+}
+
+func TestProbeFullSpectrumNearOptimal(t *testing.T) {
+	// With d = n the probe objective is the exact max-sum objective; with
+	// enough probes on a small instance the result should match the
+	// brute-force optimum.
+	g := graph.RandomConnected(10, 15, 5)
+	v := instance(t, g, 10)
+	res, err := Bipartition(v, Options{Probes: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bestObj := vecpart.BestVectorPartition(v, 2)
+	if res.Objective > bestObj+1e-9 {
+		t.Fatalf("probe objective %v exceeds brute-force optimum %v", res.Objective, bestObj)
+	}
+	if res.Objective < bestObj-0.12*math.Abs(bestObj) {
+		t.Errorf("probe objective %v far from optimum %v", res.Objective, bestObj)
+	}
+}
+
+func TestProbeRespectsBalance(t *testing.T) {
+	g := graph.RandomConnected(30, 60, 7)
+	v := instance(t, g, 5)
+	res, err := Bipartition(v, Options{Probes: 16, MinFrac: 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := res.Partition.MinMaxSize()
+	if min < 14 || max > 16 {
+		t.Errorf("sizes %v violate 45%% balance", res.Partition.Sizes())
+	}
+}
+
+func TestProbeDeterministic(t *testing.T) {
+	g := graph.RandomConnected(20, 40, 9)
+	v := instance(t, g, 4)
+	r1, err := Bipartition(v, Options{Probes: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Bipartition(v, Options{Probes: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Partition.Assign {
+		if r1.Partition.Assign[i] != r2.Partition.Assign[i] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	g := graph.RandomConnected(10, 15, 1)
+	v := instance(t, g, 3)
+	if _, err := Bipartition(v, Options{MinFrac: 0.9}); err == nil {
+		t.Error("infeasible balance accepted")
+	}
+	single := instance(t, graph.Path(2), 2)
+	if _, err := Bipartition(single, Options{}); err != nil {
+		t.Errorf("n=2 should work: %v", err)
+	}
+}
+
+func TestObjectiveMatchesMetric(t *testing.T) {
+	g := graph.RandomConnected(16, 30, 11)
+	v := instance(t, g, 16)
+	res, err := Bipartition(v, Options{Probes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := v.SumSquaredSubsets(res.Partition)
+	if math.Abs(direct-res.Objective) > 1e-7*(1+math.Abs(direct)) {
+		t.Errorf("reported objective %v, metric %v", res.Objective, direct)
+	}
+	// With the full spectrum the identity links the objective to the cut.
+	f := partition.F(g, res.Partition)
+	want := float64(g.N())*v.H - f
+	if math.Abs(res.Objective-want) > 1e-6*(1+math.Abs(want)) {
+		t.Errorf("objective %v but nH-f = %v", res.Objective, want)
+	}
+}

@@ -1,0 +1,107 @@
+package rsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// clusteredNetlist builds k planted clusters of the given size connected
+// internally by 2-pin nets, with a few bridge nets between consecutive
+// clusters.
+func clusteredNetlist(t *testing.T, k, size int, seed int64) *hypergraph.Hypergraph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.AddModules(k * size)
+	for c := 0; c < k; c++ {
+		base := c * size
+		for i := 0; i < size-1; i++ {
+			_ = b.AddNet("", base+i, base+i+1)
+		}
+		for extra := 0; extra < 2*size; extra++ {
+			i, j := rng.Intn(size), rng.Intn(size)
+			if i != j {
+				_ = b.AddNet("", base+i, base+j)
+			}
+		}
+	}
+	for c := 0; c+1 < k; c++ {
+		_ = b.AddNet("", c*size+rng.Intn(size), (c+1)*size+rng.Intn(size))
+	}
+	return b.Build()
+}
+
+func TestRSBRecoversPlantedClusters(t *testing.T) {
+	k, size := 4, 12
+	h := clusteredNetlist(t, k, size, 3)
+	p, err := Partition(h, Options{K: k, Model: graph.PartitioningSpecific})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != k {
+		t.Fatalf("K = %d", p.K)
+	}
+	// Each planted cluster should land in a single output cluster.
+	for c := 0; c < k; c++ {
+		first := p.Assign[c*size]
+		for i := 1; i < size; i++ {
+			if p.Assign[c*size+i] != first {
+				t.Errorf("planted cluster %d split across output clusters", c)
+				break
+			}
+		}
+	}
+	// Only the k−1 bridge nets may be cut.
+	if cut := partition.NetCut(h, p); cut > k-1 {
+		t.Errorf("net cut = %d, want <= %d", cut, k-1)
+	}
+}
+
+func TestRSBHandlesDisconnected(t *testing.T) {
+	// Two disjoint planted pieces: zero-cut bipartition must be found.
+	b := hypergraph.NewBuilder()
+	b.AddModules(12)
+	for i := 0; i < 5; i++ {
+		_ = b.AddNet("", i, i+1)
+	}
+	for i := 6; i < 11; i++ {
+		_ = b.AddNet("", i, i+1)
+	}
+	h := b.Build()
+	p, err := Partition(h, Options{K: 2, Model: graph.Standard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := partition.NetCut(h, p); cut != 0 {
+		t.Errorf("cut = %d, want 0 for disconnected input", cut)
+	}
+}
+
+func TestRSBValidation(t *testing.T) {
+	h := clusteredNetlist(t, 2, 5, 1)
+	if _, err := Partition(h, Options{K: 1}); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Partition(h, Options{K: 99}); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestRSBEveryClusterNonEmpty(t *testing.T) {
+	h := clusteredNetlist(t, 3, 10, 7)
+	for k := 2; k <= 6; k++ {
+		p, err := Partition(h, Options{K: k, Model: graph.Standard})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		for c, s := range p.Sizes() {
+			if s == 0 {
+				t.Errorf("k=%d: cluster %d empty", k, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Package sb implements spectral bipartitioning (SB), the classic
+// single-eigenvector heuristic of Hall [27] and Fiedler [18] in the
+// ratio-cut formulation of Hagen–Kahng [25]: sort the vertices by their
+// Fiedler-vector (second Laplacian eigenvector) coordinates and split the
+// resulting linear ordering.
+//
+// SB is the d = 1 special case of MELO's philosophy and the primary
+// baseline the paper argues against.
+package sb
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/dprp"
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+)
+
+// FiedlerOrder returns the vertices of g sorted by their coordinates in
+// the Fiedler vector (the eigenvector of the second-smallest Laplacian
+// eigenvalue). Ties are broken by vertex index for determinism.
+func FiedlerOrder(g *graph.Graph, dec *eigen.Decomposition) ([]int, error) {
+	if dec.D() < 2 {
+		return nil, errors.New("sb: decomposition must include at least 2 eigenpairs")
+	}
+	n := g.N()
+	if dec.Vectors.Rows != n {
+		return nil, errors.New("sb: decomposition size does not match graph")
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	fiedler := dec.Vector(1)
+	sort.SliceStable(order, func(a, b int) bool {
+		if fiedler[order[a]] != fiedler[order[b]] {
+			return fiedler[order[a]] < fiedler[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order, nil
+}
+
+// Bipartition runs SB on the netlist h using the clique-model graph g
+// (and its eigendecomposition): Fiedler ordering followed by the best
+// balanced split with the smaller side holding at least minFrac of the
+// modules.
+func Bipartition(h *hypergraph.Hypergraph, g *graph.Graph, dec *eigen.Decomposition, minFrac float64) (dprp.SplitResult, error) {
+	order, err := FiedlerOrder(g, dec)
+	if err != nil {
+		return dprp.SplitResult{}, err
+	}
+	return dprp.BestBalancedSplit(h, order, minFrac)
+}
+
+// RatioCutBipartition runs SB with the Hagen–Kahng ratio-cut split rule:
+// the best of all splits of the Fiedler ordering under cut/(|C_1|·|C_2|).
+func RatioCutBipartition(h *hypergraph.Hypergraph, g *graph.Graph, dec *eigen.Decomposition) (dprp.SplitResult, error) {
+	order, err := FiedlerOrder(g, dec)
+	if err != nil {
+		return dprp.SplitResult{}, err
+	}
+	return dprp.BestRatioCutSplit(h, order)
+}

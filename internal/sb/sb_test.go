@@ -1,0 +1,120 @@
+package sb
+
+import (
+	"testing"
+
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+func decompose(t *testing.T, g *graph.Graph) *eigen.Decomposition {
+	t.Helper()
+	dec, err := eigen.SmallestEigenpairs(g.Laplacian(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dec
+}
+
+// pathNetlist builds the hypergraph whose clique expansion is the path.
+func pathNetlist(t *testing.T, n int) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	b.AddModules(n)
+	for i := 0; i < n-1; i++ {
+		if err := b.AddNet("", i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestFiedlerOrderOnPath(t *testing.T) {
+	// The path's Fiedler vector is monotone along the path, so the order
+	// must be the path order or its reverse.
+	n := 16
+	g := graph.Path(n)
+	order, err := FiedlerOrder(g, decompose(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward, backward := true, true
+	for i, v := range order {
+		if v != i {
+			forward = false
+		}
+		if v != n-1-i {
+			backward = false
+		}
+	}
+	if !forward && !backward {
+		t.Errorf("Fiedler order of path = %v", order)
+	}
+}
+
+func TestBipartitionPath(t *testing.T) {
+	n := 12
+	h := pathNetlist(t, n)
+	g, err := graph.FromHypergraph(h, graph.Standard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Bipartition(h, g, decompose(t, g), 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimal balanced cut of a path is a single net.
+	if res.Cut != 1 {
+		t.Errorf("cut = %v, want 1", res.Cut)
+	}
+	if !res.Partition.IsBalanced(5, 7) {
+		t.Errorf("sizes = %v violate 45%% balance", res.Partition.Sizes())
+	}
+}
+
+func TestRatioCutBipartitionTwoClusters(t *testing.T) {
+	// Netlist with two cliques of 5 joined by one net.
+	b := hypergraph.NewBuilder()
+	b.AddModules(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			_ = b.AddNet("", i, j)
+			_ = b.AddNet("", 5+i, 5+j)
+		}
+	}
+	_ = b.AddNet("bridge", 4, 5)
+	h := b.Build()
+	g, err := graph.FromHypergraph(h, graph.PartitioningSpecific, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RatioCutBipartition(h, g, decompose(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := partition.NetCut(h, res.Partition); got != 1 {
+		t.Errorf("net cut = %d, want 1 (the bridge)", got)
+	}
+	sizes := res.Partition.Sizes()
+	if sizes[0] != 5 || sizes[1] != 5 {
+		t.Errorf("sizes = %v, want 5/5", sizes)
+	}
+}
+
+func TestFiedlerOrderValidation(t *testing.T) {
+	g := graph.Path(6)
+	dec := decompose(t, g)
+	one, err := dec.Truncate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FiedlerOrder(g, one); err == nil {
+		t.Error("single-pair decomposition accepted")
+	}
+	other := graph.Path(7)
+	if _, err := FiedlerOrder(other, dec); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}

@@ -1,0 +1,164 @@
+// Package sfc reimplements the spacefilling-curve partitioner of Alpert
+// and Kahng [1]: embed each vertex in d-space using d non-trivial
+// Laplacian eigenvectors, order the embedded points along a spacefilling
+// curve, and split the ordering (DP-RP for multi-way).
+//
+// Two curves are provided: the 2-D Hilbert curve (the locality-preserving
+// choice, used when d = 2) and d-dimensional Morton (Z-order) for d > 2.
+package sfc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eigen"
+)
+
+// Curve selects the spacefilling curve.
+type Curve int
+
+const (
+	// Hilbert is the 2-D Hilbert curve (requires d = 2).
+	Hilbert Curve = iota
+	// Morton interleaves coordinate bits (any d).
+	Morton
+)
+
+// String returns the curve name.
+func (c Curve) String() string {
+	switch c {
+	case Hilbert:
+		return "hilbert"
+	case Morton:
+		return "morton"
+	default:
+		return fmt.Sprintf("Curve(%d)", int(c))
+	}
+}
+
+// Options configures the ordering.
+type Options struct {
+	// D is the number of non-trivial eigenvectors used for the embedding.
+	D int
+	// Curve selects the spacefilling curve; Hilbert requires D = 2.
+	Curve Curve
+}
+
+// bitsPerDim is the quantization resolution of each embedding coordinate.
+const bitsPerDim = 16
+
+// Order returns the vertices sorted along the chosen spacefilling curve
+// through the d-dimensional spectral embedding. dec must hold at least
+// D+1 eigenpairs (trivial + D informative).
+func Order(dec *eigen.Decomposition, opts Options) ([]int, error) {
+	d := opts.D
+	if d < 1 {
+		return nil, fmt.Errorf("sfc: D = %d, want >= 1", d)
+	}
+	if dec.D() < d+1 {
+		return nil, fmt.Errorf("sfc: decomposition holds %d pairs, need %d", dec.D(), d+1)
+	}
+	if opts.Curve == Hilbert && d != 2 {
+		return nil, fmt.Errorf("sfc: the Hilbert curve requires D = 2, got %d", d)
+	}
+	n := dec.Vectors.Rows
+	// Quantize each coordinate (eigenvector j+1) into [0, 2^bits).
+	coords := make([][]uint32, n)
+	for i := range coords {
+		coords[i] = make([]uint32, d)
+	}
+	for j := 0; j < d; j++ {
+		lo, hi := dec.Vectors.At(0, j+1), dec.Vectors.At(0, j+1)
+		for i := 1; i < n; i++ {
+			v := dec.Vectors.At(i, j+1)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		span := hi - lo
+		for i := 0; i < n; i++ {
+			var q float64
+			if span > 0 {
+				q = (dec.Vectors.At(i, j+1) - lo) / span
+			}
+			c := uint32(q * float64((1<<bitsPerDim)-1))
+			coords[i][j] = c
+		}
+	}
+
+	keys := make([][]uint64, n) // multi-word curve keys, compared lexicographically
+	for i := 0; i < n; i++ {
+		switch opts.Curve {
+		case Hilbert:
+			keys[i] = []uint64{hilbert2D(coords[i][0], coords[i][1])}
+		default:
+			keys[i] = mortonKey(coords[i])
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		for w := 0; w < len(ka); w++ {
+			if ka[w] != kb[w] {
+				return ka[w] < kb[w]
+			}
+		}
+		return order[a] < order[b]
+	})
+	return order, nil
+}
+
+// hilbert2D maps (x, y) on the 2^bitsPerDim grid to its distance along the
+// Hilbert curve (the classic xy-to-d rotation algorithm).
+func hilbert2D(x, y uint32) uint64 {
+	var rx, ry uint32
+	var d uint64
+	for s := uint32(1) << (bitsPerDim - 1); s > 0; s /= 2 {
+		if x&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if y&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}
+
+// mortonKey interleaves the bits of the coordinates, most significant
+// first, packing the result into one or more 64-bit words.
+func mortonKey(c []uint32) []uint64 {
+	d := len(c)
+	totalBits := d * bitsPerDim
+	words := (totalBits + 63) / 64
+	key := make([]uint64, words)
+	bit := 0
+	for b := bitsPerDim - 1; b >= 0; b-- {
+		for j := 0; j < d; j++ {
+			v := (c[j] >> uint(b)) & 1
+			w := bit / 64
+			off := 63 - bit%64
+			key[w] |= uint64(v) << uint(off)
+			bit++
+		}
+	}
+	return key
+}

@@ -1,0 +1,102 @@
+package vecpart
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// The brute-force solvers in this file exist to verify the paper's
+// reduction theorems exactly: on small instances, the optimum of the
+// vector-partitioning problem (with d = n) must coincide with the optimum
+// of min-cut graph partitioning. They enumerate all k^n assignments and
+// are intended for n ≲ 14.
+
+// enumerate calls fn for every k-way assignment of n elements in which
+// cluster labels appear in first-use order (canonical form), skipping the
+// label-permutation duplicates. Assignments with empty clusters are
+// included (fn can filter).
+func enumerate(n, k int, fn func(assign []int)) {
+	assign := make([]int, n)
+	var rec func(i, maxUsed int)
+	rec = func(i, maxUsed int) {
+		if i == n {
+			fn(assign)
+			return
+		}
+		limit := maxUsed + 1
+		if limit >= k {
+			limit = k - 1
+		}
+		for c := 0; c <= limit; c++ {
+			assign[i] = c
+			next := maxUsed
+			if c > maxUsed {
+				next = c
+			}
+			rec(i+1, next)
+		}
+	}
+	rec(0, -1)
+}
+
+// BestCutPartition enumerates all k-way partitions of g's vertices (with
+// every cluster non-empty) and returns one minimizing the paper's cut
+// objective f(P_k), together with its value.
+func BestCutPartition(g *graph.Graph, k int) (*partition.Partition, float64) {
+	n := g.N()
+	best := math.Inf(1)
+	var bestAssign []int
+	enumerate(n, k, func(assign []int) {
+		if !allUsed(assign, k) {
+			return
+		}
+		p := partition.Partition{Assign: assign, K: k}
+		f := partition.F(g, &p)
+		if f < best {
+			best = f
+			bestAssign = append([]int(nil), assign...)
+		}
+	})
+	if bestAssign == nil {
+		return nil, best
+	}
+	return partition.MustNew(bestAssign, k), best
+}
+
+// BestVectorPartition enumerates all k-way partitions (every cluster
+// non-empty) and returns one optimizing the vector-partitioning objective
+// Σ_h ‖Y_h‖²: maximized for MaxSum instances, minimized for MinSum.
+func BestVectorPartition(v *Vectors, k int) (*partition.Partition, float64) {
+	n := v.N()
+	maximize := v.Scale == MaxSum
+	best := math.Inf(1)
+	if maximize {
+		best = math.Inf(-1)
+	}
+	var bestAssign []int
+	enumerate(n, k, func(assign []int) {
+		if !allUsed(assign, k) {
+			return
+		}
+		p := partition.Partition{Assign: assign, K: k}
+		obj := v.SumSquaredSubsets(&p)
+		if (maximize && obj > best) || (!maximize && obj < best) {
+			best = obj
+			bestAssign = append([]int(nil), assign...)
+		}
+	})
+	if bestAssign == nil {
+		return nil, best
+	}
+	return partition.MustNew(bestAssign, k), best
+}
+
+func allUsed(assign []int, k int) bool {
+	var used uint64
+	for _, c := range assign {
+		used |= 1 << uint(c)
+	}
+	return used == 1<<uint(k)-1
+}

@@ -1,0 +1,333 @@
+package vecpart
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func decompose(t *testing.T, g *graph.Graph) *eigen.Decomposition {
+	t.Helper()
+	dec, err := eigen.SymEig(g.LaplacianDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dec
+}
+
+func randomPartition(rng *rand.Rand, n, k int) *partition.Partition {
+	assign := make([]int, n)
+	// Guarantee every cluster non-empty.
+	perm := rng.Perm(n)
+	for c := 0; c < k; c++ {
+		assign[perm[c]] = c
+	}
+	for _, i := range perm[k:] {
+		assign[i] = rng.Intn(k)
+	}
+	return partition.MustNew(assign, k)
+}
+
+// TestExactMaxSumReduction verifies the paper's main theorem: with all n
+// eigenvectors under the MaxSum scaling, Σ_h ‖Y_h‖² = n·H − f(P_k) for
+// every partition.
+func TestExactMaxSumReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 6; trial++ {
+		n := 6 + rng.Intn(8)
+		g := graph.RandomConnected(n, 2*n, int64(trial+100))
+		dec := decompose(t, g)
+		H := ChooseH(g.TotalDegree(), dec.Values, n) // = λ_n for d = n
+		H += rng.Float64() * 3                       // any H ≥ λ_n works
+		v, err := FromDecomposition(dec, n, MaxSum, H)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k <= 4; k++ {
+			for rep := 0; rep < 10; rep++ {
+				p := randomPartition(rng, n, k)
+				obj := v.SumSquaredSubsets(p)
+				f := partition.F(g, p)
+				want := float64(n)*H - f
+				if math.Abs(obj-want) > 1e-7*(1+math.Abs(want)) {
+					t.Fatalf("n=%d k=%d: Σ‖Y_h‖² = %v, want nH−f = %v", n, k, obj, want)
+				}
+				if pc := v.PredictedCut(p); math.Abs(pc-f) > 1e-7*(1+f) {
+					t.Fatalf("PredictedCut = %v, want f = %v", pc, f)
+				}
+			}
+		}
+	}
+}
+
+// TestExactMinSumReduction verifies Corollary 5's dual form: with the
+// MinSum scaling and d = n, Σ_h ‖Y_h‖² = f(P_k).
+func TestExactMinSumReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 6; trial++ {
+		n := 6 + rng.Intn(8)
+		g := graph.RandomConnected(n, 2*n, int64(trial+200))
+		dec := decompose(t, g)
+		v, err := FromDecomposition(dec, n, MinSum, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k <= 3; k++ {
+			p := randomPartition(rng, n, k)
+			obj := v.SumSquaredSubsets(p)
+			f := partition.F(g, p)
+			if math.Abs(obj-f) > 1e-7*(1+f) {
+				t.Fatalf("min-sum: Σ‖Y_h‖² = %v, want f = %v", obj, f)
+			}
+			if pc := v.PredictedCut(p); math.Abs(pc-f) > 1e-7*(1+f) {
+				t.Fatalf("PredictedCut = %v, want %v", pc, f)
+			}
+		}
+	}
+}
+
+// TestCorollary6 verifies ‖y_iⁿ‖² = deg(v_i) under the MinSum scaling, and
+// the complementary ‖y_iⁿ‖² = H − deg(v_i) under MaxSum.
+func TestCorollary6(t *testing.T) {
+	g := graph.RandomConnected(12, 20, 3)
+	dec := decompose(t, g)
+	n := g.N()
+	vMin, err := FromDecomposition(dec, n, MinSum, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	H := dec.Values[n-1] + 1.5
+	vMax, err := FromDecomposition(dec, n, MaxSum, H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		nsMin := normSq(vMin.Row(i))
+		if math.Abs(nsMin-g.Degree(i)) > 1e-8 {
+			t.Errorf("‖y_%d‖² = %v, want deg = %v", i, nsMin, g.Degree(i))
+		}
+		nsMax := normSq(vMax.Row(i))
+		if math.Abs(nsMax-(H-g.Degree(i))) > 1e-8 {
+			t.Errorf("max-sum ‖y_%d‖² = %v, want H−deg = %v", i, nsMax, H-g.Degree(i))
+		}
+	}
+}
+
+func normSq(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// TestOptimaCoincide verifies the reduction at the level of argmins: the
+// optimal vector partition (d = n, MaxSum) achieves exactly the optimal
+// cut, on exhaustively solvable instances.
+func TestOptimaCoincide(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		n := 7 + trial
+		g := graph.RandomConnected(n, n, int64(trial+50))
+		dec := decompose(t, g)
+		H := dec.Values[n-1] + 1
+		v, err := FromDecomposition(dec, n, MaxSum, H)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k <= 3; k++ {
+			pCut, fOpt := BestCutPartition(g, k)
+			pVec, objOpt := BestVectorPartition(v, k)
+			if pCut == nil || pVec == nil {
+				t.Fatal("brute force returned nil")
+			}
+			// The vector optimum must translate to the same cut value.
+			fFromVec := partition.F(g, pVec)
+			if math.Abs(fFromVec-fOpt) > 1e-7*(1+fOpt) {
+				t.Errorf("n=%d k=%d: vector optimum has cut %v, graph optimum %v", n, k, fFromVec, fOpt)
+			}
+			// And the objective must satisfy the identity at the optimum.
+			if math.Abs(objOpt-(float64(n)*H-fOpt)) > 1e-7*(1+objOpt) {
+				t.Errorf("objective %v != nH−f* = %v", objOpt, float64(n)*H-fOpt)
+			}
+		}
+	}
+}
+
+// TestMinSumOptimaCoincide does the same for the MinSum dual.
+func TestMinSumOptimaCoincide(t *testing.T) {
+	g := graph.RandomConnected(8, 10, 77)
+	dec := decompose(t, g)
+	v, err := FromDecomposition(dec, 8, MinSum, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pCut, fOpt := BestCutPartition(g, 2)
+	pVec, objOpt := BestVectorPartition(v, 2)
+	_ = pCut
+	if math.Abs(objOpt-fOpt) > 1e-7*(1+fOpt) {
+		t.Errorf("min-sum optimum %v != f* %v", objOpt, fOpt)
+	}
+	if f := partition.F(g, pVec); math.Abs(f-fOpt) > 1e-7*(1+fOpt) {
+		t.Errorf("min-sum argmin has cut %v, want %v", f, fOpt)
+	}
+}
+
+func TestChooseH(t *testing.T) {
+	g := graph.Path(10)
+	dec := decompose(t, g)
+	n := g.N()
+	// d = n: returns λ_n.
+	if h := ChooseH(g.TotalDegree(), dec.Values, n); math.Abs(h-dec.Values[n-1]) > 1e-12 {
+		t.Errorf("ChooseH(d=n) = %v, want λ_n = %v", h, dec.Values[n-1])
+	}
+	// d < n: mean of unused eigenvalues, which must zero the truncation sum.
+	for d := 1; d < n; d++ {
+		h := ChooseH(g.TotalDegree(), dec.Values[:d], n)
+		var sum float64
+		for j := d; j < n; j++ {
+			sum += h - dec.Values[j]
+		}
+		if math.Abs(sum) > 1e-9 {
+			t.Errorf("d=%d: Σ_{j>d}(H−λ_j) = %v, want 0", d, sum)
+		}
+		if h < dec.Values[d-1]-1e-12 {
+			t.Errorf("d=%d: H = %v below λ_d = %v", d, h, dec.Values[d-1])
+		}
+	}
+}
+
+func TestFromDecompositionValidation(t *testing.T) {
+	g := graph.Path(5)
+	dec := decompose(t, g)
+	if _, err := FromDecomposition(dec, 0, MaxSum, 10); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := FromDecomposition(dec, 9, MaxSum, 10); err == nil {
+		t.Error("d>n accepted")
+	}
+	// H below λ_d must be rejected.
+	if _, err := FromDecomposition(dec, 5, MaxSum, dec.Values[4]-1); err == nil {
+		t.Error("H < λ_d accepted")
+	}
+}
+
+func TestSubsetVectorAndMinMax(t *testing.T) {
+	g := graph.Cycle(6)
+	dec := decompose(t, g)
+	v, err := FromDecomposition(dec, 3, MaxSum, ChooseH(g.TotalDegree(), dec.Values[:3], 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := v.SubsetVector([]int{0, 1})
+	want := make([]float64, 3)
+	for j := 0; j < 3; j++ {
+		want[j] = v.Y.At(0, j) + v.Y.At(1, j)
+	}
+	for j := range want {
+		if math.Abs(s[j]-want[j]) > 1e-12 {
+			t.Fatalf("SubsetVector = %v, want %v", s, want)
+		}
+	}
+	p := partition.MustNew([]int{0, 0, 0, 1, 1, 1}, 2)
+	min, max := v.MinMaxSquaredSubset(p)
+	if min > max {
+		t.Error("min > max")
+	}
+	total := v.SumSquaredSubsets(p)
+	if min+max-total > 1e-9 || total-(min+max) > 1e-9 {
+		t.Errorf("for k=2, min+max = %v should equal total %v", min+max, total)
+	}
+}
+
+// TestTruncatedObjectiveIsUpperBiased checks the qualitative property
+// motivating "more eigenvectors": as d grows, the MaxSum objective of any
+// fixed partition approaches nH_d − f monotonically in accuracy (we check
+// the d = n endpoint is exact and that prediction error shrinks from d=2
+// to d=n on average).
+func TestTruncatedObjectivePredictionImproves(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomConnected(12, 24, 9)
+	dec := decompose(t, g)
+	n := g.N()
+	var errLow, errHigh float64
+	for rep := 0; rep < 20; rep++ {
+		p := randomPartition(rng, n, 3)
+		f := partition.F(g, p)
+		for _, d := range []int{2, n} {
+			H := ChooseH(g.TotalDegree(), dec.Values[:d], n)
+			v, err := FromDecomposition(dec, d, MaxSum, H)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := math.Abs(v.PredictedCut(p) - f)
+			if d == 2 {
+				errLow += e
+			} else {
+				errHigh += e
+			}
+		}
+	}
+	if errHigh > 1e-6 {
+		t.Errorf("d=n prediction error %v, want ~0", errHigh)
+	}
+	if errLow <= errHigh {
+		t.Errorf("d=2 error (%v) should exceed d=n error (%v)", errLow, errHigh)
+	}
+}
+
+// Property-based: the reduction identity holds for arbitrary random
+// partitions on a fixed graph (testing/quick drives the assignments).
+func TestQuickReductionIdentity(t *testing.T) {
+	g := graph.RandomConnected(10, 15, 31)
+	dec := decompose(t, g)
+	n := g.N()
+	H := dec.Values[n-1] + 2
+	v, err := FromDecomposition(dec, n, MaxSum, H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []uint8) bool {
+		if len(raw) < n {
+			return true // not enough entropy; skip
+		}
+		assign := make([]int, n)
+		for i := 0; i < n; i++ {
+			assign[i] = int(raw[i]) % 3
+		}
+		p := partition.MustNew(assign, 3)
+		obj := v.SumSquaredSubsets(p)
+		want := float64(n)*H - partition.F(g, p)
+		return math.Abs(obj-want) <= 1e-7*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnumerateCanonical(t *testing.T) {
+	count := 0
+	enumerate(4, 2, func(assign []int) {
+		if assign[0] != 0 {
+			t.Fatal("first element must be cluster 0 in canonical enumeration")
+		}
+		count++
+	})
+	// Canonical 2-cluster assignments of 4 elements: 2^3 = 8.
+	if count != 8 {
+		t.Errorf("enumerate count = %d, want 8", count)
+	}
+}
+
+func TestScalingString(t *testing.T) {
+	if MaxSum.String() != "max-sum" || MinSum.String() != "min-sum" {
+		t.Error("String names wrong")
+	}
+	if Scaling(5).String() == "" {
+		t.Error("unknown scaling should format")
+	}
+}

@@ -1,0 +1,167 @@
+package vkp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/partition"
+	"repro/internal/vecpart"
+)
+
+// partitionMaxMin implements the MaxMin objective (paper §3's minimum
+// Scaled Cost surrogate): after seeding, each remaining vector is handed
+// to the currently weakest cluster (smallest ‖Y_h‖²) as the best-gain
+// addition to it, then single-vector moves that raise the minimum are
+// applied.
+//
+// The seeds and the scratch state (assign/sizes/sums) arrive from
+// Partition, which has already validated the options.
+func partitionMaxMin(v *vecpart.Vectors, assign, sizes []int, sums [][]float64, lo, hi, passes int, gain func(i, c int) float64) (*Result, error) {
+	n := v.N()
+	k := len(sums)
+
+	norms := make([]float64, k)
+	for c := 0; c < k; c++ {
+		norms[c] = linalg.NormSq(sums[c])
+	}
+
+	place := func(i, c int) {
+		assign[i] = c
+		sizes[c]++
+		linalg.Axpy(1, v.Row(i), sums[c])
+		norms[c] = linalg.NormSq(sums[c])
+	}
+
+	remaining := 0
+	for _, a := range assign {
+		if a == -1 {
+			remaining++
+		}
+	}
+	for ; remaining > 0; remaining-- {
+		// Weakest cluster with spare capacity.
+		weak, weakNorm := -1, math.Inf(1)
+		for c := 0; c < k; c++ {
+			if sizes[c] < hi && norms[c] < weakNorm {
+				weakNorm = norms[c]
+				weak = c
+			}
+		}
+		if weak == -1 {
+			return nil, fmt.Errorf("vkp: no cluster has spare capacity with %d vectors unplaced", remaining)
+		}
+		best, bestGain := -1, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if assign[i] != -1 {
+				continue
+			}
+			if g := gain(i, weak); g > bestGain {
+				bestGain = g
+				best = i
+			}
+		}
+		place(best, weak)
+	}
+
+	// Minimum-size repair mirrors the MaxSum path.
+	for {
+		deficit := -1
+		for c := 0; c < k; c++ {
+			if sizes[c] < lo {
+				deficit = c
+				break
+			}
+		}
+		if deficit == -1 {
+			break
+		}
+		bestI, bestGain := -1, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			if c == deficit || sizes[c] <= lo {
+				continue
+			}
+			if g := moveGain(v, sums, i, c, deficit); g > bestGain {
+				bestGain = g
+				bestI = i
+			}
+		}
+		if bestI == -1 {
+			return nil, fmt.Errorf("vkp: cannot satisfy minimum size %d", lo)
+		}
+		applyMove(v, assign, sizes, sums, bestI, deficit)
+		for c := 0; c < k; c++ {
+			norms[c] = linalg.NormSq(sums[c])
+		}
+	}
+
+	// Refinement: accept single-vector moves that strictly raise
+	// min_h ‖Y_h‖².
+	moves := 0
+	row := make([]float64, v.D())
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		curMin := minOf(norms)
+		for i := 0; i < n; i++ {
+			from := assign[i]
+			if sizes[from] <= lo {
+				continue
+			}
+			copy(row, v.Row(i))
+			// Norm of Y_from − y.
+			fromAfter := norms[from] - 2*linalg.Dot(sums[from], row) + linalg.NormSq(row)
+			for c := 0; c < k; c++ {
+				if c == from || sizes[c] >= hi {
+					continue
+				}
+				toAfter := norms[c] + 2*linalg.Dot(sums[c], row) + linalg.NormSq(row)
+				newMin := math.Inf(1)
+				for cc := 0; cc < k; cc++ {
+					val := norms[cc]
+					if cc == from {
+						val = fromAfter
+					}
+					if cc == c {
+						val = toAfter
+					}
+					if val < newMin {
+						newMin = val
+					}
+				}
+				if newMin > curMin+1e-12 {
+					applyMove(v, assign, sizes, sums, i, c)
+					norms[from] = linalg.NormSq(sums[from])
+					norms[c] = linalg.NormSq(sums[c])
+					curMin = minOf(norms)
+					moves++
+					improved = true
+					break
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	p, err := partition.New(assign, k)
+	if err != nil {
+		return nil, err
+	}
+	var obj float64
+	for c := 0; c < k; c++ {
+		obj += norms[c]
+	}
+	return &Result{Partition: p, Objective: obj, Moves: moves}, nil
+}
+
+func minOf(x []float64) float64 {
+	m := math.Inf(1)
+	for _, v := range x {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,377 @@
+// Package spectral is a from-scratch Go implementation of the spectral
+// partitioning system of Alpert, Kahng and Yao, "Spectral Partitioning:
+// The More Eigenvectors, The Better" (DAC 1995): the reduction from
+// min-cut graph partitioning to vector partitioning, the MELO
+// multiple-eigenvector ordering heuristic, and every baseline its
+// evaluation compares against (SB, RSB, KP, SFC, an analytical-placement
+// bipartitioner, plus FM refinement).
+//
+// The package is a façade over the internal subsystems; a typical
+// pipeline is
+//
+//	h, _ := spectral.GenerateBenchmark("prim1", 1.0)   // or LoadNetlist
+//	p, _ := spectral.Partition(h, spectral.Options{K: 4, Method: spectral.MELO})
+//	fmt.Println(spectral.NetCut(h, p), spectral.ScaledCost(h, p))
+//
+// See the examples/ directory for runnable programs and cmd/experiments
+// for the paper's full evaluation.
+package spectral
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/barnes"
+	"repro/internal/bench"
+	"repro/internal/dprp"
+	"repro/internal/eigen"
+	"repro/internal/fm"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/kp"
+	"repro/internal/melo"
+	"repro/internal/paraboli"
+	"repro/internal/partition"
+	"repro/internal/rsb"
+	"repro/internal/sb"
+	"repro/internal/sfc"
+)
+
+// Netlist is a circuit hypergraph: modules connected by multi-pin nets.
+type Netlist = hypergraph.Hypergraph
+
+// Partitioning assigns each module to one of K clusters.
+type Partitioning = partition.Partition
+
+// Method selects the partitioning algorithm.
+type Method int
+
+const (
+	// MELO is the paper's multiple-eigenvector linear-ordering heuristic
+	// (the default).
+	MELO Method = iota
+	// SB is spectral bipartitioning from the Fiedler vector (k = 2 only).
+	SB
+	// RSB is recursive spectral bipartitioning.
+	RSB
+	// KP is the Chan–Schlag–Zien k-eigenvector spectral k-way heuristic.
+	KP
+	// SFC orders vertices along a spacefilling curve through the spectral
+	// embedding and splits the ordering.
+	SFC
+	// Placement is the analytical-placement bipartitioner (the PARABOLI
+	// substitute; k = 2 only).
+	Placement
+	// VKP is the direct vector k-partitioning heuristic (the paper's
+	// proposed future-work direction; see VectorPartition).
+	VKP
+	// Barnes is Barnes' transportation-rounded k-way algorithm [7].
+	Barnes
+	// HL is Hendrickson-Leland median splitting [29]; K must be a power
+	// of two.
+	HL
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case MELO:
+		return "melo"
+	case SB:
+		return "sb"
+	case RSB:
+		return "rsb"
+	case KP:
+		return "kp"
+	case SFC:
+		return "sfc"
+	case Placement:
+		return "placement"
+	case VKP:
+		return "vkp"
+	case Barnes:
+		return "barnes"
+	case HL:
+		return "hl"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod converts a method name to a Method.
+func ParseMethod(s string) (Method, error) {
+	for m := MELO; m <= HL; m++ {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("spectral: unknown method %q (want melo|sb|rsb|kp|sfc|placement|vkp|barnes|hl)", s)
+}
+
+// Options configures Partition.
+type Options struct {
+	// K is the number of clusters (default 2).
+	K int
+	// Method selects the algorithm (default MELO).
+	Method Method
+	// D is the number of non-trivial eigenvectors for MELO/SFC orderings
+	// (default 10, the paper's main setting).
+	D int
+	// Scheme selects MELO's weighting scheme (0–3; default scheme #1).
+	Scheme int
+	// MinFrac is the balance bound for bipartitioning splits: the smaller
+	// side holds at least this fraction of the modules (default 0.45, the
+	// paper's Table 5 setting). Ignored for k > 2, where DP-RP's
+	// restricted-partitioning bounds apply.
+	MinFrac float64
+	// Refine post-processes the partitioning with Fiduccia–Mattheyses
+	// passes (the paper's iterative-improvement extension): direct FM
+	// for k = 2, pairwise FM sweeps for k > 2.
+	Refine bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 2
+	}
+	if o.D == 0 {
+		o.D = 10
+	}
+	if o.MinFrac == 0 {
+		o.MinFrac = 0.45
+	}
+	return o
+}
+
+// Partition partitions the netlist into opts.K clusters with the selected
+// method.
+func Partition(h *Netlist, opts Options) (*Partitioning, error) {
+	o := opts.withDefaults()
+	if o.K < 2 {
+		return nil, fmt.Errorf("spectral: K = %d, want >= 2", o.K)
+	}
+	var p *Partitioning
+	var err error
+	switch o.Method {
+	case MELO:
+		p, err = partitionMELO(h, o)
+	case SB:
+		p, err = partitionSB(h, o)
+	case RSB:
+		p, err = rsb.Partition(h, rsb.Options{K: o.K, Model: graph.PartitioningSpecific})
+	case KP:
+		p, err = partitionKP(h, o)
+	case SFC:
+		p, err = partitionSFC(h, o)
+	case Placement:
+		p, err = partitionPlacement(h, o)
+	case VKP:
+		p, err = VectorPartition(h, o.K, o.D)
+	case Barnes:
+		p, err = partitionBarnes(h, o)
+	case HL:
+		p, err = partitionHL(h, o)
+	default:
+		return nil, fmt.Errorf("spectral: unknown method %v", o.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if o.Refine {
+		if o.K == 2 {
+			res, err := fm.Refine(h, p, fm.Options{MinFrac: o.MinFrac})
+			if err != nil {
+				return nil, err
+			}
+			p = res.Partition
+		} else {
+			res, err := fm.RefineKWay(h, p, fm.KWayOptions{})
+			if err != nil {
+				return nil, err
+			}
+			p = res.Partition
+		}
+	}
+	return p, nil
+}
+
+func decompose(h *Netlist, model graph.CliqueModel, d int) (*graph.Graph, *eigen.Decomposition, error) {
+	g, err := graph.FromHypergraph(h, model, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	want := d + 1
+	if want > g.N() {
+		want = g.N()
+	}
+	dec, err := eigen.SmallestEigenpairs(g.Laplacian(), want)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, dec, nil
+}
+
+func partitionMELO(h *Netlist, o Options) (*Partitioning, error) {
+	g, dec, err := decompose(h, graph.PartitioningSpecific, o.D)
+	if err != nil {
+		return nil, err
+	}
+	mo := melo.NewOptions()
+	mo.D = o.D
+	mo.Scheme = melo.Scheme(o.Scheme)
+	res, err := melo.Order(g, dec, mo)
+	if err != nil {
+		return nil, err
+	}
+	if o.K == 2 {
+		split, err := dprp.BestBalancedSplit(h, res.Order, o.MinFrac)
+		if err != nil {
+			return nil, err
+		}
+		return split.Partition, nil
+	}
+	dp, err := dprp.Partition(h, res.Order, dprp.Options{K: o.K})
+	if err != nil {
+		return nil, err
+	}
+	return dp.Partition, nil
+}
+
+func partitionSB(h *Netlist, o Options) (*Partitioning, error) {
+	if o.K != 2 {
+		return nil, fmt.Errorf("spectral: SB is a bipartitioner, got K = %d", o.K)
+	}
+	g, dec, err := decompose(h, graph.PartitioningSpecific, 1)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sb.Bipartition(h, g, dec, o.MinFrac)
+	if err != nil {
+		return nil, err
+	}
+	return res.Partition, nil
+}
+
+func partitionKP(h *Netlist, o Options) (*Partitioning, error) {
+	_, dec, err := decompose(h, graph.Frankle, o.K)
+	if err != nil {
+		return nil, err
+	}
+	return kp.Partition(dec, kp.Options{K: o.K, MinSize: 1})
+}
+
+func partitionSFC(h *Netlist, o Options) (*Partitioning, error) {
+	_, dec, err := decompose(h, graph.PartitioningSpecific, 2)
+	if err != nil {
+		return nil, err
+	}
+	order, err := sfc.Order(dec, sfc.Options{D: 2, Curve: sfc.Hilbert})
+	if err != nil {
+		return nil, err
+	}
+	if o.K == 2 {
+		split, err := dprp.BestBalancedSplit(h, order, o.MinFrac)
+		if err != nil {
+			return nil, err
+		}
+		return split.Partition, nil
+	}
+	dp, err := dprp.Partition(h, order, dprp.Options{K: o.K})
+	if err != nil {
+		return nil, err
+	}
+	return dp.Partition, nil
+}
+
+func partitionBarnes(h *Netlist, o Options) (*Partitioning, error) {
+	g, err := graph.FromHypergraph(h, graph.PartitioningSpecific, 0)
+	if err != nil {
+		return nil, err
+	}
+	return barnes.Partition(g, barnes.Options{K: o.K, SignFlips: true})
+}
+
+func partitionHL(h *Netlist, o Options) (*Partitioning, error) {
+	d := 0
+	for 1<<uint(d) < o.K {
+		d++
+	}
+	if 1<<uint(d) != o.K {
+		return nil, fmt.Errorf("spectral: HL requires K to be a power of two, got %d", o.K)
+	}
+	return HypercubePartition(h, d)
+}
+
+func partitionPlacement(h *Netlist, o Options) (*Partitioning, error) {
+	if o.K != 2 {
+		return nil, fmt.Errorf("spectral: Placement is a bipartitioner, got K = %d", o.K)
+	}
+	res, err := paraboli.Bipartition(h, paraboli.Options{Model: graph.PartitioningSpecific, MinFrac: o.MinFrac})
+	if err != nil {
+		return nil, err
+	}
+	return res.Partition, nil
+}
+
+// OrderModules returns a MELO ordering of the netlist's modules — the
+// paper's primary artifact, which callers can split with their own rules.
+func OrderModules(h *Netlist, d int, scheme int) ([]int, error) {
+	if d <= 0 {
+		d = 10
+	}
+	g, dec, err := decompose(h, graph.PartitioningSpecific, d)
+	if err != nil {
+		return nil, err
+	}
+	mo := melo.NewOptions()
+	mo.D = d
+	mo.Scheme = melo.Scheme(scheme)
+	res, err := melo.Order(g, dec, mo)
+	if err != nil {
+		return nil, err
+	}
+	return res.Order, nil
+}
+
+// NetCut returns the number of nets spanning more than one cluster.
+func NetCut(h *Netlist, p *Partitioning) int { return partition.NetCut(h, p) }
+
+// ScaledCost returns the Chan–Schlag–Zien Scaled Cost of a partitioning.
+func ScaledCost(h *Netlist, p *Partitioning) float64 { return partition.ScaledCost(h, p) }
+
+// RatioCut returns cut/(|C1|·|C2|) for a bipartitioning.
+func RatioCut(h *Netlist, p *Partitioning) float64 { return partition.RatioCut(h, p) }
+
+// LoadNetlist parses a netlist in the text interchange format (see
+// internal/hypergraph: `net <name> <module> <module> ...` lines).
+func LoadNetlist(r io.Reader) (string, *Netlist, error) { return hypergraph.Read(r) }
+
+// SaveNetlist writes a netlist in the text interchange format.
+func SaveNetlist(w io.Writer, name string, h *Netlist) error { return hypergraph.Write(w, name, h) }
+
+// LoadHMetis parses a netlist in the hMETIS hypergraph exchange format
+// (fmt 0, 1, 10 and 11; module weights become areas).
+func LoadHMetis(r io.Reader) (*Netlist, error) { return hypergraph.ReadHMetis(r) }
+
+// SaveHMetis writes a netlist in hMETIS format.
+func SaveHMetis(w io.Writer, h *Netlist) error { return hypergraph.WriteHMetis(w, h) }
+
+// GenerateBenchmark synthesizes one of the paper's Table 1 benchmark
+// circuits (bm1, prim1, prim2, test02…test06, struct, 19ks, biomed,
+// industry2) at the given scale (1 = published size).
+func GenerateBenchmark(name string, scale float64) (*Netlist, error) {
+	c, err := bench.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return bench.Generate(c.Scaled(scale))
+}
+
+// Benchmarks lists the names of the registered Table 1 circuits.
+func Benchmarks() []string {
+	var names []string
+	for _, c := range bench.Table1 {
+		names = append(names, c.Name)
+	}
+	return names
+}
