@@ -14,6 +14,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,10 @@ import (
 
 	"repro/internal/experiments"
 )
+
+// exitDeadline is the exit code for a run aborted by -timeout, distinct
+// from ordinary failures (1) and usage errors (2).
+const exitDeadline = 3
 
 func main() {
 	var (
@@ -31,10 +37,18 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "benchmark scale factor (0,1]")
 		d       = flag.Int("d", 10, "MELO eigenvector count")
 		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Out: os.Stdout, Scale: *scale, D: *d}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := experiments.Config{Ctx: ctx, Out: os.Stdout, Scale: *scale, D: *d}
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -54,6 +68,10 @@ func main() {
 
 	run := func(name string, f func(*experiments.Lab) error) {
 		if err := f(lab); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "experiments: timed out after %v during %s; tables and figures printed before this point are complete, %s itself is partial or missing\n", *timeout, name, name)
+				os.Exit(exitDeadline)
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +22,10 @@ import (
 
 	spectral "repro"
 )
+
+// exitDeadline is the exit code for a run aborted by -timeout, distinct
+// from ordinary failures (1) and usage errors (2).
+const exitDeadline = 3
 
 func main() {
 	var (
@@ -29,13 +35,21 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "benchmark scale when -bench is used")
 		k       = flag.Int("k", 2, "number of clusters")
 		method  = flag.String("method", "melo", "melo|sb|rsb|kp|sfc|placement|vkp|barnes|hl")
-		d       = flag.Int("d", 10, "eigenvectors for MELO orderings")
+		d       = flag.Int("d", 0, "eigenvectors for MELO orderings (0 = default 10, clamped to the netlist)")
 		scheme  = flag.Int("scheme", 0, "MELO weighting scheme (0-3)")
 		minFrac = flag.Float64("minfrac", 0.45, "bipartition balance bound")
 		refine  = flag.Bool("refine", false, "FM post-refinement (k=2 only)")
 		quiet   = flag.Bool("quiet", false, "print metrics only, not the assignment")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	h, err := loadInput(*in, *benchN, *scale, *format)
 	if err != nil {
@@ -45,9 +59,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	p, err := spectral.Partition(h, spectral.Options{
+	p, err := spectral.PartitionCtx(ctx, h, spectral.Options{
 		K: *k, Method: m, D: *d, Scheme: *scheme, MinFrac: *minFrac, Refine: *refine,
 	})
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "melo: timed out after %v; no partitioning was produced (partial pipeline state is discarded — rerun with a larger -timeout or a smaller instance)\n", *timeout)
+		os.Exit(exitDeadline)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -1,6 +1,7 @@
 package dprp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -39,6 +40,13 @@ type Result struct {
 // walking the window start i downward for each block end j, so the total
 // cost is O(n·(W + pins·W/n) + n·k·W) where W = MaxSize−MinSize+1.
 func Partition(h *hypergraph.Hypergraph, order []int, opts Options) (*Result, error) {
+	return PartitionCtx(context.Background(), h, order, opts)
+}
+
+// PartitionCtx is Partition with cooperative cancellation: ctx is
+// checked at every block-end column of the dynamic program, so a
+// cancelled context aborts within one DP column, returning ctx.Err().
+func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, order []int, opts Options) (*Result, error) {
 	n := len(order)
 	if n != h.NumModules() {
 		return nil, fmt.Errorf("dprp: ordering covers %d modules, hypergraph has %d", n, h.NumModules())
@@ -128,6 +136,9 @@ func Partition(h *hypergraph.Hypergraph, order []int, opts Options) (*Result, er
 	cost := make([]float64, n) // cost[i] = E(i,j)/(j-i+1) for current j
 
 	for j := 0; j < n; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// First block starts at 0: E(0,j) = pinned(0,j) − contained(0,j),
 		// where pinned(0,j) = nets with minPos <= j and contained =
 		// nets with maxPos <= j.

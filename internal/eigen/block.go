@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,6 +30,12 @@ type BlockKrylovOptions struct {
 // which matters for the disconnected netlists and symmetric structures
 // that arise in partitioning.
 func BlockKrylov(a linalg.Operator, d int, opts *BlockKrylovOptions) (*Decomposition, error) {
+	return BlockKrylovCtx(context.Background(), a, d, opts)
+}
+
+// BlockKrylovCtx is BlockKrylov with cooperative cancellation, checked at
+// every block-expansion boundary.
+func BlockKrylovCtx(ctx context.Context, a linalg.Operator, d int, opts *BlockKrylovOptions) (*Decomposition, error) {
 	n := a.Dim()
 	if d < 1 || d > n {
 		return nil, fmt.Errorf("eigen: BlockKrylov d = %d out of range [1,%d]", d, n)
@@ -83,6 +90,9 @@ func BlockKrylov(a linalg.Operator, d int, opts *BlockKrylovOptions) (*Decomposi
 	scale := 1.0
 	av := make([]float64, n)
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Expand: apply A to the newest block and orthonormalize.
 		start := len(basis) - b
 		if start < 0 {

@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -24,6 +25,13 @@ type CGOptions struct {
 // The analytical-placement baseline solves anchored Laplacian systems
 // (Laplacian plus a positive diagonal), which are SPD, with this routine.
 func CG(a linalg.Operator, b, x0 []float64, diag []float64, opts *CGOptions) ([]float64, int, error) {
+	return CGCtx(context.Background(), a, b, x0, diag, opts)
+}
+
+// CGCtx is CG with cooperative cancellation, checked at every iteration
+// boundary; a cancelled context aborts the solve within one iteration,
+// returning ctx.Err().
+func CGCtx(ctx context.Context, a linalg.Operator, b, x0 []float64, diag []float64, opts *CGOptions) ([]float64, int, error) {
 	n := a.Dim()
 	if len(b) != n {
 		return nil, 0, errors.New("eigen: CG right-hand side has wrong length")
@@ -72,6 +80,9 @@ func CG(a linalg.Operator, b, x0 []float64, diag []float64, opts *CGOptions) ([]
 	ap := make([]float64, n)
 
 	for it := 1; it <= maxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, it - 1, err
+		}
 		a.MatVec(p, ap)
 		pap := linalg.Dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {

@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -49,17 +50,32 @@ func (dec *Decomposition) Truncate(d int) (*Decomposition, error) {
 // matrix a. The input is not modified. Eigenvalues are returned ascending
 // with matching eigenvector columns.
 func SymEig(a *linalg.Dense) (*Decomposition, error) {
+	return SymEigCtx(context.Background(), a)
+}
+
+// SymEigCtx is SymEig with cooperative cancellation. The dense solver's
+// two phases (Householder reduction, QL iteration) are direct rather
+// than iterative-with-restarts, so cancellation is checked at the phase
+// boundaries — the coarsest-grained checks in the pipeline, acceptable
+// because the dense path is reserved for small matrices.
+func SymEigCtx(ctx context.Context, a *linalg.Dense) (*Decomposition, error) {
 	if a.Rows != a.Cols {
 		return nil, errors.New("eigen: SymEig requires a square matrix")
 	}
 	if !a.IsSymmetric(1e-10 * (1 + linalg.MaxAbs(a.Data))) {
 		return nil, errors.New("eigen: SymEig requires a symmetric matrix")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := a.Rows
 	z := a.Clone()
 	d := make([]float64, n)
 	e := make([]float64, n)
 	tred2(z, d, e)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := tql2(d, e, z); err != nil {
 		return nil, err
 	}

@@ -381,7 +381,7 @@ func TestCGRejectsIndefinite(t *testing.T) {
 
 func TestDensify(t *testing.T) {
 	c := linalg.NewCSR(3, 3, []linalg.Triplet{{Row: 0, Col: 1, Val: 2}, {Row: 2, Col: 0, Val: -1}})
-	d := densify(c)
+	d := Densify(c)
 	if d.At(0, 1) != 2 || d.At(2, 0) != -1 || d.At(1, 1) != 0 {
 		t.Fatalf("densify wrong: %v", d.Data)
 	}

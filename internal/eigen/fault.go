@@ -1,0 +1,38 @@
+package eigen
+
+import "errors"
+
+// ErrBreakdown is returned when an iterative solver encounters a
+// non-finite value in its recurrence (NaN or Inf), typically from a
+// corrupted operator or an injected fault. Unlike ErrNoConvergence it
+// signals that the attempt's state is unusable, not merely incomplete;
+// both are retryable with a fresh start.
+var ErrBreakdown = errors.New("eigen: numerical breakdown (non-finite recurrence)")
+
+// FaultDirective instructs a single iterative-solver attempt to
+// misbehave in a controlled, deterministic way. It exists so the
+// resilience layer's fault plans can prove that every rung of the
+// eigensolver retry ladder fires; production code always sees the zero
+// directive.
+type FaultDirective struct {
+	// Stall suppresses convergence acceptance for the attempt, forcing
+	// it to run to its iteration budget and report ErrNoConvergence
+	// even if the requested pairs converge.
+	Stall bool
+	// MaxConverged, when > 0 on a stalled attempt, caps how many
+	// leading eigenpairs the failing attempt reports as converged in
+	// its partial result — simulating the partial convergence that
+	// clustered spectra produce. 0 reports none.
+	MaxConverged int
+}
+
+// FaultHook receives callbacks from iterative eigensolvers. Implemented
+// by resilience.FaultPlan; a nil hook means no fault injection.
+type FaultHook interface {
+	// StartAttempt is called once when a solver attempt begins. A
+	// non-nil error aborts the attempt immediately with that error.
+	StartAttempt() (FaultDirective, error)
+	// AtStep is called at each iteration boundary with the 1-based step
+	// index and the iterate being built, which it may corrupt in place.
+	AtStep(step int, v []float64)
+}

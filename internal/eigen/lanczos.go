@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -23,6 +24,10 @@ type LanczosOptions struct {
 	// CheckEvery controls how often (in Lanczos steps) convergence is
 	// tested. Default 10.
 	CheckEvery int
+	// Fault, when non-nil, receives per-attempt and per-step callbacks
+	// for deterministic fault injection (tests and the resilience
+	// layer).
+	Fault FaultHook
 }
 
 func (o *LanczosOptions) withDefaults(n, d int) LanczosOptions {
@@ -40,6 +45,7 @@ func (o *LanczosOptions) withDefaults(n, d int) LanczosOptions {
 		if o.CheckEvery > 0 {
 			v.CheckEvery = o.CheckEvery
 		}
+		v.Fault = o.Fault
 	}
 	if v.MaxDim == 0 {
 		// Clustered spectra (typical for netlist-derived Laplacians) need
@@ -74,6 +80,19 @@ func (o *LanczosOptions) withDefaults(n, d int) LanczosOptions {
 // The operator must be symmetric; this is not checked (a full check would
 // be as expensive as the solve for sparse operators).
 func Lanczos(a linalg.Operator, d int, opts *LanczosOptions) (*Decomposition, error) {
+	return LanczosCtx(context.Background(), a, d, opts)
+}
+
+// LanczosCtx is Lanczos with cooperative cancellation: ctx is checked at
+// every iteration boundary, so a cancelled context aborts the solve
+// within one Lanczos step, returning ctx.Err().
+//
+// On ErrNoConvergence the returned decomposition is non-nil when a
+// prefix of the requested pairs did converge within the budget: it holds
+// those d' < d pairs (smallest pairs converge first, so the prefix is
+// the informative one). Callers that cannot use a partial result must
+// treat any non-nil error as total failure.
+func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOptions) (*Decomposition, error) {
 	n := a.Dim()
 	if d <= 0 {
 		return nil, errors.New("eigen: Lanczos requires d >= 1")
@@ -84,6 +103,14 @@ func Lanczos(a linalg.Operator, d int, opts *LanczosOptions) (*Decomposition, er
 	o := opts.withDefaults(n, d)
 	if o.MaxDim < d {
 		o.MaxDim = d
+	}
+	var directive FaultDirective
+	if o.Fault != nil {
+		dir, err := o.Fault.StartAttempt()
+		if err != nil {
+			return nil, err
+		}
+		directive = dir
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
 
@@ -100,8 +127,14 @@ func Lanczos(a linalg.Operator, d int, opts *LanczosOptions) (*Decomposition, er
 	scale := 1.0
 
 	for len(basis) < o.MaxDim {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		basis = append(basis, v)
 		a.MatVec(v, w)
+		if o.Fault != nil {
+			o.Fault.AtStep(len(basis), w)
+		}
 		alpha := linalg.Dot(v, w)
 		alphas = append(alphas, alpha)
 		// w -= alpha*v + beta*v_prev, then full reorthogonalization for
@@ -114,6 +147,10 @@ func Lanczos(a linalg.Operator, d int, opts *LanczosOptions) (*Decomposition, er
 		}
 		linalg.Orthogonalize(w, basis)
 		beta := linalg.Norm2(w)
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.IsNaN(beta) || math.IsInf(beta, 0) {
+			return nil, fmt.Errorf("eigen: lanczos step %d produced alpha=%v beta=%v: %w",
+				len(basis), alpha, beta, ErrBreakdown)
+		}
 
 		j := len(basis)
 		invariant := beta <= 1e-12*scale
@@ -127,7 +164,7 @@ func Lanczos(a linalg.Operator, d int, opts *LanczosOptions) (*Decomposition, er
 			}
 			// When the basis spans the whole space the Ritz pairs are
 			// exact; otherwise require the residual estimates to pass.
-			if j == n || convergedSmallest(vals, svecs, beta, d, o.Tol*scale) {
+			if !directive.Stall && (j == n || convergedSmallest(vals, svecs, beta, d, o.Tol*scale)) {
 				// An exactly invariant proper subspace can hide extra
 				// copies of degenerate eigenvalues (single-vector Lanczos
 				// sees one vector per eigenspace); force a restart sweep
@@ -137,6 +174,20 @@ func Lanczos(a linalg.Operator, d int, opts *LanczosOptions) (*Decomposition, er
 				}
 			}
 			if j == o.MaxDim {
+				// Budget exhausted: salvage the converged prefix (pairs
+				// converge smallest-first, so a prefix is exactly what
+				// degradation needs). A stalled attempt reports at most
+				// its directive's cap.
+				limit := d
+				if directive.Stall {
+					limit = directive.MaxConverged
+				}
+				if limit > d {
+					limit = d
+				}
+				if m := convergedPrefix(vals, svecs, beta, limit, o.Tol*scale); m >= 1 {
+					return ritzPairs(basis, vals, svecs, m), ErrNoConvergence
+				}
 				return nil, ErrNoConvergence
 			}
 		}
@@ -168,16 +219,22 @@ func Lanczos(a linalg.Operator, d int, opts *LanczosOptions) (*Decomposition, er
 // current tridiagonal matrix have residual estimates |beta·s_last| below
 // tol. vals/svecs come from SymTridiagEig (sorted ascending).
 func convergedSmallest(vals []float64, svecs *linalg.Dense, beta float64, d int, tol float64) bool {
+	return convergedPrefix(vals, svecs, beta, d, tol) >= d
+}
+
+// convergedPrefix returns the length of the longest prefix (at most
+// limit) of the smallest Ritz pairs whose residual estimates pass tol.
+func convergedPrefix(vals []float64, svecs *linalg.Dense, beta float64, limit int, tol float64) int {
 	m := len(vals)
-	if m < d {
-		return false
+	if limit > m {
+		limit = m
 	}
-	for i := 0; i < d; i++ {
+	for i := 0; i < limit; i++ {
 		if math.Abs(beta*svecs.At(m-1, i)) > tol {
-			return false
+			return i
 		}
 	}
-	return true
+	return limit
 }
 
 // ritzPairs assembles the d smallest Ritz pairs from the Lanczos basis and
@@ -220,7 +277,7 @@ func randomUnit(rng *rand.Rand, n int) []float64 {
 // and residuals far below the eigenvalue gaps add cost without changing
 // any ordering. Use SmallestEigenpairsTol for stricter tolerances.
 func SmallestEigenpairs(a linalg.Operator, d int) (*Decomposition, error) {
-	return SmallestEigenpairsTol(a, d, 1e-6)
+	return SmallestEigenpairsCtx(context.Background(), a, d, 1e-6)
 }
 
 // SmallestEigenpairsTol is SmallestEigenpairs with an explicit relative
@@ -229,21 +286,20 @@ func SmallestEigenpairs(a linalg.Operator, d int) (*Decomposition, error) {
 // clustered small eigenvalues, so the required subspace dimension varies
 // widely between instances).
 func SmallestEigenpairsTol(a linalg.Operator, d int, tol float64) (*Decomposition, error) {
+	return SmallestEigenpairsCtx(context.Background(), a, d, tol)
+}
+
+// SmallestEigenpairsCtx is SmallestEigenpairsTol with cooperative
+// cancellation, honoured at every solver iteration boundary. For the
+// full retry/fallback/degradation ladder, use resilience.SolveEigen,
+// which builds on this package.
+func SmallestEigenpairsCtx(ctx context.Context, a linalg.Operator, d int, tol float64) (*Decomposition, error) {
 	n := a.Dim()
 	if d > n {
 		return nil, fmt.Errorf("eigen: requested %d eigenpairs of a %d-dimensional operator", d, n)
 	}
 	if n <= 256 || d > n/3 {
-		var dm *linalg.Dense
-		switch t := a.(type) {
-		case *linalg.Dense:
-			dm = t
-		case *linalg.CSR:
-			dm = t.ToDense()
-		default:
-			dm = densify(a)
-		}
-		dec, err := SymEig(dm)
+		dec, err := SymEigCtx(ctx, Densify(a))
 		if err != nil {
 			return nil, err
 		}
@@ -257,7 +313,7 @@ func SmallestEigenpairsTol(a linalg.Operator, d int, tol float64) (*Decompositio
 		if dim > n {
 			dim = n
 		}
-		dec, err := Lanczos(a, d, &LanczosOptions{Tol: tol, MaxDim: dim})
+		dec, err := LanczosCtx(ctx, a, d, &LanczosOptions{Tol: tol, MaxDim: dim})
 		if err == nil {
 			return dec, nil
 		}
@@ -268,9 +324,16 @@ func SmallestEigenpairsTol(a linalg.Operator, d int, tol float64) (*Decompositio
 	}
 }
 
-// densify materializes an arbitrary operator by applying it to the
-// standard basis vectors. Only used for small dimensions.
-func densify(a linalg.Operator) *linalg.Dense {
+// Densify materializes an operator as a dense matrix: directly for Dense
+// and CSR operators, by applying it to the standard basis otherwise.
+// Only sensible for small dimensions.
+func Densify(a linalg.Operator) *linalg.Dense {
+	switch t := a.(type) {
+	case *linalg.Dense:
+		return t
+	case *linalg.CSR:
+		return t.ToDense()
+	}
 	n := a.Dim()
 	m := linalg.NewDense(n, n)
 	e := make([]float64, n)

@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -28,10 +29,15 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hypergraph"
 	"repro/internal/melo"
+	"repro/internal/resilience"
 )
 
 // Config controls an experiment run.
 type Config struct {
+	// Ctx bounds the whole run; a cancelled or expired context aborts
+	// eigensolves, orderings and DP splits at their next iteration
+	// boundary. Nil means context.Background().
+	Ctx context.Context
 	// Out receives the rendered table.
 	Out io.Writer
 	// Scale shrinks every benchmark (1 = the published sizes). The
@@ -44,8 +50,12 @@ type Config struct {
 	Benchmarks []string
 }
 
-// WithDefaults fills unset fields: Scale 1, D 10, all benchmarks.
+// WithDefaults fills unset fields: Background context, Scale 1, D 10,
+// all benchmarks.
 func (c Config) WithDefaults() Config {
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
 	if c.Scale <= 0 {
 		c.Scale = 1
 	}
@@ -158,10 +168,14 @@ func (l *Lab) Decomposition(name string, model graph.CliqueModel, d int) (*eigen
 	if want > g.N() {
 		want = g.N()
 	}
-	dec, err := eigen.SmallestEigenpairs(g.Laplacian(), want)
+	sol, err := resilience.SolveEigen(l.cfg.Ctx, g.Laplacian(), want, resilience.EigenPolicy{})
 	if err != nil {
+		if cerr := l.cfg.Ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("experiments: %s eigensolve: %v", name, err)
 	}
+	dec := sol.Dec
 	l.mu.Lock()
 	l.decs[key] = dec
 	l.mu.Unlock()
@@ -190,7 +204,7 @@ func (l *Lab) MeloOrdering(name string, d int, scheme melo.Scheme) (*melo.Result
 	opts := melo.NewOptions()
 	opts.D = d
 	opts.Scheme = scheme
-	r, err := melo.Order(g, dec, opts)
+	r, err := melo.OrderCtx(l.cfg.Ctx, g, dec, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -237,7 +251,7 @@ func (l *Lab) MeloBestScaledCost(name string, ds []int, k int) (float64, error) 
 				}
 				sc = split.Cut // ratio cut == Scaled Cost for k = 2
 			} else {
-				dp, err := dprp.Partition(h, res.Order, dprp.Options{K: k, MinSize: lo, MaxSize: hi})
+				dp, err := dprp.PartitionCtx(l.cfg.Ctx, h, res.Order, dprp.Options{K: k, MinSize: lo, MaxSize: hi})
 				if err != nil {
 					return 0, err
 				}
@@ -263,7 +277,7 @@ func (l *Lab) MeloScaledCost(name string, d int, scheme melo.Scheme, k int) (flo
 	if err != nil {
 		return 0, err
 	}
-	dp, err := dprp.Partition(h, res.Order, dprp.Options{K: k})
+	dp, err := dprp.PartitionCtx(l.cfg.Ctx, h, res.Order, dprp.Options{K: k})
 	if err != nil {
 		return 0, err
 	}
@@ -290,7 +304,7 @@ func (l *Lab) MeloBalancedCut(name string, d int, scheme melo.Scheme, minFrac fl
 	opts.D = d
 	opts.Scheme = scheme
 	start := time.Now()
-	res, err := melo.Order(g, dec, opts)
+	res, err := melo.OrderCtx(l.cfg.Ctx, g, dec, opts)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,6 +1,9 @@
 package hypergraph
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Module areas support the paper's weighted-vertex extension: "when the
 // weight of vertex v_i is extended to be the weight of y_i, the vector
@@ -13,8 +16,8 @@ func (h *Hypergraph) SetAreas(areas []float64) error {
 		return fmt.Errorf("hypergraph: %d areas for %d modules", len(areas), h.NumModules())
 	}
 	for i, a := range areas {
-		if a <= 0 {
-			return fmt.Errorf("hypergraph: module %d area %v, want > 0", i, a)
+		if math.IsNaN(a) || math.IsInf(a, 0) || a <= 0 {
+			return fmt.Errorf("hypergraph: module %d area %v, want finite > 0", i, a)
 		}
 	}
 	h.areas = make([]float64, len(areas))

@@ -16,6 +16,11 @@ func FuzzRead(f *testing.F) {
 	f.Add("bogus\n")
 	f.Add("net n a\n")
 	f.Add("module a -1\nnet n a b\n")
+	f.Add("module a NaN\nnet n a b\n")
+	f.Add("module a Inf\nnet n a b\n")
+	f.Add("net n a a a\n")
+	f.Add("netlist\n")
+	f.Add("net n a b\nnet n a b\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		name, h, err := Read(strings.NewReader(src))
 		if err != nil {
@@ -47,6 +52,28 @@ func FuzzReadHMetis(f *testing.F) {
 	f.Add("1 2 11\n2 1 2\n1\n1\n")
 	f.Add("% only a comment\n")
 	f.Add("x y\n")
+	// Malformed headers.
+	f.Add("1\n")
+	f.Add("1 2 3 4\n")
+	f.Add("-1 5\n")
+	f.Add("999999999 999999999\n")
+	f.Add("0 999999999\n")
+	f.Add("2 3 7\n1 2\n2 3\n")
+	// Truncated net sections and module-weight sections.
+	f.Add("3 3\n1 2\n")
+	f.Add("1 2 10\n1 2\n")
+	f.Add("1 2 11\n2 1 2\n1\n")
+	// Duplicate and degenerate pins.
+	f.Add("1 3\n2 2 2\n")
+	f.Add("1 3\n1 1\n")
+	f.Add("2 3\n1 2 2 3\n3 3 1\n")
+	// Hostile weights.
+	f.Add("1 2 1\nNaN 1 2\n")
+	f.Add("1 2 1\n-1 1 2\n")
+	f.Add("1 2 1\n0 1 2\n")
+	f.Add("1 2 10\n1 2\nNaN\n2\n")
+	f.Add("1 2 10\n1 2\n+Inf\n2\n")
+	f.Add("1 2 10\n1 2\n0\n2\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		h, err := ReadHMetis(strings.NewReader(src))
 		if err != nil {

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -20,8 +22,19 @@ import (
 // this repository's cut metrics are unweighted per net); fmt 10/11 append
 // one module-weight line per module, mapped to module areas.
 
+// maxHMetisDeclared caps the module and net counts an hMETIS header may
+// declare. The largest public hMETIS benchmarks are ~200k modules; this
+// leaves generous headroom while keeping a hostile header ("999999999
+// 999999999") from forcing gigabyte allocations before a single net
+// line has been read.
+const maxHMetisDeclared = 1 << 22
+
 // ReadHMetis parses an hMETIS hypergraph file. Module names are
 // synthesized as "m1".."mN" (matching the format's 1-indexed ids).
+// Headers declaring implausibly large counts, non-finite or negative
+// net weights, and non-finite or non-positive module weights are all
+// rejected; module storage is only allocated after the declared nets
+// have parsed, so truncated files fail cheaply.
 func ReadHMetis(r io.Reader) (*Hypergraph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -51,6 +64,9 @@ func ReadHMetis(r io.Reader) (*Hypergraph, error) {
 	if err1 != nil || err2 != nil || numNets < 0 || numMods < 1 {
 		return nil, fmt.Errorf("hypergraph: hmetis: bad header %v", header)
 	}
+	if numNets > maxHMetisDeclared || numMods > maxHMetisDeclared {
+		return nil, fmt.Errorf("hypergraph: hmetis: header declares %d nets, %d modules; both must be <= %d", numNets, numMods, maxHMetisDeclared)
+	}
 	format := 0
 	if len(header) == 3 {
 		format, err = strconv.Atoi(header[2])
@@ -61,10 +77,10 @@ func ReadHMetis(r io.Reader) (*Hypergraph, error) {
 	netWeights := format == 1 || format == 11
 	modWeights := format == 10 || format == 11
 
-	b := NewBuilder()
-	for i := 1; i <= numMods; i++ {
-		b.AddModule(fmt.Sprintf("m%d", i))
-	}
+	// Parse every net before materializing module storage: a truncated
+	// file with a giant header then fails on the first missing net line
+	// instead of after an O(numMods) allocation.
+	nets := make([][]int, 0, minInt(numNets, 4096))
 	for e := 0; e < numNets; e++ {
 		fields, err := next()
 		if err != nil {
@@ -72,8 +88,9 @@ func ReadHMetis(r io.Reader) (*Hypergraph, error) {
 		}
 		start := 0
 		if netWeights {
-			if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
-				return nil, fmt.Errorf("hypergraph: hmetis: net %d: bad weight %q", e+1, fields[0])
+			w, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil || math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return nil, fmt.Errorf("hypergraph: hmetis: net %d: bad weight %q, want finite >= 0", e+1, fields[0])
 			}
 			start = 1
 		}
@@ -85,11 +102,29 @@ func ReadHMetis(r io.Reader) (*Hypergraph, error) {
 			}
 			mods = append(mods, id-1)
 		}
-		if err := b.AddNet(fmt.Sprintf("n%d", e+1), mods...); err != nil {
-			return nil, fmt.Errorf("hypergraph: hmetis: net %d: %v", e+1, err)
+		// Collapse duplicate pins, matching Builder.AddNet.
+		sort.Ints(mods)
+		distinct := mods[:0]
+		for i, m := range mods {
+			if i == 0 || m != mods[i-1] {
+				distinct = append(distinct, m)
+			}
 		}
+		if len(distinct) < 2 {
+			return nil, fmt.Errorf("hypergraph: hmetis: net %d connects fewer than 2 distinct modules", e+1)
+		}
+		nets = append(nets, distinct)
 	}
-	h := b.Build()
+	names := make([]string, numMods)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%d", i+1)
+	}
+	netNames := make([]string, len(nets))
+	for e := range netNames {
+		netNames[e] = fmt.Sprintf("n%d", e+1)
+	}
+	h := &Hypergraph{Names: names, Nets: nets, NetNames: netNames}
+	h.buildPins()
 	if modWeights {
 		areas := make([]float64, numMods)
 		for i := 0; i < numMods; i++ {
@@ -98,8 +133,8 @@ func ReadHMetis(r io.Reader) (*Hypergraph, error) {
 				return nil, fmt.Errorf("hypergraph: hmetis: module weight %d: %v", i+1, err)
 			}
 			w, err := strconv.ParseFloat(fields[0], 64)
-			if err != nil || w <= 0 {
-				return nil, fmt.Errorf("hypergraph: hmetis: module weight %d: bad value %q", i+1, fields[0])
+			if err != nil || math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+				return nil, fmt.Errorf("hypergraph: hmetis: module weight %d: bad value %q, want finite > 0", i+1, fields[0])
 			}
 			areas[i] = w
 		}
@@ -108,6 +143,13 @@ func ReadHMetis(r io.Reader) (*Hypergraph, error) {
 		}
 	}
 	return h, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // WriteHMetis serializes the hypergraph in hMETIS format (fmt 10 when

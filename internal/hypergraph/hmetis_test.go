@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestReadHMetisPlain(t *testing.T) {
@@ -134,5 +135,78 @@ func TestHMetisRoundTripNoAreas(t *testing.T) {
 	}
 	if h2.HasAreas() {
 		t.Error("round trip invented areas")
+	}
+}
+
+func TestReadHMetisHostileHeaders(t *testing.T) {
+	cases := []string{
+		"999999999 999999999\n",
+		"0 999999999\n",
+		"4194305 3\n",
+		"3 4194305\n",
+		"-1 5\n",
+		"1\n",
+		"1 2 3 4\n",
+		"1 2 7\n1 2\n",
+	}
+	for _, src := range cases {
+		done := make(chan error, 1)
+		go func() {
+			_, err := ReadHMetis(strings.NewReader(src))
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Errorf("%q accepted", src)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%q: parser hung (likely allocating for a hostile header)", src)
+		}
+	}
+}
+
+func TestReadHMetisTruncated(t *testing.T) {
+	for _, src := range []string{
+		"3 3\n1 2\n",         // declared 3 nets, got 1
+		"1 2 10\n1 2\n",      // missing module weights
+		"1 2 11\n2 1 2\n1\n", // missing second module weight
+	} {
+		if _, err := ReadHMetis(strings.NewReader(src)); err == nil {
+			t.Errorf("%q accepted", src)
+		}
+	}
+}
+
+func TestReadHMetisDuplicatePinsCollapse(t *testing.T) {
+	h, err := ReadHMetis(strings.NewReader("1 3\n1 2 2 3 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Nets[0]; len(got) != 3 {
+		t.Fatalf("net pins %v, want 3 distinct", got)
+	}
+	if _, err := ReadHMetis(strings.NewReader("1 3\n2 2 2\n")); err == nil {
+		t.Error("single-distinct-pin net accepted")
+	}
+}
+
+func TestReadHMetisWeightValidation(t *testing.T) {
+	// Zero net weights are legal; NaN/Inf/negative are not.
+	if _, err := ReadHMetis(strings.NewReader("1 2 1\n0 1 2\n")); err != nil {
+		t.Errorf("zero net weight rejected: %v", err)
+	}
+	for _, src := range []string{
+		"1 2 1\nNaN 1 2\n",
+		"1 2 1\n-Inf 1 2\n",
+		"1 2 1\n-1 1 2\n",
+		"1 2 10\n1 2\nNaN\n2\n",
+		"1 2 10\n1 2\nInf\n2\n",
+		"1 2 10\n1 2\n0\n2\n",
+		"1 2 10\n1 2\n-3\n2\n",
+	} {
+		if _, err := ReadHMetis(strings.NewReader(src)); err == nil {
+			t.Errorf("%q accepted", src)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -71,8 +72,8 @@ func Read(r io.Reader) (string, *Hypergraph, error) {
 			idx := b.AddModule(fields[1])
 			if len(fields) == 3 {
 				a, err := strconv.ParseFloat(fields[2], 64)
-				if err != nil || a <= 0 {
-					return "", nil, fmt.Errorf("hypergraph: line %d: bad area %q", lineNo, fields[2])
+				if err != nil || math.IsNaN(a) || math.IsInf(a, 0) || a <= 0 {
+					return "", nil, fmt.Errorf("hypergraph: line %d: bad area %q, want finite > 0", lineNo, fields[2])
 				}
 				areas[idx] = a
 			}

@@ -16,6 +16,7 @@
 package melo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -117,6 +118,13 @@ type Result struct {
 // informative ones); compute it with eigen.SmallestEigenpairs(g.Laplacian(),
 // D+1). The complexity is O(D·n²).
 func Order(g *graph.Graph, dec *eigen.Decomposition, opts Options) (*Result, error) {
+	return OrderCtx(context.Background(), g, dec, opts)
+}
+
+// OrderCtx is Order with cooperative cancellation: ctx is checked at
+// every insertion boundary, so a cancelled context aborts within one
+// greedy step, returning ctx.Err().
+func OrderCtx(ctx context.Context, g *graph.Graph, dec *eigen.Decomposition, opts Options) (*Result, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, errors.New("melo: empty graph")
@@ -319,6 +327,9 @@ func Order(g *graph.Graph, dec *eigen.Decomposition, opts Options) (*Result, err
 
 	windowed := opts.CandidateWindow > 0
 	for t := 0; t < n; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var v int
 		switch {
 		case t == 0 && opts.Start >= 0 && opts.Start < n:

@@ -17,6 +17,7 @@
 package paraboli
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -45,6 +46,13 @@ type Options struct {
 // Bipartition places the netlist on a line and returns the best balanced
 // split of the placement ordering.
 func Bipartition(h *hypergraph.Hypergraph, opts Options) (dprp.SplitResult, error) {
+	return BipartitionCtx(context.Background(), h, opts)
+}
+
+// BipartitionCtx is Bipartition with cooperative cancellation, checked
+// inside the seed eigensolve and at every CG iteration of each
+// placement solve.
+func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (dprp.SplitResult, error) {
 	n := h.NumModules()
 	if n < 2 {
 		return dprp.SplitResult{}, fmt.Errorf("paraboli: need >= 2 modules, have %d", n)
@@ -69,7 +77,7 @@ func Bipartition(h *hypergraph.Hypergraph, opts Options) (dprp.SplitResult, erro
 
 	// Seeds: Fiedler extremes. On a disconnected graph the Fiedler vector
 	// separates components, which still yields usable far-apart seeds.
-	dec, err := eigen.SmallestEigenpairs(lap, 2)
+	dec, err := eigen.SmallestEigenpairsCtx(ctx, lap, 2, 0)
 	if err != nil {
 		return dprp.SplitResult{}, fmt.Errorf("paraboli: eigensolve: %v", err)
 	}
@@ -100,7 +108,7 @@ func Bipartition(h *hypergraph.Hypergraph, opts Options) (dprp.SplitResult, erro
 		for i := range anchors {
 			adiag[i] += alpha
 		}
-		sol, _, err := eigen.CG(op, b, x0, adiag, &eigen.CGOptions{Tol: 1e-8})
+		sol, _, err := eigen.CGCtx(ctx, op, b, x0, adiag, &eigen.CGOptions{Tol: 1e-8})
 		return sol, err
 	}
 

@@ -1,0 +1,97 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/eigen"
+)
+
+// ErrInjected is the error a FaultPlan injects for eigensolve attempts
+// listed in FailAttempts.
+var ErrInjected = errors.New("resilience: injected eigensolve failure")
+
+// FaultPlan is a deterministic fault-injection schedule for eigensolver
+// attempts. It counts attempts globally (across Lanczos restarts, dense
+// fallbacks, and separate solves routed through the same plan), so a
+// test can say "fail the 2nd eigensolve" and know exactly which rung of
+// the retry ladder it exercises. The zero value injects nothing. Safe
+// for concurrent use.
+//
+// FaultPlan implements eigen.FaultHook; hand it to SolveEigen via
+// EigenPolicy.Faults or directly to eigen.LanczosOptions.Fault.
+type FaultPlan struct {
+	// FailAttempts lists 1-based attempt numbers that abort immediately
+	// with ErrInjected — a hard solver failure.
+	FailAttempts []int
+	// StallAttempts lists attempts whose convergence acceptance is
+	// suppressed, forcing them to their iteration budget and a
+	// non-convergence error — a convergence stall.
+	StallAttempts []int
+	// StallConverged caps how many leading eigenpairs a stalled attempt
+	// reports as converged in its partial result (simulating the
+	// partial convergence of a clustered spectrum). 0 reports none.
+	StallConverged int
+	// NaNAttempts lists attempts that get a NaN injected into the
+	// solver's iterate at step NaNStep — a numerical corruption.
+	NaNAttempts []int
+	// NaNStep is the 1-based iteration at which the NaN is injected.
+	// Default 3.
+	NaNStep int
+
+	mu      sync.Mutex
+	attempt int
+}
+
+// StartAttempt implements eigen.FaultHook: it advances the attempt
+// counter and returns the directive (or injected error) scheduled for
+// the new attempt.
+func (p *FaultPlan) StartAttempt() (eigen.FaultDirective, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.attempt++
+	if containsInt(p.FailAttempts, p.attempt) {
+		return eigen.FaultDirective{}, fmt.Errorf("attempt %d: %w", p.attempt, ErrInjected)
+	}
+	if containsInt(p.StallAttempts, p.attempt) {
+		return eigen.FaultDirective{Stall: true, MaxConverged: p.StallConverged}, nil
+	}
+	return eigen.FaultDirective{}, nil
+}
+
+// AtStep implements eigen.FaultHook: it corrupts the iterate with a NaN
+// when the current attempt and step match the plan.
+func (p *FaultPlan) AtStep(step int, v []float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !containsInt(p.NaNAttempts, p.attempt) {
+		return
+	}
+	nanStep := p.NaNStep
+	if nanStep <= 0 {
+		nanStep = 3
+	}
+	if step == nanStep && len(v) > 0 {
+		v[0] = math.NaN()
+	}
+}
+
+// Attempts returns how many solver attempts the plan has observed.
+func (p *FaultPlan) Attempts() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.attempt
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+var _ eigen.FaultHook = (*FaultPlan)(nil)

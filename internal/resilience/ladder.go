@@ -1,0 +1,247 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/eigen"
+	"repro/internal/linalg"
+)
+
+// EigenPolicy configures SolveEigen's retry ladder. The zero value
+// selects the defaults noted on each field.
+type EigenPolicy struct {
+	// Tol is the relative residual tolerance. Default 1e-6 (the
+	// pipeline's ordering-grade tolerance; see eigen.SmallestEigenpairs).
+	Tol float64
+	// MaxSparseAttempts bounds the Lanczos attempts (initial try plus
+	// seed-restarts with escalated Krylov caps). Default 3.
+	MaxSparseAttempts int
+	// DenseDirectN solves densely outright for operators at or below
+	// this dimension, where the dense solver is both exact and faster
+	// than Lanczos. Default 256.
+	DenseDirectN int
+	// DenseFallbackN bounds the dense-fallback rung: after the sparse
+	// attempts are exhausted, operators at or below this dimension are
+	// handed to the slower-but-sure dense solver. Default 4096.
+	DenseFallbackN int
+	// NoDenseFallback disables the dense-fallback rung regardless of
+	// dimension (tests use this to force the degradation rung).
+	NoDenseFallback bool
+	// MinD is the smallest usable decomposition: degradation below this
+	// many pairs fails the solve instead. Default 2 (the trivial pair
+	// plus one informative eigenvector — the least the paper's ordering
+	// heuristics can work with).
+	MinD int
+	// BaseSeed seeds the first Lanczos attempt; restarts use BaseSeed+1,
+	// BaseSeed+2, … so every rung is deterministic. Default 1.
+	BaseSeed int64
+	// Faults, when non-nil, injects the plan's deterministic faults
+	// into every attempt.
+	Faults *FaultPlan
+}
+
+func (p EigenPolicy) withDefaults() EigenPolicy {
+	if p.Tol <= 0 {
+		p.Tol = 1e-6
+	}
+	if p.MaxSparseAttempts <= 0 {
+		p.MaxSparseAttempts = 3
+	}
+	if p.DenseDirectN <= 0 {
+		p.DenseDirectN = 256
+	}
+	if p.DenseFallbackN <= 0 {
+		p.DenseFallbackN = 4096
+	}
+	if p.MinD <= 0 {
+		p.MinD = 2
+	}
+	if p.BaseSeed == 0 {
+		p.BaseSeed = 1
+	}
+	return p
+}
+
+// PartialDecomposition is the outcome of a resilient eigensolve: the
+// delivered eigenpairs plus a record of how they were obtained. In the
+// common case Delivered == Requested; after the degradation rung
+// Delivered < Requested and Degraded is true — the "as many
+// eigenvectors as practically possible" contract.
+type PartialDecomposition struct {
+	// Dec holds the Delivered smallest eigenpairs.
+	Dec *eigen.Decomposition
+	// Requested and Delivered count the eigenpairs asked for and
+	// obtained.
+	Requested, Delivered int
+	// Attempts counts the solver attempts consumed (Lanczos tries plus
+	// dense solves).
+	Attempts int
+	// DenseFallback reports that the dense rung produced the result.
+	DenseFallback bool
+	// Degraded reports Delivered < Requested.
+	Degraded bool
+	// Notes is a human-readable log of the rungs taken, for diagnostics
+	// and error reports.
+	Notes []string
+}
+
+func (r *PartialDecomposition) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// SolveEigen computes the d smallest eigenpairs of the symmetric
+// operator a, climbing a retry ladder instead of failing on the first
+// non-convergence:
+//
+//  1. Lanczos with the default Krylov budget.
+//  2. On non-convergence (or numerical breakdown): restart with a fresh
+//     random seed and a doubled (bounded) Krylov cap, up to
+//     MaxSparseAttempts total tries.
+//  3. Dense tridiagonal (tred2/tql2) fallback when the operator is
+//     small enough — slower but sure.
+//  4. Degrade d: return the d' < d pairs that did converge (smallest
+//     pairs converge first, so the prefix is the useful one), flagged
+//     Degraded, so downstream orderings still run with fewer
+//     eigenvectors.
+//
+// Small operators (or d close to n) go straight to the dense solver.
+// ctx is honoured at every solver iteration boundary; cancellation
+// returns ctx.Err() unwrapped. The error from an exhausted ladder wraps
+// the last rung's failure and lists every rung tried.
+func SolveEigen(ctx context.Context, a linalg.Operator, d int, pol EigenPolicy) (*PartialDecomposition, error) {
+	n := a.Dim()
+	if d < 1 {
+		return nil, fmt.Errorf("resilience: requested %d eigenpairs, want >= 1", d)
+	}
+	if d > n {
+		return nil, fmt.Errorf("resilience: requested %d eigenpairs of a %d-dimensional operator", d, n)
+	}
+	pol = pol.withDefaults()
+	res := &PartialDecomposition{Requested: d}
+	var lastErr error
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Small problems: dense is exact and cheap; no ladder needed unless
+	// a fault is injected.
+	if n <= pol.DenseDirectN || d > n/3 {
+		res.Attempts++
+		dec, err := denseSolve(ctx, a, d, pol.Faults)
+		if err == nil {
+			res.Dec, res.Delivered = dec, d
+			res.note("dense direct solve (n=%d)", n)
+			return res, nil
+		}
+		if isCtxErr(err) {
+			return nil, err
+		}
+		res.note("dense direct solve failed: %v", err)
+		lastErr = err
+		// The dense solver only fails on injected faults or structural
+		// problems; the sparse ladder below may still succeed.
+	}
+
+	// Rungs 1–2: Lanczos, then seed-restarts with bounded backoff on
+	// the Krylov cap.
+	dim := 12*d + 100
+	if dim < 300 {
+		dim = 300
+	}
+	if dim > n {
+		dim = n
+	}
+	var best *eigen.Decomposition
+	for attempt := 1; attempt <= pol.MaxSparseAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res.Attempts++
+		seed := pol.BaseSeed + int64(attempt-1)
+		opts := &eigen.LanczosOptions{Tol: pol.Tol, MaxDim: dim, Seed: seed}
+		if pol.Faults != nil {
+			opts.Fault = pol.Faults
+		}
+		dec, err := eigen.LanczosCtx(ctx, a, d, opts)
+		if err == nil {
+			res.Dec, res.Delivered = dec, d
+			res.note("lanczos converged (attempt %d, seed %d, maxdim %d)", attempt, seed, dim)
+			return res, nil
+		}
+		if isCtxErr(err) {
+			return nil, err
+		}
+		lastErr = err
+		res.note("lanczos failed (attempt %d, seed %d, maxdim %d): %v", attempt, seed, dim, err)
+		if dec != nil && (best == nil || dec.D() > best.D()) {
+			best = dec // converged prefix, kept for the degradation rung
+		}
+		if dim < n {
+			dim *= 2
+			if dim > n {
+				dim = n
+			}
+		}
+	}
+
+	// Rung 3: slower-but-sure dense solve for small n.
+	if !pol.NoDenseFallback && n <= pol.DenseFallbackN {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res.Attempts++
+		dec, err := denseSolve(ctx, a, d, pol.Faults)
+		if err == nil {
+			res.Dec, res.Delivered = dec, d
+			res.DenseFallback = true
+			res.note("dense fallback solve (n=%d)", n)
+			return res, nil
+		}
+		if isCtxErr(err) {
+			return nil, err
+		}
+		lastErr = err
+		res.note("dense fallback failed: %v", err)
+	}
+
+	// Rung 4: degrade d — deliver the converged prefix if it is usable.
+	if best != nil && best.D() >= pol.MinD {
+		res.Dec, res.Delivered = best, best.D()
+		res.Degraded = true
+		res.note("degraded to %d of %d requested eigenpairs", best.D(), d)
+		return res, nil
+	}
+
+	return nil, fmt.Errorf("resilience: eigensolve ladder exhausted after %d attempts (%v): %w",
+		res.Attempts, res.Notes, lastErr)
+}
+
+// denseSolve runs the exact dense path, honouring ctx and the fault
+// plan's attempt schedule.
+func denseSolve(ctx context.Context, a linalg.Operator, d int, faults *FaultPlan) (*eigen.Decomposition, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if faults != nil {
+		if _, err := faults.StartAttempt(); err != nil {
+			return nil, err
+		}
+	}
+	dec, err := eigen.SymEigCtx(ctx, eigen.Densify(a))
+	if err != nil {
+		return nil, err
+	}
+	return dec.Truncate(d)
+}
+
+// IsContextError reports whether err is (or wraps) a context
+// cancellation or deadline error. The hardening layer never wraps these:
+// they must stay visible to errors.Is at the outermost caller.
+func IsContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func isCtxErr(err error) bool { return IsContextError(err) }

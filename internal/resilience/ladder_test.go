@@ -1,0 +1,246 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/eigen"
+	"repro/internal/linalg"
+)
+
+// pathLaplacian builds the Laplacian of an unweighted path on n
+// vertices — a simple operator with a well-separated small spectrum.
+func pathLaplacian(n int) *linalg.CSR {
+	var ts []linalg.Triplet
+	for i := 0; i < n; i++ {
+		deg := 2.0
+		if i == 0 || i == n-1 {
+			deg = 1.0
+		}
+		ts = append(ts, linalg.Triplet{Row: i, Col: i, Val: deg})
+		if i+1 < n {
+			ts = append(ts, linalg.Triplet{Row: i, Col: i + 1, Val: -1})
+			ts = append(ts, linalg.Triplet{Row: i + 1, Col: i, Val: -1})
+		}
+	}
+	return linalg.NewCSR(n, n, ts)
+}
+
+// sparsePolicy forces the Lanczos rungs even on small test operators.
+func sparsePolicy() EigenPolicy {
+	return EigenPolicy{DenseDirectN: 1}
+}
+
+// refValues returns the d smallest exact eigenvalues via the dense
+// solver.
+func refValues(t *testing.T, a *linalg.CSR, d int) []float64 {
+	t.Helper()
+	dec, err := eigen.SymEig(a.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dec.Values[:d]
+}
+
+func checkValues(t *testing.T, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("value %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveEigenClean(t *testing.T) {
+	a := pathLaplacian(60)
+	res, err := SolveEigen(context.Background(), a, 5, sparsePolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 5 || res.Degraded || res.DenseFallback || res.Attempts != 1 {
+		t.Fatalf("clean solve took unexpected path: %+v", res)
+	}
+	checkValues(t, res.Dec.Values, refValues(t, a, 5))
+}
+
+func TestSolveEigenDenseDirect(t *testing.T) {
+	a := pathLaplacian(40)
+	res, err := SolveEigen(context.Background(), a, 5, EigenPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 || res.Delivered != 5 {
+		t.Fatalf("dense direct path: %+v", res)
+	}
+	checkValues(t, res.Dec.Values, refValues(t, a, 5))
+}
+
+// Rung 1: a hard failure on the first attempt is absorbed by a
+// seed-restart.
+func TestSolveEigenSeedRestart(t *testing.T) {
+	a := pathLaplacian(60)
+	plan := &FaultPlan{FailAttempts: []int{1}}
+	pol := sparsePolicy()
+	pol.Faults = plan
+	res, err := SolveEigen(context.Background(), a, 5, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 || res.Degraded || res.DenseFallback {
+		t.Fatalf("seed-restart rung: %+v", res)
+	}
+	checkValues(t, res.Dec.Values, refValues(t, a, 5))
+}
+
+// Rung 2: a convergence stall triggers a restart with an escalated
+// Krylov cap.
+func TestSolveEigenStallEscalation(t *testing.T) {
+	a := pathLaplacian(60)
+	plan := &FaultPlan{StallAttempts: []int{1}}
+	pol := sparsePolicy()
+	pol.Faults = plan
+	res, err := SolveEigen(context.Background(), a, 5, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 || res.Degraded || res.DenseFallback {
+		t.Fatalf("stall-escalation rung: %+v", res)
+	}
+	checkValues(t, res.Dec.Values, refValues(t, a, 5))
+}
+
+// Rung 3: exhausting every sparse attempt falls back to the dense
+// solver.
+func TestSolveEigenDenseFallback(t *testing.T) {
+	a := pathLaplacian(60)
+	plan := &FaultPlan{StallAttempts: []int{1, 2, 3}}
+	pol := sparsePolicy()
+	pol.Faults = plan
+	res, err := SolveEigen(context.Background(), a, 5, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DenseFallback || res.Degraded || res.Attempts != 4 {
+		t.Fatalf("dense-fallback rung: %+v", res)
+	}
+	checkValues(t, res.Dec.Values, refValues(t, a, 5))
+}
+
+// Rung 4: with the dense fallback unavailable, the converged prefix is
+// delivered as a degraded (d' < d) decomposition.
+func TestSolveEigenDegradation(t *testing.T) {
+	a := pathLaplacian(60)
+	plan := &FaultPlan{StallAttempts: []int{1, 2, 3}, StallConverged: 3}
+	pol := sparsePolicy()
+	pol.Faults = plan
+	pol.NoDenseFallback = true
+	res, err := SolveEigen(context.Background(), a, 5, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.Delivered != 3 || res.Requested != 5 {
+		t.Fatalf("degradation rung: %+v", res)
+	}
+	checkValues(t, res.Dec.Values, refValues(t, a, 3))
+}
+
+// NaN corruption mid-iteration is detected as a breakdown and absorbed
+// by a restart.
+func TestSolveEigenNaNRecovery(t *testing.T) {
+	a := pathLaplacian(60)
+	plan := &FaultPlan{NaNAttempts: []int{1}, NaNStep: 3}
+	pol := sparsePolicy()
+	pol.Faults = plan
+	res, err := SolveEigen(context.Background(), a, 5, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 || res.Degraded {
+		t.Fatalf("NaN-recovery: %+v", res)
+	}
+	checkValues(t, res.Dec.Values, refValues(t, a, 5))
+}
+
+// The NaN fault must surface as ErrBreakdown from the solver itself.
+func TestLanczosBreakdownError(t *testing.T) {
+	a := pathLaplacian(60)
+	plan := &FaultPlan{NaNAttempts: []int{1}, NaNStep: 3}
+	_, err := eigen.LanczosCtx(context.Background(), a, 5, &eigen.LanczosOptions{Fault: plan})
+	if !errors.Is(err, eigen.ErrBreakdown) {
+		t.Fatalf("got %v, want ErrBreakdown", err)
+	}
+}
+
+func TestSolveEigenExhausted(t *testing.T) {
+	a := pathLaplacian(60)
+	plan := &FaultPlan{FailAttempts: []int{1, 2, 3, 4}}
+	pol := sparsePolicy()
+	pol.Faults = plan
+	_, err := SolveEigen(context.Background(), a, 5, pol)
+	if err == nil {
+		t.Fatal("want error after exhausting every rung")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("exhaustion error %v does not wrap the last cause", err)
+	}
+}
+
+// cancellingOp cancels its context after a fixed number of MatVec
+// applications, then counts how many more are issued — proving the
+// solver stops at the next iteration boundary.
+type cancellingOp struct {
+	inner      linalg.Operator
+	cancel     context.CancelFunc
+	cancelAt   int
+	calls      int
+	afterCount int
+}
+
+func (c *cancellingOp) Dim() int { return c.inner.Dim() }
+
+func (c *cancellingOp) MatVec(x, y []float64) {
+	c.calls++
+	if c.calls == c.cancelAt {
+		c.cancel()
+	}
+	if c.calls > c.cancelAt {
+		c.afterCount++
+	}
+	c.inner.MatVec(x, y)
+}
+
+func TestSolveEigenCancellationMidSolve(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	op := &cancellingOp{inner: pathLaplacian(120), cancel: cancel, cancelAt: 5}
+	_, err := SolveEigen(ctx, op, 5, sparsePolicy())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if op.afterCount > 0 {
+		t.Fatalf("solver issued %d MatVecs after cancellation; want 0 (abort within one iteration)", op.afterCount)
+	}
+}
+
+func TestSolveEigenPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveEigen(ctx, pathLaplacian(60), 5, sparsePolicy()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveEigenBadD(t *testing.T) {
+	a := pathLaplacian(10)
+	if _, err := SolveEigen(context.Background(), a, 0, EigenPolicy{}); err == nil {
+		t.Fatal("d = 0 accepted")
+	}
+	if _, err := SolveEigen(context.Background(), a, 11, EigenPolicy{}); err == nil {
+		t.Fatal("d > n accepted")
+	}
+}

@@ -6,13 +6,14 @@
 package rsb
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dprp"
-	"repro/internal/eigen"
 	"repro/internal/graph"
 	"repro/internal/hypergraph"
 	"repro/internal/partition"
+	"repro/internal/resilience"
 	"repro/internal/sb"
 )
 
@@ -34,6 +35,14 @@ type Options struct {
 
 // Partition runs RSB on the netlist h and returns a k-way partitioning.
 func Partition(h *hypergraph.Hypergraph, opts Options) (*partition.Partition, error) {
+	return PartitionCtx(context.Background(), h, opts)
+}
+
+// PartitionCtx is Partition with cooperative cancellation (checked
+// before each bisection and inside every eigensolve) and with each
+// bisection's eigensolve routed through the resilience retry ladder, so
+// one hard-to-converge cluster does not fail the whole recursion.
+func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*partition.Partition, error) {
 	k := opts.K
 	if k < 2 {
 		return nil, fmt.Errorf("rsb: k = %d, want >= 2", k)
@@ -46,6 +55,9 @@ func Partition(h *hypergraph.Hypergraph, opts Options) (*partition.Partition, er
 	// clusters[c] holds original module indices of cluster c.
 	clusters := [][]int{allModules(n)}
 	for len(clusters) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Split the largest remaining cluster.
 		largest := 0
 		for c := 1; c < len(clusters); c++ {
@@ -56,7 +68,7 @@ func Partition(h *hypergraph.Hypergraph, opts Options) (*partition.Partition, er
 		if len(clusters[largest]) < 2 {
 			return nil, fmt.Errorf("rsb: cannot reach k = %d, largest remaining cluster has %d modules", k, len(clusters[largest]))
 		}
-		left, right, err := bisect(h, clusters[largest], opts)
+		left, right, err := bisect(ctx, h, clusters[largest], opts)
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +86,7 @@ func Partition(h *hypergraph.Hypergraph, opts Options) (*partition.Partition, er
 // bisect splits one cluster (given as original module indices) by the best
 // ratio-cut split of its Fiedler ordering, falling back to a component
 // split when the induced sub-hypergraph is disconnected.
-func bisect(h *hypergraph.Hypergraph, members []int, opts Options) (left, right []int, err error) {
+func bisect(ctx context.Context, h *hypergraph.Hypergraph, members []int, opts Options) (left, right []int, err error) {
 	sub, back := h.Induce(members)
 	order := make([]int, sub.NumModules())
 	for i := range order {
@@ -97,11 +109,14 @@ func bisect(h *hypergraph.Hypergraph, members []int, opts Options) (left, right 
 			order = append(order, c...)
 		}
 	} else {
-		dec, derr := eigen.SmallestEigenpairs(g.Laplacian(), 2)
+		sol, derr := resilience.SolveEigen(ctx, g.Laplacian(), 2, resilience.EigenPolicy{})
 		if derr != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, nil, cerr
+			}
 			return nil, nil, fmt.Errorf("rsb: eigensolve failed on %d-module cluster: %v", len(members), derr)
 		}
-		order, err = sb.FiedlerOrder(g, dec)
+		order, err = sb.FiedlerOrder(g, sol.Dec)
 		if err != nil {
 			return nil, nil, err
 		}

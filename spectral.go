@@ -18,8 +18,12 @@
 package spectral
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
+	"runtime/debug"
+	"sort"
 
 	"repro/internal/barnes"
 	"repro/internal/bench"
@@ -29,9 +33,11 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hypergraph"
 	"repro/internal/kp"
+	"repro/internal/linalg"
 	"repro/internal/melo"
 	"repro/internal/paraboli"
 	"repro/internal/partition"
+	"repro/internal/resilience"
 	"repro/internal/rsb"
 	"repro/internal/sb"
 	"repro/internal/sfc"
@@ -146,167 +152,332 @@ func (o Options) withDefaults() Options {
 // Partition partitions the netlist into opts.K clusters with the selected
 // method.
 func Partition(h *Netlist, opts Options) (*Partitioning, error) {
+	return PartitionCtx(context.Background(), h, opts)
+}
+
+// PartitionCtx is Partition with cooperative cancellation: a cancelled
+// or expired ctx aborts the pipeline at the next iteration boundary of
+// whatever stage is running (eigensolver step, ordering insertion, DP
+// column) and returns ctx.Err() unwrapped, so errors.Is(err,
+// context.Canceled) and errors.Is(err, context.DeadlineExceeded) work
+// directly.
+//
+// Any other failure is returned as a *PipelineError attributing the
+// fault to its pipeline stage; panics in any stage are recovered into
+// the same shape. Eigensolves run under the resilience retry ladder
+// (seed restart → Krylov-cap escalation → dense fallback → eigenvector
+// degradation; see internal/resilience), so a struggling solve degrades
+// before it fails. Whatever path was taken, a nil error guarantees the
+// returned partitioning is a complete, in-range K-way assignment.
+func PartitionCtx(ctx context.Context, h *Netlist, opts Options) (*Partitioning, error) {
+	return partitionCtxWithPolicy(ctx, h, opts, resilience.EigenPolicy{})
+}
+
+// partitionCtxWithPolicy is the pipeline entry behind PartitionCtx;
+// tests inject an EigenPolicy carrying a FaultPlan to force specific
+// ladder rungs end to end.
+func partitionCtxWithPolicy(ctx context.Context, h *Netlist, opts Options, pol resilience.EigenPolicy) (*Partitioning, error) {
 	o := opts.withDefaults()
-	if o.K < 2 {
-		return nil, fmt.Errorf("spectral: K = %d, want >= 2", o.K)
+	if err := ValidateNetlist(h); err != nil {
+		return nil, &PipelineError{Stage: string(resilience.StageValidate), Method: o.Method, Err: err}
 	}
-	var p *Partitioning
-	var err error
-	switch o.Method {
-	case MELO:
-		p, err = partitionMELO(h, o)
-	case SB:
-		p, err = partitionSB(h, o)
-	case RSB:
-		p, err = rsb.Partition(h, rsb.Options{K: o.K, Model: graph.PartitioningSpecific})
-	case KP:
-		p, err = partitionKP(h, o)
-	case SFC:
-		p, err = partitionSFC(h, o)
-	case Placement:
-		p, err = partitionPlacement(h, o)
-	case VKP:
-		p, err = VectorPartition(h, o.K, o.D)
-	case Barnes:
-		p, err = partitionBarnes(h, o)
-	case HL:
-		p, err = partitionHL(h, o)
-	default:
-		return nil, fmt.Errorf("spectral: unknown method %v", o.Method)
+	if err := validateOptions(h, opts, o); err != nil {
+		return nil, &PipelineError{Stage: string(resilience.StageValidate), Method: o.Method, Err: err}
 	}
-	if err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if o.Refine {
-		if o.K == 2 {
-			res, err := fm.Refine(h, p, fm.Options{MinFrac: o.MinFrac})
-			if err != nil {
-				return nil, err
-			}
-			p = res.Partition
-		} else {
-			res, err := fm.RefineKWay(h, p, fm.KWayOptions{})
-			if err != nil {
-				return nil, err
-			}
-			p = res.Partition
-		}
+	pl := &pipeline{ctx: ctx, o: o, pol: pol, stage: resilience.StageCliqueModel}
+	p, err := pl.run(h)
+	if err != nil {
+		return nil, wrapPipelineErr(o.Method, pl.stage, err)
+	}
+	if err := checkPartitioning(h, p, o.K); err != nil {
+		return nil, &PipelineError{Stage: string(pl.stage), Method: o.Method, Err: err}
 	}
 	return p, nil
 }
 
+// pipeline carries one run's context, options and eigensolver policy,
+// and tracks the stage currently executing so recovered panics and
+// stage-agnostic errors are attributed to the right phase.
+type pipeline struct {
+	ctx   context.Context
+	o     Options
+	pol   resilience.EigenPolicy
+	stage resilience.Stage
+}
+
+func (pl *pipeline) enter(s resilience.Stage) { pl.stage = s }
+
+// protect runs fn, converting a panic into a *PipelineError carrying the
+// stage that was executing and the recovery stack.
+func (pl *pipeline) protect(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PipelineError{
+				Stage:    string(pl.stage),
+				Method:   pl.o.Method,
+				Err:      fmt.Errorf("panic: %v", r),
+				Panicked: true,
+				Stack:    debug.Stack(),
+			}
+		}
+	}()
+	return fn()
+}
+
+func (pl *pipeline) run(h *Netlist) (*Partitioning, error) {
+	var p *Partitioning
+	err := pl.protect(func() error {
+		var err error
+		p, err = pl.dispatch(h)
+		if err != nil {
+			return err
+		}
+		if pl.o.Refine {
+			pl.enter(resilience.StageRefine)
+			if pl.o.K == 2 {
+				res, err := fm.Refine(h, p, fm.Options{MinFrac: pl.o.MinFrac})
+				if err != nil {
+					return err
+				}
+				p = res.Partition
+			} else {
+				res, err := fm.RefineKWay(h, p, fm.KWayOptions{})
+				if err != nil {
+					return err
+				}
+				p = res.Partition
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (pl *pipeline) dispatch(h *Netlist) (*Partitioning, error) {
+	switch pl.o.Method {
+	case MELO:
+		return pl.partitionMELO(h)
+	case SB:
+		return pl.partitionSB(h)
+	case RSB:
+		pl.enter(resilience.StageSplit)
+		return rsb.PartitionCtx(pl.ctx, h, rsb.Options{K: pl.o.K, Model: graph.PartitioningSpecific})
+	case KP:
+		return pl.partitionKP(h)
+	case SFC:
+		return pl.partitionSFC(h)
+	case Placement:
+		return pl.partitionPlacement(h)
+	case VKP:
+		pl.enter(resilience.StageSplit)
+		return VectorPartition(h, pl.o.K, pl.o.D)
+	case Barnes:
+		return pl.partitionBarnes(h)
+	case HL:
+		return pl.partitionHL(h)
+	default:
+		return nil, fmt.Errorf("spectral: unknown method %v", pl.o.Method)
+	}
+}
+
+// decompose is the context-free decomposition used by the extension
+// entry points (extensions.go); it shares the resilience ladder and
+// per-component handling with the main pipeline.
 func decompose(h *Netlist, model graph.CliqueModel, d int) (*graph.Graph, *eigen.Decomposition, error) {
+	pl := &pipeline{ctx: context.Background(), o: Options{}.withDefaults(), stage: resilience.StageCliqueModel}
+	return pl.decompose(h, model, d)
+}
+
+// decompose builds the clique-model graph and its d+1 smallest Laplacian
+// eigenpairs via the resilience ladder, handling disconnected graphs per
+// component.
+func (pl *pipeline) decompose(h *Netlist, model graph.CliqueModel, d int) (*graph.Graph, *eigen.Decomposition, error) {
+	pl.enter(resilience.StageCliqueModel)
 	g, err := graph.FromHypergraph(h, model, 0)
 	if err != nil {
 		return nil, nil, err
 	}
+	pl.enter(resilience.StageEigen)
 	want := d + 1
 	if want > g.N() {
 		want = g.N()
 	}
-	dec, err := eigen.SmallestEigenpairs(g.Laplacian(), want)
+	dec, err := pl.solveComponents(g, want)
 	if err != nil {
 		return nil, nil, err
 	}
 	return g, dec, nil
 }
 
-func partitionMELO(h *Netlist, o Options) (*Partitioning, error) {
-	g, dec, err := decompose(h, graph.PartitioningSpecific, o.D)
+// solveComponents runs the eigensolver ladder on g's Laplacian. A
+// disconnected graph is solved per component and the eigenpairs merged
+// by ascending eigenvalue — exact, because a disconnected Laplacian is
+// block-diagonal so its spectrum is the union of the component spectra.
+// This also keeps Lanczos away from the degenerate zero eigenvalue of
+// multiplicity = #components, its worst case.
+func (pl *pipeline) solveComponents(g *graph.Graph, want int) (*eigen.Decomposition, error) {
+	comps := g.Components()
+	if len(comps) <= 1 {
+		sol, err := resilience.SolveEigen(pl.ctx, g.Laplacian(), want, pl.pol)
+		if err != nil {
+			return nil, err
+		}
+		return sol.Dec, nil
+	}
+	type pair struct {
+		val  float64
+		vec  []float64 // component-local entries
+		back []int     // component-local index -> original vertex
+	}
+	var pairs []pair
+	for _, comp := range comps {
+		if err := pl.ctx.Err(); err != nil {
+			return nil, err
+		}
+		if len(comp) == 1 {
+			pairs = append(pairs, pair{val: 0, vec: []float64{1}, back: comp})
+			continue
+		}
+		sub, back := g.Induce(comp)
+		cw := want
+		if cw > len(comp) {
+			cw = len(comp)
+		}
+		sol, err := resilience.SolveEigen(pl.ctx, sub.Laplacian(), cw, pl.pol)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < sol.Dec.D(); j++ {
+			pairs = append(pairs, pair{val: sol.Dec.Values[j], vec: sol.Dec.Vector(j), back: back})
+		}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].val < pairs[b].val })
+	if len(pairs) > want {
+		pairs = pairs[:want]
+	}
+	vals := make([]float64, len(pairs))
+	vecs := linalg.NewDense(g.N(), len(pairs))
+	for j, pr := range pairs {
+		vals[j] = pr.val
+		for i, orig := range pr.back {
+			vecs.Set(orig, j, pr.vec[i])
+		}
+	}
+	return &eigen.Decomposition{Values: vals, Vectors: vecs}, nil
+}
+
+func (pl *pipeline) partitionMELO(h *Netlist) (*Partitioning, error) {
+	g, dec, err := pl.decompose(h, graph.PartitioningSpecific, pl.o.D)
 	if err != nil {
 		return nil, err
 	}
+	pl.enter(resilience.StageOrdering)
 	mo := melo.NewOptions()
-	mo.D = o.D
-	mo.Scheme = melo.Scheme(o.Scheme)
-	res, err := melo.Order(g, dec, mo)
+	mo.D = pl.o.D
+	mo.Scheme = melo.Scheme(pl.o.Scheme)
+	res, err := melo.OrderCtx(pl.ctx, g, dec, mo)
 	if err != nil {
 		return nil, err
 	}
-	if o.K == 2 {
-		split, err := dprp.BestBalancedSplit(h, res.Order, o.MinFrac)
+	pl.enter(resilience.StageSplit)
+	if pl.o.K == 2 {
+		split, err := dprp.BestBalancedSplit(h, res.Order, pl.o.MinFrac)
 		if err != nil {
 			return nil, err
 		}
 		return split.Partition, nil
 	}
-	dp, err := dprp.Partition(h, res.Order, dprp.Options{K: o.K})
+	dp, err := dprp.PartitionCtx(pl.ctx, h, res.Order, dprp.Options{K: pl.o.K})
 	if err != nil {
 		return nil, err
 	}
 	return dp.Partition, nil
 }
 
-func partitionSB(h *Netlist, o Options) (*Partitioning, error) {
-	if o.K != 2 {
-		return nil, fmt.Errorf("spectral: SB is a bipartitioner, got K = %d", o.K)
+func (pl *pipeline) partitionSB(h *Netlist) (*Partitioning, error) {
+	if pl.o.K != 2 {
+		return nil, fmt.Errorf("spectral: SB is a bipartitioner, got K = %d", pl.o.K)
 	}
-	g, dec, err := decompose(h, graph.PartitioningSpecific, 1)
+	g, dec, err := pl.decompose(h, graph.PartitioningSpecific, 1)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sb.Bipartition(h, g, dec, o.MinFrac)
+	pl.enter(resilience.StageSplit)
+	res, err := sb.Bipartition(h, g, dec, pl.o.MinFrac)
 	if err != nil {
 		return nil, err
 	}
 	return res.Partition, nil
 }
 
-func partitionKP(h *Netlist, o Options) (*Partitioning, error) {
-	_, dec, err := decompose(h, graph.Frankle, o.K)
+func (pl *pipeline) partitionKP(h *Netlist) (*Partitioning, error) {
+	_, dec, err := pl.decompose(h, graph.Frankle, pl.o.K)
 	if err != nil {
 		return nil, err
 	}
-	return kp.Partition(dec, kp.Options{K: o.K, MinSize: 1})
+	pl.enter(resilience.StageSplit)
+	return kp.Partition(dec, kp.Options{K: pl.o.K, MinSize: 1})
 }
 
-func partitionSFC(h *Netlist, o Options) (*Partitioning, error) {
-	_, dec, err := decompose(h, graph.PartitioningSpecific, 2)
+func (pl *pipeline) partitionSFC(h *Netlist) (*Partitioning, error) {
+	_, dec, err := pl.decompose(h, graph.PartitioningSpecific, 2)
 	if err != nil {
 		return nil, err
 	}
+	pl.enter(resilience.StageOrdering)
 	order, err := sfc.Order(dec, sfc.Options{D: 2, Curve: sfc.Hilbert})
 	if err != nil {
 		return nil, err
 	}
-	if o.K == 2 {
-		split, err := dprp.BestBalancedSplit(h, order, o.MinFrac)
+	pl.enter(resilience.StageSplit)
+	if pl.o.K == 2 {
+		split, err := dprp.BestBalancedSplit(h, order, pl.o.MinFrac)
 		if err != nil {
 			return nil, err
 		}
 		return split.Partition, nil
 	}
-	dp, err := dprp.Partition(h, order, dprp.Options{K: o.K})
+	dp, err := dprp.PartitionCtx(pl.ctx, h, order, dprp.Options{K: pl.o.K})
 	if err != nil {
 		return nil, err
 	}
 	return dp.Partition, nil
 }
 
-func partitionBarnes(h *Netlist, o Options) (*Partitioning, error) {
+func (pl *pipeline) partitionBarnes(h *Netlist) (*Partitioning, error) {
+	pl.enter(resilience.StageCliqueModel)
 	g, err := graph.FromHypergraph(h, graph.PartitioningSpecific, 0)
 	if err != nil {
 		return nil, err
 	}
-	return barnes.Partition(g, barnes.Options{K: o.K, SignFlips: true})
+	pl.enter(resilience.StageSplit)
+	return barnes.Partition(g, barnes.Options{K: pl.o.K, SignFlips: true})
 }
 
-func partitionHL(h *Netlist, o Options) (*Partitioning, error) {
+func (pl *pipeline) partitionHL(h *Netlist) (*Partitioning, error) {
 	d := 0
-	for 1<<uint(d) < o.K {
+	for 1<<uint(d) < pl.o.K {
 		d++
 	}
-	if 1<<uint(d) != o.K {
-		return nil, fmt.Errorf("spectral: HL requires K to be a power of two, got %d", o.K)
+	if 1<<uint(d) != pl.o.K {
+		return nil, fmt.Errorf("spectral: HL requires K to be a power of two, got %d", pl.o.K)
 	}
+	pl.enter(resilience.StageSplit)
 	return HypercubePartition(h, d)
 }
 
-func partitionPlacement(h *Netlist, o Options) (*Partitioning, error) {
-	if o.K != 2 {
-		return nil, fmt.Errorf("spectral: Placement is a bipartitioner, got K = %d", o.K)
+func (pl *pipeline) partitionPlacement(h *Netlist) (*Partitioning, error) {
+	if pl.o.K != 2 {
+		return nil, fmt.Errorf("spectral: Placement is a bipartitioner, got K = %d", pl.o.K)
 	}
-	res, err := paraboli.Bipartition(h, paraboli.Options{Model: graph.PartitioningSpecific, MinFrac: o.MinFrac})
+	pl.enter(resilience.StageSplit)
+	res, err := paraboli.BipartitionCtx(pl.ctx, h, paraboli.Options{Model: graph.PartitioningSpecific, MinFrac: pl.o.MinFrac})
 	if err != nil {
 		return nil, err
 	}
@@ -316,21 +487,49 @@ func partitionPlacement(h *Netlist, o Options) (*Partitioning, error) {
 // OrderModules returns a MELO ordering of the netlist's modules — the
 // paper's primary artifact, which callers can split with their own rules.
 func OrderModules(h *Netlist, d int, scheme int) ([]int, error) {
+	return OrderModulesCtx(context.Background(), h, d, scheme)
+}
+
+// OrderModulesCtx is OrderModules with cooperative cancellation and the
+// same hardening as PartitionCtx: input validation, the eigensolver
+// resilience ladder, per-component solves on disconnected netlists, and
+// panic recovery into *PipelineError. Context errors pass through
+// unwrapped.
+func OrderModulesCtx(ctx context.Context, h *Netlist, d int, scheme int) ([]int, error) {
 	if d <= 0 {
 		d = 10
 	}
-	g, dec, err := decompose(h, graph.PartitioningSpecific, d)
-	if err != nil {
+	if err := ValidateNetlist(h); err != nil {
+		return nil, &PipelineError{Stage: string(resilience.StageValidate), Method: MELO, Err: err}
+	}
+	if scheme < 0 || scheme > 3 {
+		return nil, &PipelineError{Stage: string(resilience.StageValidate), Method: MELO, Err: fmt.Errorf("spectral: Scheme = %d, want 0..3", scheme)}
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	mo := melo.NewOptions()
-	mo.D = d
-	mo.Scheme = melo.Scheme(scheme)
-	res, err := melo.Order(g, dec, mo)
+	pl := &pipeline{ctx: ctx, o: Options{K: 2, Method: MELO, D: d, Scheme: scheme}.withDefaults(), stage: resilience.StageCliqueModel}
+	var order []int
+	err := pl.protect(func() error {
+		g, dec, err := pl.decompose(h, graph.PartitioningSpecific, d)
+		if err != nil {
+			return err
+		}
+		pl.enter(resilience.StageOrdering)
+		mo := melo.NewOptions()
+		mo.D = d
+		mo.Scheme = melo.Scheme(scheme)
+		res, err := melo.OrderCtx(ctx, g, dec, mo)
+		if err != nil {
+			return err
+		}
+		order = res.Order
+		return nil
+	})
 	if err != nil {
-		return nil, err
+		return nil, wrapPipelineErr(MELO, pl.stage, err)
 	}
-	return res.Order, nil
+	return order, nil
 }
 
 // NetCut returns the number of nets spanning more than one cluster.
@@ -360,6 +559,9 @@ func SaveHMetis(w io.Writer, h *Netlist) error { return hypergraph.WriteHMetis(w
 // circuits (bm1, prim1, prim2, test02…test06, struct, 19ks, biomed,
 // industry2) at the given scale (1 = published size).
 func GenerateBenchmark(name string, scale float64) (*Netlist, error) {
+	if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
+		return nil, fmt.Errorf("spectral: scale = %v, want finite > 0", scale)
+	}
 	c, err := bench.Lookup(name)
 	if err != nil {
 		return nil, err
