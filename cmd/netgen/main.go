@@ -5,6 +5,7 @@
 //	netgen -list                      # show the registered benchmarks
 //	netgen -name prim1 > prim1.net    # full published size
 //	netgen -name industry2 -scale 0.1 -o ind2_small.net
+//	netgen -name prim1 -seed 42       # alternate random instance
 package main
 
 import (
@@ -22,6 +23,7 @@ func main() {
 		scale  = flag.Float64("scale", 1.0, "scale factor (0,1]")
 		out    = flag.String("o", "", "output file (default stdout)")
 		format = flag.String("format", "text", "output format: text|hmetis")
+		seed   = flag.Int64("seed", 0, "generator seed (0 = derive from benchmark name)")
 		list   = flag.Bool("list", false, "list registered benchmarks")
 	)
 	flag.Parse()
@@ -37,7 +39,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	h, err := spectral.GenerateBenchmark(*name, *scale)
+	h, err := spectral.GenerateBenchmarkSeeded(*name, *scale, *seed)
 	if err != nil {
 		fatal(err)
 	}

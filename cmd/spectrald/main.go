@@ -1,0 +1,106 @@
+// Command spectrald serves spectral partitioning over HTTP.
+//
+// It wraps the repro facade in a long-running daemon: clients upload
+// netlists (content-addressed by a canonical-form hash), submit
+// partitioning or ordering jobs against them, poll status and fetch
+// results. A bounded worker pool executes jobs, an LRU cache reuses
+// eigendecompositions across jobs on the same netlist, and /metrics
+// exposes counters in the Prometheus text format.
+//
+// Usage:
+//
+//	spectrald [-addr :8090] [-workers N] [-queue N] [-cache N]
+//	          [-max-netlists N] [-grace 30s]
+//
+// On SIGINT or SIGTERM the daemon stops accepting work (healthz flips
+// to 503, submissions are refused), shuts the listener down, and lets
+// in-flight jobs drain for -grace; jobs still running after the grace
+// period are cancelled through their contexts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8090", "HTTP listen address")
+		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, capped at 8)")
+		queueDepth  = flag.Int("queue", 0, "job queue depth before 429 backpressure (0 = 64)")
+		cacheSize   = flag.Int("cache", 0, "spectrum cache entries (0 = 32)")
+		maxNetlists = flag.Int("max-netlists", 0, "netlist store bound (0 = 128)")
+		grace       = flag.Duration("grace", 30*time.Second, "drain window for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queueDepth, *cacheSize, *maxNetlists, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "spectrald:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queueDepth, cacheSize, maxNetlists int, grace time.Duration) error {
+	pool := jobs.NewPool(jobs.Config{
+		Workers:      workers,
+		QueueDepth:   queueDepth,
+		CacheEntries: cacheSize,
+	})
+	pool.Start()
+	srv := server.New(pool, server.Config{MaxNetlists: maxNetlists})
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("spectrald listening on %s", addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		// Listener died before any signal: shut the pool down hard.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = pool.Shutdown(shutdownCtx)
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills us
+
+	log.Printf("signal received; draining (grace %s)", grace)
+	srv.SetDraining(true)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := pool.Shutdown(shutdownCtx); err != nil {
+		log.Printf("drain window expired; cancelled remaining jobs: %v", err)
+	} else {
+		log.Printf("all jobs drained")
+	}
+	return <-errc
+}

@@ -44,6 +44,13 @@ func VectorPartition(h *Netlist, k, d int) (*Partitioning, error) {
 	if err != nil {
 		return nil, err
 	}
+	return vectorPartitionFrom(g, dec, k, d)
+}
+
+// vectorPartitionFrom is the decomposition-to-partitioning half of
+// VectorPartition, shared with the main pipeline's VKP dispatch (which
+// brings its own context, eigensolver policy and reusable spectrum).
+func vectorPartitionFrom(g *graph.Graph, dec *eigen.Decomposition, k, d int) (*Partitioning, error) {
 	used := d
 	if used > dec.D()-1 {
 		used = dec.D() - 1

@@ -85,13 +85,26 @@ const MaxNetSize = 64
 // almost all pins from the home's 3×3 neighborhood, giving the locality
 // (and the small ratio cuts) real circuits exhibit.
 func Generate(c Circuit) (*hypergraph.Hypergraph, error) {
+	return GenerateSeeded(c, 0)
+}
+
+// GenerateSeeded is Generate with an explicit seed for the random-net
+// draw, so callers can produce distinct-but-reproducible instances of
+// the same circuit. Seed 0 selects the canonical per-name seed that
+// Generate uses; any other seed varies the random nets (the connecting
+// skeleton is seed-independent, so every instance stays connected with
+// exactly the published statistics).
+func GenerateSeeded(c Circuit, seed int64) (*hypergraph.Hypergraph, error) {
 	if c.Modules < 2 || c.Nets < 1 || c.Pins < 2*c.Nets {
 		return nil, fmt.Errorf("bench: infeasible circuit %+v (need pins >= 2·nets)", c)
 	}
 	if c.Pins > c.Nets*MaxNetSize {
 		return nil, fmt.Errorf("bench: circuit %+v exceeds max net size %d", c, MaxNetSize)
 	}
-	rng := rand.New(rand.NewSource(seedFor(c.Name)))
+	if seed == 0 {
+		seed = seedFor(c.Name)
+	}
+	rng := rand.New(rand.NewSource(seed))
 
 	// Skeleton: nets of size s covering modules [j(s−1), j(s−1)+s−1], so
 	// consecutive nets overlap in one module and the whole chain is

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"testing"
+
+	"repro/internal/hypergraph"
 )
 
 func TestLookup(t *testing.T) {
@@ -81,6 +83,66 @@ func TestGenerateDeterministic(t *testing.T) {
 				t.Fatalf("net %d contents differ", e)
 			}
 		}
+	}
+}
+
+func sameNets(a, b *hypergraph.Hypergraph) bool {
+	if a.NumNets() != b.NumNets() {
+		return false
+	}
+	for e := range a.Nets {
+		if len(a.Nets[e]) != len(b.Nets[e]) {
+			return false
+		}
+		for i := range a.Nets[e] {
+			if a.Nets[e][i] != b.Nets[e][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestGenerateSeeded(t *testing.T) {
+	c := mustLookup(t, "bm1").Scaled(0.2)
+
+	a1, err := GenerateSeeded(c, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := GenerateSeeded(c, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameNets(a1, a2) {
+		t.Error("same seed produced different netlists")
+	}
+
+	b, err := GenerateSeeded(c, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameNets(a1, b) {
+		t.Error("different seeds produced identical netlists")
+	}
+	if a1.NumModules() != b.NumModules() || a1.NumNets() != b.NumNets() {
+		t.Error("seed changed published module/net counts")
+	}
+	if !b.IsConnected() {
+		t.Error("seeded instance disconnected")
+	}
+
+	// Seed 0 is the named default: identical to Generate.
+	d0, err := GenerateSeeded(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameNets(d0, def) {
+		t.Error("seed 0 differs from Generate default")
 	}
 }
 

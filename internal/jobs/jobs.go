@@ -1,0 +1,240 @@
+// Package jobs is the execution engine of the spectrald daemon: a
+// bounded FIFO queue feeding a fixed worker pool, with per-job
+// cooperative cancellation wired into the façade's PartitionCtx /
+// OrderModulesCtx pipeline (and through it the internal/resilience
+// eigensolver ladder), and a content-addressed spectrum cache
+// (internal/speccache) so repeated requests against the same netlist
+// reuse one eigendecomposition across methods, K values and d-sweeps.
+//
+// Lifecycle: a submitted job is pending until a worker picks it up,
+// running while the pipeline executes, and ends done, failed or
+// cancelled. The queue is bounded: Submit never blocks, returning
+// ErrQueueFull for the daemon to surface as HTTP 429 backpressure.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	spectral "repro"
+)
+
+// Kind selects what a job computes.
+type Kind string
+
+const (
+	// KindPartition runs a full K-way partition of the netlist.
+	KindPartition Kind = "partition"
+	// KindOrder computes a MELO module ordering (the paper's primary
+	// artifact) without splitting it.
+	KindOrder Kind = "order"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	Pending   State = "pending"
+	Running   State = "running"
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// Errors returned by Submit.
+var (
+	// ErrQueueFull reports that the bounded queue is at capacity; the
+	// caller should retry later (HTTP 429).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrShuttingDown reports that the pool no longer accepts work.
+	ErrShuttingDown = errors.New("jobs: pool is shutting down")
+)
+
+// Request describes one unit of work.
+type Request struct {
+	// Netlist is the instance to process. Required.
+	Netlist *spectral.Netlist
+	// Hash is the netlist's content fingerprint used as the spectrum
+	// cache key; empty means "compute it from the netlist".
+	Hash string
+	// Kind selects partition vs ordering. Default KindPartition.
+	Kind Kind
+	// Opts configures a KindPartition job.
+	Opts spectral.Options
+	// D and Scheme configure a KindOrder job (0 selects the façade
+	// defaults).
+	D, Scheme int
+}
+
+// Result is the output of a finished job.
+type Result struct {
+	// Assign and K hold the partitioning of a KindPartition job.
+	Assign []int `json:"assign,omitempty"`
+	K      int   `json:"k,omitempty"`
+	// NetCut and ScaledCost evaluate the partitioning.
+	NetCut     int     `json:"netCut,omitempty"`
+	ScaledCost float64 `json:"scaledCost,omitempty"`
+	// Order holds the module ordering of a KindOrder job.
+	Order []int `json:"order,omitempty"`
+	// SpectrumCacheHit reports that the job reused a cached
+	// eigendecomposition and skipped its eigensolve.
+	SpectrumCacheHit bool `json:"spectrumCacheHit"`
+}
+
+// Status is a JSON-ready snapshot of a job.
+type Status struct {
+	ID       string     `json:"id"`
+	Kind     Kind       `json:"kind"`
+	State    State      `json:"state"`
+	Method   string     `json:"method,omitempty"`
+	K        int        `json:"k,omitempty"`
+	D        int        `json:"d,omitempty"`
+	Hash     string     `json:"netlist,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Stage latencies in seconds: time spent queued, obtaining the
+	// eigendecomposition (0 on a cache hit), and in the downstream
+	// solve.
+	QueueSeconds    float64 `json:"queueSeconds"`
+	SpectrumSeconds float64 `json:"spectrumSeconds"`
+	SolveSeconds    float64 `json:"solveSeconds"`
+	Result          *Result `json:"result,omitempty"`
+}
+
+// Job is one tracked unit of work. All methods are safe for concurrent
+// use.
+type Job struct {
+	id     string
+	req    Request
+	ctx    context.Context
+	cancel func()
+
+	mu                              sync.Mutex
+	state                           State
+	err                             error
+	result                          *Result
+	created                         time.Time
+	started                         time.Time
+	finished                        time.Time
+	queueDur, spectrumDur, solveDur time.Duration
+
+	done chan struct{}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cooperative cancellation. It is a no-op after the job
+// finished.
+func (j *Job) Cancel() { j.cancel() }
+
+// Result returns the finished job's result, or the error it failed
+// with. Calling it before the job finished returns an error.
+func (j *Job) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case Done:
+		return j.result, nil
+	case Failed, Cancelled:
+		return nil, j.err
+	default:
+		return nil, errors.New("jobs: job has not finished")
+	}
+}
+
+// Status returns a snapshot of the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		ID:              j.id,
+		Kind:            j.req.Kind,
+		State:           j.state,
+		Hash:            j.req.Hash,
+		Created:         j.created,
+		QueueSeconds:    j.queueDur.Seconds(),
+		SpectrumSeconds: j.spectrumDur.Seconds(),
+		SolveSeconds:    j.solveDur.Seconds(),
+		Result:          j.result,
+	}
+	if j.req.Kind == KindOrder {
+		s.Method = "melo"
+		s.D = j.req.D
+	} else {
+		o := j.req.Opts
+		s.Method = o.Method.String()
+		s.K = o.K
+		s.D = o.D
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// markStarted transitions pending → running and records the queue wait.
+func (j *Job) markStarted(now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = Running
+	j.started = now
+	j.queueDur = now.Sub(j.created)
+}
+
+// finish transitions to the terminal state for (result, err).
+func (j *Job) finish(res *Result, err error, cancelled bool, now time.Time) State {
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state, j.result = Done, res
+	case cancelled:
+		j.state, j.err = Cancelled, err
+	default:
+		j.state, j.err = Failed, err
+	}
+	j.finished = now
+	if j.started.IsZero() {
+		// Never ran: cancelled while queued.
+		j.started = now
+		j.queueDur = now.Sub(j.created)
+	}
+	st := j.state
+	j.mu.Unlock()
+	close(j.done)
+	return st
+}
+
+func (j *Job) recordSpectrum(d time.Duration) {
+	j.mu.Lock()
+	j.spectrumDur = d
+	j.mu.Unlock()
+}
+
+func (j *Job) recordSolve(d time.Duration) {
+	j.mu.Lock()
+	j.solveDur = d
+	j.mu.Unlock()
+}

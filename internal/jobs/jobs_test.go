@@ -1,0 +1,345 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	spectral "repro"
+)
+
+// leakCheck snapshots the goroutine count and returns a func that fails
+// the test if the count has not returned to the baseline. Tests in this
+// package must not run in parallel.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+	}
+}
+
+func testNetlist(t *testing.T) *spectral.Netlist {
+	t.Helper()
+	h, err := spectral.GenerateBenchmark("prim1", 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func waitDone(t *testing.T, j *Job) *Result {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s did not finish (state %s)", j.ID(), j.State())
+	}
+	res, err := j.Result()
+	if err != nil {
+		t.Fatalf("job %s: %v", j.ID(), err)
+	}
+	return res
+}
+
+// A second request for the same netlist with a different method, K or d
+// must hit the spectrum cache: one eigensolve serves them all.
+func TestSpectrumReusedAcrossMethodsAndK(t *testing.T) {
+	defer leakCheck(t)()
+	h := testNetlist(t)
+	p := NewPool(Config{Workers: 2, QueueDepth: 16})
+	p.Start()
+	defer p.Shutdown(context.Background())
+
+	first, err := p.Submit(Request{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.MELO}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := waitDone(t, first); res.SpectrumCacheHit {
+		t.Error("first job cannot be a cache hit")
+	}
+	if st := p.Cache().Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("after first job: cache stats %+v, want exactly 1 miss", st)
+	}
+
+	// Different K, different method, and an ordering job: all reuse the
+	// partitioning-specific decomposition computed above.
+	reusers := []Request{
+		{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 4, Method: spectral.MELO}},
+		{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.SFC}},
+		{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.SB}},
+		{Netlist: h, Kind: KindOrder, D: 5},
+	}
+	for i, req := range reusers {
+		j, err := p.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := waitDone(t, j)
+		if !res.SpectrumCacheHit {
+			t.Errorf("request %d: spectrum cache miss, want hit", i)
+		}
+	}
+	st := p.Cache().Stats()
+	if st.Misses != 1 {
+		t.Errorf("eigensolve ran %d times across 5 jobs, want once", st.Misses)
+	}
+	if st.Hits != uint64(len(reusers)) {
+		t.Errorf("cache hits = %d, want %d", st.Hits, len(reusers))
+	}
+
+	// KP uses the Frankle clique model: a genuinely different
+	// decomposition, so a second (and only a second) eigensolve.
+	kp, err := p.Submit(Request{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.KP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := waitDone(t, kp); res.SpectrumCacheHit {
+		t.Error("KP must not reuse the partitioning-specific spectrum")
+	}
+	if st := p.Cache().Stats(); st.Misses != 2 {
+		t.Errorf("misses = %d after KP, want 2", st.Misses)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	defer leakCheck(t)()
+	h := testNetlist(t)
+	p := NewPool(Config{Workers: 1, QueueDepth: 2})
+	release := make(chan struct{})
+	p.runFn = func(ctx context.Context, j *Job) (*Result, error) {
+		select {
+		case <-release:
+			return &Result{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	p.Start()
+	defer p.Shutdown(context.Background())
+
+	running, err := p.Submit(Request{Netlist: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker holds the first job, so the queue is empty.
+	for running.State() != Running {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := p.Submit(Request{Netlist: h}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if _, err := p.Submit(Request{Netlist: h}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull submit: err = %v, want ErrQueueFull", err)
+	}
+	st := p.Stats()
+	if st.Rejected != 1 || st.QueueDepth != 2 {
+		t.Errorf("stats = %+v, want 1 rejected, queue depth 2", st)
+	}
+	close(release)
+}
+
+// Shutdown with headroom must drain: queued jobs run to completion.
+func TestShutdownDrains(t *testing.T) {
+	defer leakCheck(t)()
+	h := testNetlist(t)
+	p := NewPool(Config{Workers: 1, QueueDepth: 8})
+	p.Start()
+	var submitted []*Job
+	for i := 0; i < 3; i++ {
+		j, err := p.Submit(Request{Netlist: h, Opts: spectral.Options{K: 2, Method: spectral.MELO}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		submitted = append(submitted, j)
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range submitted {
+		if j.State() != Done {
+			t.Errorf("job %d: state %s after drain, want done", i, j.State())
+		}
+	}
+	if _, err := p.Submit(Request{Netlist: h}); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("submit after shutdown: err = %v, want ErrShuttingDown", err)
+	}
+}
+
+// Shutdown whose context expires must cancel in-flight and queued jobs
+// instead of waiting forever — and still not leak the workers.
+func TestShutdownCancelsOnDeadline(t *testing.T) {
+	defer leakCheck(t)()
+	h := testNetlist(t)
+	p := NewPool(Config{Workers: 1, QueueDepth: 8})
+	started := make(chan struct{}, 8)
+	p.runFn = func(ctx context.Context, j *Job) (*Result, error) {
+		started <- struct{}{}
+		<-ctx.Done() // simulate a job that only stops via cancellation
+		return nil, ctx.Err()
+	}
+	p.Start()
+	inflight, err := p.Submit(Request{Netlist: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := p.Submit(Request{Netlist: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("shutdown err = %v, want DeadlineExceeded", err)
+	}
+	for i, j := range []*Job{inflight, queued} {
+		if st := j.State(); st != Cancelled {
+			t.Errorf("job %d: state %s, want cancelled", i, st)
+		}
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	defer leakCheck(t)()
+	h := testNetlist(t)
+	p := NewPool(Config{Workers: 1, QueueDepth: 8})
+	started := make(chan struct{}, 8)
+	p.runFn = func(ctx context.Context, j *Job) (*Result, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	p.Start()
+	defer p.Shutdown(context.Background())
+
+	running, err := p.Submit(Request{Netlist: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := p.Submit(Request{Netlist: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if !p.Cancel(queued.ID()) {
+		t.Error("cancel queued returned false")
+	}
+	if !p.Cancel(running.ID()) {
+		t.Error("cancel running returned false")
+	}
+	for _, j := range []*Job{running, queued} {
+		<-j.Done()
+		if j.State() != Cancelled {
+			t.Errorf("job %s: state %s, want cancelled", j.ID(), j.State())
+		}
+		if _, err := j.Result(); !errors.Is(err, context.Canceled) {
+			t.Errorf("job %s: result err %v, want context.Canceled", j.ID(), err)
+		}
+	}
+	if p.Cancel(running.ID()) {
+		t.Error("cancelling a finished job returned true")
+	}
+	if p.Cancel("job-999999") {
+		t.Error("cancelling an unknown job returned true")
+	}
+}
+
+func TestJobFailureIsAttributed(t *testing.T) {
+	defer leakCheck(t)()
+	h := testNetlist(t)
+	p := NewPool(Config{Workers: 1, QueueDepth: 4})
+	p.Start()
+	defer p.Shutdown(context.Background())
+
+	// SB is a bipartitioner: K=4 fails validation inside the pipeline.
+	j, err := p.Submit(Request{Netlist: h, Opts: spectral.Options{K: 4, Method: spectral.SB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.State() != Failed {
+		t.Fatalf("state = %s, want failed", j.State())
+	}
+	var pe *spectral.PipelineError
+	if _, err := j.Result(); !errors.As(err, &pe) {
+		t.Errorf("result err = %v, want *spectral.PipelineError", err)
+	}
+	if st := j.Status(); st.Error == "" || st.State != Failed {
+		t.Errorf("status = %+v, want error text and failed state", st)
+	}
+}
+
+func TestStatsAndStatusSnapshot(t *testing.T) {
+	defer leakCheck(t)()
+	h := testNetlist(t)
+	p := NewPool(Config{Workers: 2, QueueDepth: 4})
+	p.Start()
+	defer p.Shutdown(context.Background())
+
+	j, err := p.Submit(Request{Netlist: h, Opts: spectral.Options{K: 3, Method: spectral.MELO, D: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	st := j.Status()
+	if st.State != Done || st.Method != "melo" || st.K != 3 || st.D != 6 {
+		t.Errorf("status = %+v", st)
+	}
+	if st.Started == nil || st.Finished == nil || st.Result == nil {
+		t.Errorf("status missing timestamps or result: %+v", st)
+	}
+	if st.Hash == "" {
+		t.Error("status missing netlist hash")
+	}
+	ps := p.Stats()
+	if ps.Done != 1 || ps.Submitted != 1 || ps.Workers != 2 || ps.QueueCapacity != 4 {
+		t.Errorf("pool stats = %+v", ps)
+	}
+	if ps.Solve.Count != 1 || ps.QueueWait.Count != 1 {
+		t.Errorf("stage stats = %+v, want counts of 1", ps)
+	}
+	if all := p.Jobs(); len(all) != 1 || all[0].ID != j.ID() {
+		t.Errorf("Jobs() = %+v", all)
+	}
+}
+
+// Finished jobs beyond MaxJobs are forgotten, oldest first; live jobs
+// are never dropped.
+func TestJobRetention(t *testing.T) {
+	defer leakCheck(t)()
+	h := testNetlist(t)
+	p := NewPool(Config{Workers: 1, QueueDepth: 8, MaxJobs: 2})
+	p.runFn = func(ctx context.Context, j *Job) (*Result, error) { return &Result{}, nil }
+	p.Start()
+	defer p.Shutdown(context.Background())
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, err := p.Submit(Request{Netlist: h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+		ids = append(ids, j.ID())
+	}
+	if _, ok := p.Job(ids[0]); ok {
+		t.Error("oldest finished job survived retention")
+	}
+	if _, ok := p.Job(ids[3]); !ok {
+		t.Error("newest job was dropped")
+	}
+}

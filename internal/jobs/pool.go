@@ -1,0 +1,404 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	spectral "repro"
+	"repro/internal/resilience"
+	"repro/internal/speccache"
+)
+
+// Config sizes a Pool. Zero fields select the noted defaults.
+type Config struct {
+	// Workers is the number of concurrent executors. Default
+	// GOMAXPROCS, capped at 8.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker;
+	// submissions beyond it are rejected with ErrQueueFull. Default 64.
+	QueueDepth int
+	// CacheEntries bounds the spectrum cache (decompositions, not
+	// bytes). Default 32.
+	CacheEntries int
+	// MaxJobs bounds the number of finished jobs retained for status
+	// queries; the oldest finished jobs are forgotten first. Default
+	// 1024.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 32
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// StageStats accumulates latency for one pipeline stage across jobs.
+type StageStats struct {
+	Count        uint64  `json:"count"`
+	TotalSeconds float64 `json:"totalSeconds"`
+}
+
+// Stats is a snapshot of the pool for /metrics.
+type Stats struct {
+	Pending, Running, Done, Failed, Cancelled int
+	Submitted, Rejected                       uint64
+	QueueDepth, QueueCapacity, Workers        int
+	Cache                                     speccache.Stats
+	QueueWait, Spectrum, Solve                StageStats
+}
+
+// Pool runs jobs on a fixed set of workers fed by a bounded FIFO queue.
+type Pool struct {
+	cfg        Config
+	cache      *speccache.Cache
+	queue      chan *Job
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	// runFn executes one job's work; tests substitute it to get
+	// deterministic slow/blocking workloads.
+	runFn func(ctx context.Context, j *Job) (*Result, error)
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string // insertion order, for bounded retention
+	seq       int
+	closed    bool
+	submitted uint64
+	rejected  uint64
+	waitAgg   StageStats
+	specAgg   StageStats
+	solveAgg  StageStats
+}
+
+// NewPool creates a stopped pool; call Start to launch the workers.
+func NewPool(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		cfg:        cfg,
+		cache:      speccache.New(cfg.CacheEntries),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+	}
+	p.runFn = p.run
+	return p
+}
+
+// Start launches the worker goroutines.
+func (p *Pool) Start() {
+	for i := 0; i < p.cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+// Cache exposes the spectrum cache (for metrics).
+func (p *Pool) Cache() *speccache.Cache { return p.cache }
+
+// Submit validates and enqueues a request. It never blocks: a full
+// queue returns ErrQueueFull, a shut-down pool ErrShuttingDown.
+func (p *Pool) Submit(req Request) (*Job, error) {
+	if req.Netlist == nil {
+		return nil, fmt.Errorf("jobs: nil netlist")
+	}
+	if req.Kind == "" {
+		req.Kind = KindPartition
+	}
+	if req.Kind != KindPartition && req.Kind != KindOrder {
+		return nil, fmt.Errorf("jobs: unknown kind %q", req.Kind)
+	}
+	if err := spectral.ValidateNetlist(req.Netlist); err != nil {
+		return nil, err
+	}
+	switch req.Kind {
+	case KindPartition:
+		if err := req.Opts.Validate(req.Netlist); err != nil {
+			return nil, err
+		}
+	case KindOrder:
+		if req.Scheme < 0 || req.Scheme > 3 {
+			return nil, fmt.Errorf("jobs: scheme = %d, want 0..3", req.Scheme)
+		}
+		if req.D < 0 {
+			return nil, fmt.Errorf("jobs: d = %d, want >= 0", req.D)
+		}
+	}
+	if req.Hash == "" {
+		req.Hash = speccache.Fingerprint(req.Netlist)
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrShuttingDown
+	}
+	p.seq++
+	ctx, cancel := context.WithCancel(p.baseCtx)
+	j := &Job{
+		id:      fmt.Sprintf("job-%06d", p.seq),
+		req:     req,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   Pending,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	select {
+	case p.queue <- j:
+		p.jobs[j.id] = j
+		p.order = append(p.order, j.id)
+		p.submitted++
+		p.retainLocked()
+		return j, nil
+	default:
+		cancel()
+		p.rejected++
+		return nil, ErrQueueFull
+	}
+}
+
+// retainLocked forgets the oldest finished jobs beyond MaxJobs. Pending
+// and running jobs are never forgotten.
+func (p *Pool) retainLocked() {
+	excess := len(p.jobs) - p.cfg.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := p.order[:0]
+	for _, id := range p.order {
+		j := p.jobs[id]
+		if excess > 0 && j != nil && isTerminal(j.State()) {
+			delete(p.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	p.order = kept
+}
+
+func isTerminal(s State) bool { return s == Done || s == Failed || s == Cancelled }
+
+// Job returns a tracked job by ID.
+func (p *Pool) Job(id string) (*Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	return j, ok
+}
+
+// Jobs returns status snapshots of all tracked jobs, oldest first.
+func (p *Pool) Jobs() []Status {
+	p.mu.Lock()
+	ids := append([]string(nil), p.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := p.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	p.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. It returns false if the job is
+// unknown or already finished.
+func (p *Pool) Cancel(id string) bool {
+	j, ok := p.Job(id)
+	if !ok || isTerminal(j.State()) {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// Shutdown stops accepting work and waits for the queue to drain. If
+// ctx expires first, all pending and running jobs are cancelled and
+// Shutdown waits for the workers to acknowledge. The spectrum cache
+// survives until the pool is garbage collected; the pool cannot be
+// restarted.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	if !already {
+		close(p.queue)
+	}
+	p.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		p.baseCancel() // cancel running and queued jobs
+		<-drained
+	}
+	p.baseCancel()
+	return err
+}
+
+// Stats returns a snapshot of the pool's counters for /metrics.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	s := Stats{
+		Submitted:     p.submitted,
+		Rejected:      p.rejected,
+		QueueDepth:    len(p.queue),
+		QueueCapacity: p.cfg.QueueDepth,
+		Workers:       p.cfg.Workers,
+		QueueWait:     p.waitAgg,
+		Spectrum:      p.specAgg,
+		Solve:         p.solveAgg,
+	}
+	jobs := make([]*Job, 0, len(p.jobs))
+	for _, j := range p.jobs {
+		jobs = append(jobs, j)
+	}
+	p.mu.Unlock()
+	for _, j := range jobs {
+		switch j.State() {
+		case Pending:
+			s.Pending++
+		case Running:
+			s.Running++
+		case Done:
+			s.Done++
+		case Failed:
+			s.Failed++
+		case Cancelled:
+			s.Cancelled++
+		}
+	}
+	s.Cache = p.cache.Stats()
+	return s
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.execute(j)
+	}
+}
+
+func (p *Pool) execute(j *Job) {
+	now := time.Now()
+	if err := j.ctx.Err(); err != nil {
+		// Cancelled (or the pool shut down) while queued.
+		j.finish(nil, err, true, now)
+		return
+	}
+	j.markStarted(now)
+	res, err := p.runFn(j.ctx, j)
+	cancelled := err != nil && resilience.IsContextError(err)
+	j.finish(res, err, cancelled, time.Now())
+	p.mu.Lock()
+	j.mu.Lock()
+	p.waitAgg.Count++
+	p.waitAgg.TotalSeconds += j.queueDur.Seconds()
+	p.specAgg.Count++
+	p.specAgg.TotalSeconds += j.spectrumDur.Seconds()
+	p.solveAgg.Count++
+	p.solveAgg.TotalSeconds += j.solveDur.Seconds()
+	j.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// run executes one job through the façade with spectrum reuse.
+func (p *Pool) run(ctx context.Context, j *Job) (*Result, error) {
+	req := j.req
+	switch req.Kind {
+	case KindOrder:
+		spec := spectral.OrderSpectrumSpec(req.D)
+		sp, hit, err := p.spectrum(ctx, j, spec)
+		if err != nil {
+			return nil, err
+		}
+		t := time.Now()
+		order, err := spectral.OrderModulesWithSpectrum(ctx, req.Netlist, sp, req.D, req.Scheme)
+		j.recordSolve(time.Since(t))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Order: order, SpectrumCacheHit: hit}, nil
+	default: // KindPartition
+		var (
+			sp  *spectral.Spectrum
+			hit bool
+			err error
+		)
+		if spec := req.Opts.SpectrumSpec(); spec.Needed {
+			sp, hit, err = p.spectrum(ctx, j, spec)
+			if err != nil {
+				return nil, err
+			}
+		}
+		t := time.Now()
+		part, err := spectral.PartitionWithSpectrum(ctx, req.Netlist, sp, req.Opts)
+		j.recordSolve(time.Since(t))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Assign:           part.Assign,
+			K:                part.K,
+			NetCut:           spectral.NetCut(req.Netlist, part),
+			ScaledCost:       spectral.ScaledCost(req.Netlist, part),
+			SpectrumCacheHit: hit,
+		}, nil
+	}
+}
+
+// spectrum fetches (or computes and caches) the decomposition the job
+// needs. The compute itself runs under the pool's base context, not the
+// job's: cancelling one job must not poison the shared compute other
+// jobs may be waiting on; pool shutdown still aborts it.
+func (p *Pool) spectrum(ctx context.Context, j *Job, spec spectral.SpectrumSpec) (*spectral.Spectrum, bool, error) {
+	t := time.Now()
+	defer func() { j.recordSpectrum(time.Since(t)) }()
+	pairs := spec.D + 1
+	if n := j.req.Netlist.NumModules(); pairs > n {
+		pairs = n
+	}
+	key := speccache.Key{Hash: j.req.Hash, Model: spec.Model.String()}
+	entry, hit, err := p.cache.GetOrCompute(ctx, key, pairs, func(context.Context) (speccache.Entry, error) {
+		sp, err := spectral.DecomposeCtx(p.baseCtx, j.req.Netlist, spec.Model, spec.D)
+		if err != nil {
+			return speccache.Entry{}, err
+		}
+		return speccache.Entry{Value: sp, Pairs: sp.Pairs()}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return entry.Value.(*spectral.Spectrum), hit, nil
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// handleMetrics renders the pool, cache and store counters in the
+// Prometheus text exposition format — scrapable, and greppable by eye.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	s.mu.Lock()
+	stored := len(s.netlists)
+	s.mu.Unlock()
+
+	var b strings.Builder
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(&b, "# HELP spectrald_jobs Current jobs by lifecycle state.\n# TYPE spectrald_jobs gauge\n")
+	for _, sc := range []struct {
+		state jobs.State
+		n     int
+	}{
+		{jobs.Pending, st.Pending},
+		{jobs.Running, st.Running},
+		{jobs.Done, st.Done},
+		{jobs.Failed, st.Failed},
+		{jobs.Cancelled, st.Cancelled},
+	} {
+		fmt.Fprintf(&b, "spectrald_jobs{state=%q} %d\n", sc.state, sc.n)
+	}
+	counter("spectrald_jobs_submitted_total", "Jobs accepted into the queue.", st.Submitted)
+	counter("spectrald_jobs_rejected_total", "Submissions rejected by queue backpressure.", st.Rejected)
+	gauge("spectrald_queue_depth", "Jobs currently waiting for a worker.", st.QueueDepth)
+	gauge("spectrald_queue_capacity", "Configured queue bound.", st.QueueCapacity)
+	gauge("spectrald_workers", "Configured worker count.", st.Workers)
+
+	counter("spectrald_spectrum_cache_hits_total", "Jobs served by a cached eigendecomposition.", st.Cache.Hits)
+	counter("spectrald_spectrum_cache_misses_total", "Eigendecompositions computed (cache misses).", st.Cache.Misses)
+	counter("spectrald_spectrum_cache_evictions_total", "Cached decompositions evicted by the LRU bound.", st.Cache.Evictions)
+	gauge("spectrald_spectrum_cache_entries", "Decompositions currently cached.", st.Cache.Entries)
+
+	fmt.Fprintf(&b, "# HELP spectrald_stage_seconds Cumulative per-stage latency of finished jobs.\n# TYPE spectrald_stage_seconds summary\n")
+	for _, sc := range []struct {
+		stage string
+		agg   jobs.StageStats
+	}{
+		{"queue", st.QueueWait},
+		{"spectrum", st.Spectrum},
+		{"solve", st.Solve},
+	} {
+		fmt.Fprintf(&b, "spectrald_stage_seconds_sum{stage=%q} %g\n", sc.stage, sc.agg.TotalSeconds)
+		fmt.Fprintf(&b, "spectrald_stage_seconds_count{stage=%q} %d\n", sc.stage, sc.agg.Count)
+	}
+
+	gauge("spectrald_netlists_stored", "Netlists in the content-addressed store.", stored)
+	gauge("spectrald_uptime_seconds", "Seconds since the server started.", int64(time.Since(s.start).Seconds()))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

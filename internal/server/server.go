@@ -1,0 +1,366 @@
+// Package server is the HTTP/JSON surface of the spectrald daemon: a
+// content-addressed netlist store plus a thin REST layer over the
+// internal/jobs worker pool and its spectrum cache.
+//
+// API (all bodies JSON unless noted):
+//
+//	GET  /healthz                  liveness; 503 while draining
+//	GET  /metrics                  Prometheus text format
+//	POST /v1/netlists              upload a netlist (text or hMETIS body,
+//	                               ?format=text|hmetis) or generate a
+//	                               benchmark (JSON {"benchmark","scale","seed"});
+//	                               returns its content hash
+//	GET  /v1/netlists              list stored netlists
+//	GET  /v1/netlists/{hash}       one stored netlist's statistics
+//	POST /v1/jobs                  submit a job; 202 on accept, 429 when
+//	                               the queue is full, 503 while draining
+//	GET  /v1/jobs                  list jobs
+//	GET  /v1/jobs/{id}             job status (includes result when done)
+//	GET  /v1/jobs/{id}/result      result only; 409 until the job is done
+//	DELETE /v1/jobs/{id}           request cancellation
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	spectral "repro"
+	"repro/internal/jobs"
+	"repro/internal/speccache"
+)
+
+// Config sizes the server. Zero fields select the noted defaults.
+type Config struct {
+	// MaxNetlists bounds the content-addressed netlist store; the
+	// oldest uploads are evicted first. Default 128.
+	MaxNetlists int
+	// MaxBodyBytes bounds request bodies. Default 64 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxNetlists <= 0 {
+		c.MaxNetlists = 128
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+type storedNetlist struct {
+	Hash    string    `json:"hash"`
+	Name    string    `json:"name,omitempty"`
+	Modules int       `json:"modules"`
+	Nets    int       `json:"nets"`
+	Pins    int       `json:"pins"`
+	Stored  time.Time `json:"stored"`
+
+	h *spectral.Netlist
+}
+
+// Server is the spectrald HTTP handler. Create with New; it implements
+// http.Handler.
+type Server struct {
+	cfg   Config
+	pool  *jobs.Pool
+	mux   *http.ServeMux
+	start time.Time
+
+	draining atomic.Bool
+
+	mu       sync.Mutex
+	netlists map[string]*storedNetlist
+	netOrder []string // insertion order for eviction
+}
+
+// New wires a server over a started pool.
+func New(pool *jobs.Pool, cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg.withDefaults(),
+		pool:     pool,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		netlists: make(map[string]*storedNetlist),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/netlists", s.handlePostNetlist)
+	s.mux.HandleFunc("GET /v1/netlists", s.handleListNetlists)
+	s.mux.HandleFunc("GET /v1/netlists/{hash}", s.handleGetNetlist)
+	s.mux.HandleFunc("POST /v1/jobs", s.handlePostJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleGetResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetDraining flips the server into shutdown mode: /healthz reports 503
+// (so load balancers stop routing here) and job submission is refused.
+// Status, result and cancellation endpoints keep working so clients can
+// collect what finished.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// generateRequest is the JSON body of a benchmark-generation upload.
+type generateRequest struct {
+	Benchmark string  `json:"benchmark"`
+	Scale     float64 `json:"scale"`
+	Seed      int64   `json:"seed"`
+}
+
+func (s *Server) handlePostNetlist(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var (
+		name string
+		h    *spectral.Netlist
+		err  error
+	)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req generateRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		if req.Scale == 0 {
+			req.Scale = 1
+		}
+		h, err = spectral.GenerateBenchmarkSeeded(req.Benchmark, req.Scale, req.Seed)
+		name = req.Benchmark
+	} else {
+		switch format := r.URL.Query().Get("format"); format {
+		case "hmetis":
+			h, err = spectral.LoadHMetis(body)
+		case "", "text":
+			name, h, err = spectral.LoadNetlist(body)
+		default:
+			writeError(w, http.StatusBadRequest, "unknown format %q (want text|hmetis)", format)
+			return
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse netlist: %v", err)
+		return
+	}
+	if err := spectral.ValidateNetlist(h); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "invalid netlist: %v", err)
+		return
+	}
+	st := s.store(name, h)
+	writeJSON(w, http.StatusCreated, st)
+}
+
+// store registers the netlist under its content hash, evicting the
+// oldest stored netlists beyond capacity. Re-uploading is idempotent.
+func (s *Server) store(name string, h *spectral.Netlist) *storedNetlist {
+	hash := speccache.Fingerprint(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.netlists[hash]; ok {
+		return st
+	}
+	stats := h.Stats()
+	st := &storedNetlist{
+		Hash:    hash,
+		Name:    name,
+		Modules: stats.Modules,
+		Nets:    stats.Nets,
+		Pins:    stats.Pins,
+		Stored:  time.Now(),
+		h:       h,
+	}
+	s.netlists[hash] = st
+	s.netOrder = append(s.netOrder, hash)
+	for len(s.netOrder) > s.cfg.MaxNetlists {
+		oldest := s.netOrder[0]
+		s.netOrder = s.netOrder[1:]
+		delete(s.netlists, oldest)
+	}
+	return st
+}
+
+func (s *Server) lookup(hash string) (*storedNetlist, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.netlists[hash]
+	return st, ok
+}
+
+func (s *Server) handleListNetlists(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]*storedNetlist, 0, len(s.netOrder))
+	for _, hash := range s.netOrder {
+		if st, ok := s.netlists[hash]; ok {
+			list = append(list, st)
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"netlists": list})
+}
+
+func (s *Server) handleGetNetlist(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r.PathValue("hash"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown netlist %q", r.PathValue("hash"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// jobRequest is the JSON body of a job submission.
+type jobRequest struct {
+	// Netlist is the content hash of a stored netlist.
+	Netlist string `json:"netlist"`
+	// Kind is "partition" (default) or "order".
+	Kind string `json:"kind"`
+	// Method names the partitioning algorithm (see ParseMethod);
+	// default "melo". Ignored for kind "order".
+	Method string `json:"method"`
+	// K, D, Scheme, MinFrac, Refine mirror spectral.Options; zero
+	// values select the façade defaults.
+	K       int     `json:"k"`
+	D       int     `json:"d"`
+	Scheme  int     `json:"scheme"`
+	MinFrac float64 `json:"minFrac"`
+	Refine  bool    `json:"refine"`
+}
+
+func (s *Server) handlePostJob(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req jobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	st, ok := s.lookup(req.Netlist)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown netlist %q (upload it via POST /v1/netlists first)", req.Netlist)
+		return
+	}
+	jr := jobs.Request{Netlist: st.h, Hash: st.Hash}
+	switch req.Kind {
+	case "", "partition":
+		jr.Kind = jobs.KindPartition
+		method := spectral.MELO
+		if req.Method != "" {
+			var err error
+			method, err = spectral.ParseMethod(req.Method)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+		jr.Opts = spectral.Options{
+			K:       req.K,
+			Method:  method,
+			D:       req.D,
+			Scheme:  req.Scheme,
+			MinFrac: req.MinFrac,
+			Refine:  req.Refine,
+		}
+	case "order":
+		jr.Kind = jobs.KindOrder
+		jr.D = req.D
+		jr.Scheme = req.Scheme
+	default:
+		writeError(w, http.StatusBadRequest, "unknown kind %q (want partition|order)", req.Kind)
+		return
+	}
+	j, err := s.pool.Submit(jr)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue full, retry later")
+		return
+	case errors.Is(err, jobs.ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.pool.Jobs()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pool.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pool.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	res, err := j.Result()
+	if err != nil {
+		switch j.State() {
+		case jobs.Failed, jobs.Cancelled:
+			writeJSON(w, http.StatusOK, map[string]any{"state": j.State(), "error": err.Error()})
+		default:
+			writeError(w, http.StatusConflict, "job %s is %s", j.ID(), j.State())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"state": jobs.Done, "result": res})
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.pool.Job(id); !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	cancelled := s.pool.Cancel(id)
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "cancelled": cancelled})
+}

@@ -1,0 +1,243 @@
+// Package speccache is the content-addressed eigendecomposition cache
+// behind the spectrald daemon: netlists are identified by a canonical
+// hash, and decompositions are cached per (hash, model) with a recorded
+// eigenvector capacity, so a request needing d eigenvectors is served
+// by any cached decomposition of the same netlist and model with
+// capacity >= d. A d-sweep or a method comparison (MELO vs SB vs SFC vs
+// HL all share the partitioning-specific model) pays for one eigensolve.
+//
+// The cache is a strict LRU over entries with singleflight computation:
+// concurrent requests for the same key share one compute instead of
+// racing duplicate eigensolves, and a request that needs more
+// eigenvectors than a cached entry holds recomputes and replaces it
+// (capacities only grow).
+package speccache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/hypergraph"
+)
+
+// Fingerprint returns the canonical content hash of a netlist:
+// "sha256:<hex>" over the module count, per-module areas (when set) and
+// the sorted net structure. Module and net names are excluded — two
+// netlists that differ only in naming are the same instance to every
+// algorithm in this repository, which operate on indices.
+func Fingerprint(h *hypergraph.Hypergraph) string {
+	hash := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		hash.Write(buf[:n])
+	}
+	hash.Write([]byte("netlist-v1"))
+	writeUvarint(uint64(h.NumModules()))
+	if h.HasAreas() {
+		hash.Write([]byte("areas"))
+		for i, n := 0, h.NumModules(); i < n; i++ {
+			binary.BigEndian.PutUint64(buf[:8], math.Float64bits(h.Area(i)))
+			hash.Write(buf[:8])
+		}
+	}
+	// Nets hold sorted distinct module indices (a Hypergraph invariant);
+	// sorting the nets themselves makes the hash independent of net
+	// declaration order, which no algorithm observes.
+	nets := make([][]int, len(h.Nets))
+	copy(nets, h.Nets)
+	sortNets(nets)
+	writeUvarint(uint64(len(nets)))
+	for _, net := range nets {
+		writeUvarint(uint64(len(net)))
+		for _, m := range net {
+			writeUvarint(uint64(m))
+		}
+	}
+	return fmt.Sprintf("sha256:%x", hash.Sum(nil))
+}
+
+// sortNets orders nets lexicographically by their module lists.
+func sortNets(nets [][]int) {
+	sort.Slice(nets, func(a, b int) bool {
+		x, y := nets[a], nets[b]
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if x[i] != y[i] {
+				return x[i] < y[i]
+			}
+		}
+		return len(x) < len(y)
+	})
+}
+
+// Key identifies one cached decomposition family: a netlist content
+// hash plus the clique model it was decomposed under.
+type Key struct {
+	// Hash is the netlist fingerprint (see Fingerprint).
+	Hash string
+	// Model names the clique model (e.g. "partitioning-specific").
+	Model string
+}
+
+// Entry is one cached value. Value is opaque to the cache (the daemon
+// stores a *spectral.Spectrum); Pairs is its reuse capacity — the entry
+// satisfies any request for at most Pairs eigenpairs.
+type Entry struct {
+	Value any
+	Pairs int
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// Cache is a bounded content-addressed LRU of eigendecompositions.
+// Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List // MRU at front; values are *slot
+	items    map[Key]*list.Element
+	inflight map[Key]*call
+	hits     uint64
+	misses   uint64
+	evicted  uint64
+}
+
+type slot struct {
+	key   Key
+	entry Entry
+}
+
+// call is one in-flight compute shared by all concurrent requesters of
+// a key.
+type call struct {
+	done  chan struct{}
+	entry Entry
+	err   error
+}
+
+// New returns a cache holding at most maxEntries decompositions
+// (minimum 1).
+func New(maxEntries int) *Cache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Cache{
+		max:      maxEntries,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
+		inflight: make(map[Key]*call),
+	}
+}
+
+// GetOrCompute returns the cached entry for key if it holds at least
+// pairs eigenpairs, marking it most-recently-used; otherwise it runs
+// compute (once, shared across concurrent callers of the same key) and
+// caches the result. The second return reports a cache hit.
+//
+// compute receives ctx only for cooperative cancellation of the calling
+// request: if ctx is cancelled while waiting on another caller's
+// compute, GetOrCompute returns ctx.Err() immediately but the shared
+// compute keeps running and its result is still cached for the next
+// request. Errors are not cached.
+func (c *Cache) GetOrCompute(ctx context.Context, key Key, pairs int, compute func(context.Context) (Entry, error)) (Entry, bool, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			s := el.Value.(*slot)
+			if s.entry.Pairs >= pairs {
+				c.ll.MoveToFront(el)
+				c.hits++
+				entry := s.entry
+				c.mu.Unlock()
+				return entry, true, nil
+			}
+			// Undersized: fall through and recompute at the larger size.
+		}
+		if cl, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-cl.done:
+			case <-ctx.Done():
+				return Entry{}, false, ctx.Err()
+			}
+			if cl.err != nil {
+				return Entry{}, false, cl.err
+			}
+			if cl.entry.Pairs >= pairs {
+				return cl.entry, true, nil
+			}
+			// The shared compute delivered fewer pairs than we need
+			// (e.g. it was started for a smaller request); retry, which
+			// will recompute at our size.
+			continue
+		}
+		cl := &call{done: make(chan struct{})}
+		c.inflight[key] = cl
+		c.misses++
+		c.mu.Unlock()
+
+		cl.entry, cl.err = compute(ctx)
+		if cl.err == nil && cl.entry.Pairs < pairs {
+			cl.err = fmt.Errorf("speccache: compute delivered %d pairs, requested %d", cl.entry.Pairs, pairs)
+		}
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if cl.err == nil {
+			c.store(key, cl.entry)
+		}
+		c.mu.Unlock()
+		close(cl.done)
+		if cl.err != nil {
+			return Entry{}, false, cl.err
+		}
+		return cl.entry, false, nil
+	}
+}
+
+// store inserts or replaces the entry for key and evicts LRU entries
+// beyond capacity. Caller holds c.mu. A replacement only ever grows an
+// entry's capacity: computes are sized to the largest outstanding
+// request.
+func (c *Cache) store(key Key, e Entry) {
+	if el, ok := c.items[key]; ok {
+		s := el.Value.(*slot)
+		if e.Pairs >= s.entry.Pairs {
+			s.entry = e
+		}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&slot{key: key, entry: e})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		s := back.Value.(*slot)
+		c.ll.Remove(back)
+		delete(c.items, s.key)
+		c.evicted++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evicted, Entries: c.ll.Len()}
+}

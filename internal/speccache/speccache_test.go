@@ -1,0 +1,197 @@
+package speccache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/hypergraph"
+)
+
+func mustNetlist(t *testing.T, nets ...[]int) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	max := 0
+	for _, net := range nets {
+		for _, m := range net {
+			if m > max {
+				max = m
+			}
+		}
+	}
+	b.AddModules(max + 1)
+	for i, net := range nets {
+		if err := b.AddNet(fmt.Sprintf("n%d", i), net...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestFingerprintCanonical(t *testing.T) {
+	a := mustNetlist(t, []int{0, 1, 2}, []int{2, 3})
+	b := mustNetlist(t, []int{2, 3}, []int{0, 1, 2}) // net order differs
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("fingerprint depends on net declaration order")
+	}
+	c := mustNetlist(t, []int{0, 1, 2}, []int{1, 3})
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Error("distinct structures share a fingerprint")
+	}
+}
+
+func TestFingerprintAreas(t *testing.T) {
+	a := mustNetlist(t, []int{0, 1}, []int{1, 2})
+	b := mustNetlist(t, []int{0, 1}, []int{1, 2})
+	if err := b.SetAreas([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Error("areas do not affect the fingerprint")
+	}
+}
+
+func TestGetOrComputeHitMissAndCapacity(t *testing.T) {
+	c := New(4)
+	key := Key{Hash: "sha256:x", Model: "partitioning-specific"}
+	var computes atomic.Int64
+	compute := func(pairs int) func(context.Context) (Entry, error) {
+		return func(context.Context) (Entry, error) {
+			computes.Add(1)
+			return Entry{Value: pairs, Pairs: pairs}, nil
+		}
+	}
+	if _, hit, err := c.GetOrCompute(context.Background(), key, 11, compute(11)); err != nil || hit {
+		t.Fatalf("first request: hit=%v err=%v", hit, err)
+	}
+	// Smaller request, same key: must hit without recompute.
+	e, hit, err := c.GetOrCompute(context.Background(), key, 2, compute(2))
+	if err != nil || !hit || e.Pairs != 11 {
+		t.Fatalf("smaller request: hit=%v pairs=%d err=%v", hit, e.Pairs, err)
+	}
+	// Larger request: recompute and replace.
+	e, hit, err = c.GetOrCompute(context.Background(), key, 20, compute(20))
+	if err != nil || hit || e.Pairs != 20 {
+		t.Fatalf("larger request: hit=%v pairs=%d err=%v", hit, e.Pairs, err)
+	}
+	if got := computes.Load(); got != 2 {
+		t.Errorf("computes = %d, want 2", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 2 misses, 1 entry", st)
+	}
+}
+
+func TestGetOrComputeSingleflight(t *testing.T) {
+	c := New(4)
+	key := Key{Hash: "sha256:y", Model: "frankle"}
+	var computes atomic.Int64
+	release := make(chan struct{})
+	compute := func(context.Context) (Entry, error) {
+		computes.Add(1)
+		<-release
+		return Entry{Value: "dec", Pairs: 5}, nil
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = c.GetOrCompute(context.Background(), key, 5, compute)
+		}(i)
+	}
+	// Let the goroutines pile up on the single in-flight compute.
+	for c.Stats().Misses == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if got := computes.Load(); got != 1 {
+		t.Errorf("computes = %d, want 1 (singleflight)", got)
+	}
+}
+
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	c := New(4)
+	key := Key{Hash: "sha256:z", Model: "standard"}
+	var computes atomic.Int64
+	fail := func(context.Context) (Entry, error) {
+		computes.Add(1)
+		return Entry{}, fmt.Errorf("solver exploded")
+	}
+	if _, _, err := c.GetOrCompute(context.Background(), key, 3, fail); err == nil {
+		t.Fatal("want error")
+	}
+	ok := func(context.Context) (Entry, error) {
+		computes.Add(1)
+		return Entry{Pairs: 3}, nil
+	}
+	if _, hit, err := c.GetOrCompute(context.Background(), key, 3, ok); err != nil || hit {
+		t.Fatalf("after failure: hit=%v err=%v", hit, err)
+	}
+	if got := computes.Load(); got != 2 {
+		t.Errorf("computes = %d, want 2 (errors are not cached)", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	put := func(hash string) {
+		_, _, err := c.GetOrCompute(context.Background(), Key{Hash: hash}, 1,
+			func(context.Context) (Entry, error) { return Entry{Pairs: 1}, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	put("a") // refresh a: b becomes LRU
+	put("c") // evicts b
+	if _, hit, _ := c.GetOrCompute(context.Background(), Key{Hash: "a"}, 1,
+		func(context.Context) (Entry, error) { return Entry{Pairs: 1}, nil }); !hit {
+		t.Error("a was evicted, want b")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestWaiterCancellation(t *testing.T) {
+	c := New(2)
+	key := Key{Hash: "sha256:w"}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _, _ = c.GetOrCompute(context.Background(), key, 1, func(context.Context) (Entry, error) {
+			close(started)
+			<-release
+			return Entry{Pairs: 1}, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.GetOrCompute(ctx, key, 1, func(context.Context) (Entry, error) {
+		t.Error("second caller must not compute")
+		return Entry{}, nil
+	})
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+}

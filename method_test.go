@@ -1,0 +1,43 @@
+package spectral
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMethodStringParseRoundTrip(t *testing.T) {
+	for m := MELO; m <= HL; m++ {
+		name := m.String()
+		if name == "" || strings.HasPrefix(name, "Method(") {
+			t.Fatalf("method %d has no name", int(m))
+		}
+		got, err := ParseMethod(name)
+		if err != nil {
+			t.Fatalf("ParseMethod(%q): %v", name, err)
+		}
+		if got != m {
+			t.Errorf("ParseMethod(%q) = %v, want %v", name, got, m)
+		}
+	}
+}
+
+func TestParseMethodErrors(t *testing.T) {
+	for _, s := range []string{
+		"", "MELO", "Melo", "melo ", " melo", "unknown", "kp2", "Method(0)",
+	} {
+		if m, err := ParseMethod(s); err == nil {
+			t.Errorf("ParseMethod(%q) = %v, want error", s, m)
+		} else if !strings.Contains(err.Error(), "unknown method") {
+			t.Errorf("ParseMethod(%q): error %q lacks context", s, err)
+		}
+	}
+}
+
+func TestMethodStringUnknown(t *testing.T) {
+	if got := Method(999).String(); got != "Method(999)" {
+		t.Errorf("Method(999).String() = %q", got)
+	}
+	if got := Method(-1).String(); got != "Method(-1)" {
+		t.Errorf("Method(-1).String() = %q", got)
+	}
+}

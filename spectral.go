@@ -31,6 +31,7 @@ import (
 	"repro/internal/eigen"
 	"repro/internal/fm"
 	"repro/internal/graph"
+	"repro/internal/hl"
 	"repro/internal/hypergraph"
 	"repro/internal/kp"
 	"repro/internal/linalg"
@@ -136,6 +137,18 @@ type Options struct {
 	Refine bool
 }
 
+// Validate reports whether the options are usable for partitioning h,
+// with the same rules Partition applies (K range, D range, scheme,
+// MinFrac, method). Callers that queue work asynchronously — like the
+// spectrald job pool — use it to reject bad requests at submission
+// time instead of failing the job later.
+func (o Options) Validate(h *Netlist) error {
+	if err := ValidateNetlist(h); err != nil {
+		return err
+	}
+	return validateOptions(h, o, o.withDefaults())
+}
+
 func (o Options) withDefaults() Options {
 	if o.K == 0 {
 		o.K = 2
@@ -206,6 +219,10 @@ type pipeline struct {
 	o     Options
 	pol   resilience.EigenPolicy
 	stage resilience.Stage
+	// sp, when non-nil, is a precomputed decomposition offered for
+	// reuse; decompose consults it before solving (see
+	// PartitionWithSpectrum).
+	sp *Spectrum
 }
 
 func (pl *pipeline) enter(s resilience.Stage) { pl.stage = s }
@@ -275,8 +292,7 @@ func (pl *pipeline) dispatch(h *Netlist) (*Partitioning, error) {
 	case Placement:
 		return pl.partitionPlacement(h)
 	case VKP:
-		pl.enter(resilience.StageSplit)
-		return VectorPartition(h, pl.o.K, pl.o.D)
+		return pl.partitionVKP(h)
 	case Barnes:
 		return pl.partitionBarnes(h)
 	case HL:
@@ -296,18 +312,27 @@ func decompose(h *Netlist, model graph.CliqueModel, d int) (*graph.Graph, *eigen
 
 // decompose builds the clique-model graph and its d+1 smallest Laplacian
 // eigenpairs via the resilience ladder, handling disconnected graphs per
-// component.
+// component. A precomputed spectrum on the pipeline that covers (model,
+// d) is reused instead — no graph build, no eigensolve; an insufficient
+// or mismatched spectrum is ignored and the full path runs.
 func (pl *pipeline) decompose(h *Netlist, model graph.CliqueModel, d int) (*graph.Graph, *eigen.Decomposition, error) {
+	want := d + 1
+	if want > h.NumModules() {
+		want = h.NumModules()
+	}
+	if pl.sp.satisfies(h.NumModules(), model, want) {
+		dec, err := pl.sp.dec.Truncate(want)
+		if err != nil {
+			return nil, nil, err
+		}
+		return pl.sp.g, dec, nil
+	}
 	pl.enter(resilience.StageCliqueModel)
 	g, err := graph.FromHypergraph(h, model, 0)
 	if err != nil {
 		return nil, nil, err
 	}
 	pl.enter(resilience.StageEigen)
-	want := d + 1
-	if want > g.N() {
-		want = g.N()
-	}
 	dec, err := pl.solveComponents(g, want)
 	if err != nil {
 		return nil, nil, err
@@ -468,8 +493,21 @@ func (pl *pipeline) partitionHL(h *Netlist) (*Partitioning, error) {
 	if 1<<uint(d) != pl.o.K {
 		return nil, fmt.Errorf("spectral: HL requires K to be a power of two, got %d", pl.o.K)
 	}
+	_, dec, err := pl.decompose(h, graph.PartitioningSpecific, d)
+	if err != nil {
+		return nil, err
+	}
 	pl.enter(resilience.StageSplit)
-	return HypercubePartition(h, d)
+	return hl.Partition(dec, d)
+}
+
+func (pl *pipeline) partitionVKP(h *Netlist) (*Partitioning, error) {
+	g, dec, err := pl.decompose(h, graph.PartitioningSpecific, pl.o.D)
+	if err != nil {
+		return nil, err
+	}
+	pl.enter(resilience.StageSplit)
+	return vectorPartitionFrom(g, dec, pl.o.K, pl.o.D)
 }
 
 func (pl *pipeline) partitionPlacement(h *Netlist) (*Partitioning, error) {
@@ -496,6 +534,13 @@ func OrderModules(h *Netlist, d int, scheme int) ([]int, error) {
 // panic recovery into *PipelineError. Context errors pass through
 // unwrapped.
 func OrderModulesCtx(ctx context.Context, h *Netlist, d int, scheme int) ([]int, error) {
+	return orderModulesCtx(ctx, h, nil, d, scheme, resilience.EigenPolicy{})
+}
+
+// orderModulesCtx is the ordering entry behind OrderModulesCtx and
+// OrderModulesWithSpectrum: an optional precomputed spectrum and an
+// injectable eigensolver policy for tests.
+func orderModulesCtx(ctx context.Context, h *Netlist, sp *Spectrum, d int, scheme int, pol resilience.EigenPolicy) ([]int, error) {
 	if d <= 0 {
 		d = 10
 	}
@@ -508,7 +553,7 @@ func OrderModulesCtx(ctx context.Context, h *Netlist, d int, scheme int) ([]int,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pl := &pipeline{ctx: ctx, o: Options{K: 2, Method: MELO, D: d, Scheme: scheme}.withDefaults(), stage: resilience.StageCliqueModel}
+	pl := &pipeline{ctx: ctx, o: Options{K: 2, Method: MELO, D: d, Scheme: scheme}.withDefaults(), pol: pol, sp: sp, stage: resilience.StageCliqueModel}
 	var order []int
 	err := pl.protect(func() error {
 		g, dec, err := pl.decompose(h, graph.PartitioningSpecific, d)
@@ -559,6 +604,14 @@ func SaveHMetis(w io.Writer, h *Netlist) error { return hypergraph.WriteHMetis(w
 // circuits (bm1, prim1, prim2, test02…test06, struct, 19ks, biomed,
 // industry2) at the given scale (1 = published size).
 func GenerateBenchmark(name string, scale float64) (*Netlist, error) {
+	return GenerateBenchmarkSeeded(name, scale, 0)
+}
+
+// GenerateBenchmarkSeeded is GenerateBenchmark with an explicit seed
+// for the generator's random-net draw: distinct seeds give distinct
+// reproducible instances with identical published statistics. Seed 0
+// selects the canonical instance GenerateBenchmark produces.
+func GenerateBenchmarkSeeded(name string, scale float64, seed int64) (*Netlist, error) {
 	if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
 		return nil, fmt.Errorf("spectral: scale = %v, want finite > 0", scale)
 	}
@@ -566,7 +619,7 @@ func GenerateBenchmark(name string, scale float64) (*Netlist, error) {
 	if err != nil {
 		return nil, err
 	}
-	return bench.Generate(c.Scaled(scale))
+	return bench.GenerateSeeded(c.Scaled(scale), seed)
 }
 
 // Benchmarks lists the names of the registered Table 1 circuits.

@@ -1,0 +1,249 @@
+package spectral
+
+// This file is the spectrum-reuse surface of the façade: the expensive
+// Laplacian eigendecomposition is separated from the cheap downstream
+// partitioning so callers (notably the spectrald daemon's spectrum
+// cache, internal/speccache) can pay for one eigensolve and reuse it
+// across methods, K values and d-sweeps — the paper's "the more
+// eigenvectors, the better" sweep pattern made incremental.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/resilience"
+)
+
+// Model selects the clique expansion used to turn a netlist into a
+// weighted graph before the eigensolve (see internal/graph for the cost
+// functions). Decompositions are only reusable between runs that agree
+// on the model.
+type Model int
+
+const (
+	// ModelPartitioningSpecific is the paper's main model: the expected
+	// cost of a cut net over random bipartitions equals one. Used by
+	// MELO, SB, SFC, VKP, HL and the probe/cluster extensions.
+	ModelPartitioningSpecific Model = iota
+	// ModelStandard is the classic 1/(|e|−1) linear-placement model.
+	ModelStandard
+	// ModelFrankle is the (2/|e|)^{3/2} quadratic-placement model the
+	// paper uses for the KP baseline.
+	ModelFrankle
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case ModelPartitioningSpecific:
+		return "partitioning-specific"
+	case ModelStandard:
+		return "standard"
+	case ModelFrankle:
+		return "frankle"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+func (m Model) clique() (graph.CliqueModel, error) {
+	switch m {
+	case ModelPartitioningSpecific:
+		return graph.PartitioningSpecific, nil
+	case ModelStandard:
+		return graph.Standard, nil
+	case ModelFrankle:
+		return graph.Frankle, nil
+	default:
+		return 0, fmt.Errorf("spectral: unknown model %v", m)
+	}
+}
+
+func modelOf(cm graph.CliqueModel) Model {
+	switch cm {
+	case graph.Standard:
+		return ModelStandard
+	case graph.Frankle:
+		return ModelFrankle
+	default:
+		return ModelPartitioningSpecific
+	}
+}
+
+// Spectrum is a reusable eigendecomposition of a netlist's clique-model
+// Laplacian: the graph built from the netlist under one Model plus its
+// smallest eigenpairs. A Spectrum computed once with d non-trivial
+// eigenvectors satisfies any later partition or ordering run on the
+// same netlist that needs the same model and at most d eigenvectors —
+// regardless of method or K. Spectrums are immutable and safe for
+// concurrent use.
+type Spectrum struct {
+	modules int
+	model   graph.CliqueModel
+	g       *graph.Graph
+	dec     *eigen.Decomposition
+}
+
+// Modules returns the number of modules of the netlist the spectrum was
+// computed from.
+func (s *Spectrum) Modules() int { return s.modules }
+
+// Model returns the clique model the spectrum was computed under.
+func (s *Spectrum) Model() Model { return modelOf(s.model) }
+
+// Pairs returns the number of eigenpairs held, including the trivial
+// (constant) pair.
+func (s *Spectrum) Pairs() int { return s.dec.D() }
+
+// D returns the number of non-trivial eigenvectors held — the largest d
+// a reusing run may request.
+func (s *Spectrum) D() int { return s.dec.D() - 1 }
+
+// Eigenvalues returns a copy of the eigenvalues, ascending (the first
+// is the trivial ≈0 Laplacian eigenvalue).
+func (s *Spectrum) Eigenvalues() []float64 {
+	return append([]float64(nil), s.dec.Values...)
+}
+
+// SpectrumSpec describes the decomposition a Partition run with these
+// options would compute, so callers can precompute (or cache) it and
+// pass it back through PartitionWithSpectrum.
+type SpectrumSpec struct {
+	// Needed reports whether the method consumes a shared decomposition
+	// at all. RSB, Placement and Barnes run their own internal solves
+	// (or none) and cannot reuse one.
+	Needed bool
+	// Model is the clique model the method requires.
+	Model Model
+	// D is the number of non-trivial eigenvectors required.
+	D int
+}
+
+// SpectrumSpec returns the decomposition requirement of a Partition run
+// with these options (after defaulting).
+func (o Options) SpectrumSpec() SpectrumSpec {
+	d := o.withDefaults()
+	switch d.Method {
+	case MELO, VKP:
+		return SpectrumSpec{Needed: true, Model: ModelPartitioningSpecific, D: d.D}
+	case SB:
+		return SpectrumSpec{Needed: true, Model: ModelPartitioningSpecific, D: 1}
+	case SFC:
+		return SpectrumSpec{Needed: true, Model: ModelPartitioningSpecific, D: 2}
+	case KP:
+		return SpectrumSpec{Needed: true, Model: ModelFrankle, D: d.K}
+	case HL:
+		bits := 0
+		for 1<<uint(bits) < d.K {
+			bits++
+		}
+		return SpectrumSpec{Needed: true, Model: ModelPartitioningSpecific, D: bits}
+	default: // RSB, Placement, Barnes
+		return SpectrumSpec{Needed: false}
+	}
+}
+
+// OrderSpectrumSpec returns the decomposition requirement of an
+// OrderModules run with the given d (0 selects the default).
+func OrderSpectrumSpec(d int) SpectrumSpec {
+	if d <= 0 {
+		d = 10
+	}
+	return SpectrumSpec{Needed: true, Model: ModelPartitioningSpecific, D: d}
+}
+
+// Decompose computes the netlist's clique-model graph and its d+1
+// smallest Laplacian eigenpairs (the trivial pair plus d non-trivial
+// eigenvectors, clamped to the number of modules), with the same
+// hardening as PartitionCtx: validation, the eigensolver resilience
+// ladder, per-component solves on disconnected netlists, and panic
+// recovery into *PipelineError.
+func Decompose(h *Netlist, model Model, d int) (*Spectrum, error) {
+	return DecomposeCtx(context.Background(), h, model, d)
+}
+
+// DecomposeCtx is Decompose with cooperative cancellation; context
+// errors pass through unwrapped.
+func DecomposeCtx(ctx context.Context, h *Netlist, model Model, d int) (*Spectrum, error) {
+	return decomposeCtxWithPolicy(ctx, h, model, d, resilience.EigenPolicy{})
+}
+
+func decomposeCtxWithPolicy(ctx context.Context, h *Netlist, model Model, d int, pol resilience.EigenPolicy) (*Spectrum, error) {
+	if err := ValidateNetlist(h); err != nil {
+		return nil, &PipelineError{Stage: string(resilience.StageValidate), Method: MELO, Err: err}
+	}
+	cm, err := model.clique()
+	if err != nil {
+		return nil, &PipelineError{Stage: string(resilience.StageValidate), Method: MELO, Err: err}
+	}
+	if d < 1 {
+		return nil, &PipelineError{Stage: string(resilience.StageValidate), Method: MELO, Err: fmt.Errorf("spectral: d = %d, want >= 1", d)}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pl := &pipeline{ctx: ctx, o: Options{D: d}.withDefaults(), pol: pol, stage: resilience.StageCliqueModel}
+	var sp *Spectrum
+	perr := pl.protect(func() error {
+		g, dec, err := pl.decompose(h, cm, d)
+		if err != nil {
+			return err
+		}
+		sp = &Spectrum{modules: h.NumModules(), model: cm, g: g, dec: dec}
+		return nil
+	})
+	if perr != nil {
+		return nil, wrapPipelineErr(MELO, pl.stage, perr)
+	}
+	return sp, nil
+}
+
+// satisfies reports whether the spectrum can stand in for a fresh
+// decomposition of an n-module netlist under the given model needing
+// want eigenpairs (want already clamped to n).
+func (s *Spectrum) satisfies(n int, model graph.CliqueModel, want int) bool {
+	return s != nil && s.modules == n && s.model == model && s.dec.D() >= want
+}
+
+// PartitionWithSpectrum is PartitionCtx with a precomputed Spectrum: if
+// the spectrum covers the run's requirement (same netlist size, same
+// model, enough eigenvectors — see Options.SpectrumSpec), the pipeline
+// reuses it and skips the eigensolve entirely; otherwise it computes a
+// fresh decomposition exactly as PartitionCtx would. The caller is
+// responsible for passing a spectrum of the same netlist — the pipeline
+// can verify only the module count.
+func PartitionWithSpectrum(ctx context.Context, h *Netlist, sp *Spectrum, opts Options) (*Partitioning, error) {
+	return partitionWithSpectrumPolicy(ctx, h, sp, opts, resilience.EigenPolicy{})
+}
+
+func partitionWithSpectrumPolicy(ctx context.Context, h *Netlist, sp *Spectrum, opts Options, pol resilience.EigenPolicy) (*Partitioning, error) {
+	o := opts.withDefaults()
+	if err := ValidateNetlist(h); err != nil {
+		return nil, &PipelineError{Stage: string(resilience.StageValidate), Method: o.Method, Err: err}
+	}
+	if err := validateOptions(h, opts, o); err != nil {
+		return nil, &PipelineError{Stage: string(resilience.StageValidate), Method: o.Method, Err: err}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pl := &pipeline{ctx: ctx, o: o, pol: pol, sp: sp, stage: resilience.StageCliqueModel}
+	p, err := pl.run(h)
+	if err != nil {
+		return nil, wrapPipelineErr(o.Method, pl.stage, err)
+	}
+	if err := checkPartitioning(h, p, o.K); err != nil {
+		return nil, &PipelineError{Stage: string(pl.stage), Method: o.Method, Err: err}
+	}
+	return p, nil
+}
+
+// OrderModulesWithSpectrum is OrderModulesCtx with a precomputed
+// Spectrum, under the same reuse rule as PartitionWithSpectrum: a
+// spectrum covering (ModelPartitioningSpecific, d) skips the eigensolve;
+// anything else triggers a fresh decomposition.
+func OrderModulesWithSpectrum(ctx context.Context, h *Netlist, sp *Spectrum, d, scheme int) ([]int, error) {
+	return orderModulesCtx(ctx, h, sp, d, scheme, resilience.EigenPolicy{})
+}
