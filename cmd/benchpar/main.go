@@ -1,0 +1,183 @@
+// Command benchpar measures the serial-vs-parallel throughput of the
+// hot numerical kernels (row-sharded MatVec, Lanczos, MELO ordering)
+// and writes a machine-readable baseline to BENCH_parallel.json.
+//
+// Usage:
+//
+//	benchpar [-n 20000] [-workers 0] [-reps 5] [-out BENCH_parallel.json]
+//
+// The report records runtime.NumCPU so a baseline captured on a small
+// machine is not mistaken for a scaling claim: speedups near 1.0 with
+// cores=1 are the expected, honest result. On >= 4 cores the MatVec
+// speedup is the ISSUE's >= 2x acceptance gauge.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/melo"
+	"repro/internal/parallel"
+)
+
+// Report is the top-level BENCH_parallel.json document.
+type Report struct {
+	// Cores is runtime.NumCPU on the measuring machine; speedups are
+	// only meaningful relative to it.
+	Cores int `json:"cores"`
+	// Workers is the parallel worker count the "parallel" timings used.
+	Workers int `json:"workers"`
+	// GoMaxProcs is the scheduler's thread bound at measurement time.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// N is the module count of the synthesized netlist for MatVec.
+	N int `json:"n"`
+	// Kernels holds one entry per measured kernel.
+	Kernels []Kernel `json:"kernels"`
+}
+
+// Kernel is one serial-vs-parallel measurement.
+type Kernel struct {
+	Name            string  `json:"name"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	Reps            int     `json:"reps"`
+}
+
+func main() {
+	var (
+		n       = flag.Int("n", 20000, "modules in the synthesized MatVec netlist")
+		workers = flag.Int("workers", 0, "parallel worker count (0 = NumCPU)")
+		reps    = flag.Int("reps", 5, "repetitions per timing (best-of)")
+		out     = flag.String("out", "BENCH_parallel.json", "output path")
+	)
+	flag.Parse()
+	w := parallel.Workers(*workers)
+
+	rep := Report{Cores: runtime.NumCPU(), Workers: w, GoMaxProcs: runtime.GOMAXPROCS(0), N: *n}
+
+	big := buildGraph(*n)
+	q := big.Laplacian()
+	x := make([]float64, big.N())
+	for i := range x {
+		x[i] = float64(i%13) * 0.3
+	}
+	y := make([]float64, big.N())
+	rep.Kernels = append(rep.Kernels, measure("matvec", *reps,
+		func() { q.MatVec(x, y) },
+		func() { q.MatVecPar(x, y, w) },
+	))
+
+	mid := buildGraph(4000)
+	qm := mid.Laplacian()
+	rep.Kernels = append(rep.Kernels, measure("lanczos", *reps,
+		func() { mustSolve(qm, 1) },
+		func() { mustSolve(qm, w) },
+	))
+
+	small := buildGraph(2000)
+	dec, err := eigen.SmallestEigenpairs(small.Laplacian(), 9)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Kernels = append(rep.Kernels, measure("melo-order", *reps,
+		func() { mustOrder(small, dec, 1) },
+		func() { mustOrder(small, dec, w) },
+	))
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (cores=%d workers=%d)\n", *out, rep.Cores, rep.Workers)
+	for _, k := range rep.Kernels {
+		fmt.Printf("  %-10s serial %8.3fms  parallel %8.3fms  speedup %.2fx\n",
+			k.Name, k.SerialSeconds*1e3, k.ParallelSeconds*1e3, k.Speedup)
+	}
+}
+
+// measure times serial and parallel variants, best-of-reps, after one
+// untimed warmup each.
+func measure(name string, reps int, serial, par func()) Kernel {
+	best := func(fn func()) float64 {
+		fn() // warmup
+		b := time.Duration(1<<62 - 1)
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			fn()
+			if d := time.Since(t0); d < b {
+				b = d
+			}
+		}
+		return b.Seconds()
+	}
+	s := best(serial)
+	p := best(par)
+	return Kernel{Name: name, SerialSeconds: s, ParallelSeconds: p, Speedup: s / p, Reps: reps}
+}
+
+func buildGraph(n int) *graph.Graph {
+	b := hypergraph.NewBuilder()
+	b.AddModules(n)
+	for i := 0; i+1 < n; i++ {
+		if err := b.AddNet(fmt.Sprintf("c%d", i), i, i+1); err != nil {
+			fatal(err)
+		}
+	}
+	// Deterministic pseudo-random extra nets without math/rand: a
+	// multiplicative congruence spreads the endpoints well enough for a
+	// timing instance.
+	state := uint64(12345)
+	next := func(bound int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(bound))
+	}
+	for e := 0; e < 5*n/2; e++ {
+		u, v, z := next(n), next(n), next(n)
+		if u == v || v == z || u == z {
+			continue
+		}
+		if err := b.AddNet(fmt.Sprintf("r%d", e), u, v, z); err != nil {
+			fatal(err)
+		}
+	}
+	g, err := graph.FromHypergraph(b.Build(), graph.PartitioningSpecific, 0)
+	if err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+func mustSolve(q interface {
+	Dim() int
+	MatVec(x, y []float64)
+}, workers int) {
+	if _, err := eigen.Lanczos(q, 8, &eigen.LanczosOptions{Workers: workers}); err != nil {
+		fatal(err)
+	}
+}
+
+func mustOrder(g *graph.Graph, dec *eigen.Decomposition, workers int) {
+	opts := melo.NewOptions()
+	opts.D = 8
+	opts.Workers = workers
+	if _, err := melo.Order(g, dec, opts); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchpar:", err)
+	os.Exit(1)
+}

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 // exitDeadline is the exit code for a run aborted by -timeout, distinct
@@ -37,9 +38,11 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "benchmark scale factor (0,1]")
 		d       = flag.Int("d", 10, "MELO eigenvector count")
 		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
+		par     = flag.Int("parallelism", 0, "worker goroutines per numerical kernel (0 = NumCPU; results identical at every setting)")
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
+	parallel.SetLimit(*par)
 
 	ctx := context.Background()
 	if *timeout > 0 {

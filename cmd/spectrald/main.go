@@ -10,7 +10,12 @@
 // Usage:
 //
 //	spectrald [-addr :8090] [-workers N] [-queue N] [-cache N]
-//	          [-max-netlists N] [-grace 30s]
+//	          [-max-netlists N] [-parallelism N] [-grace 30s]
+//
+// -workers bounds how many jobs run concurrently; -parallelism bounds
+// the goroutines the numerical kernels inside one job may use
+// (0 = NumCPU). Results are bit-identical at every -parallelism
+// setting; see DESIGN.md, "The parallelism model".
 //
 // On SIGINT or SIGTERM the daemon stops accepting work (healthz flips
 // to 503, submissions are refused), shuts the listener down, and lets
@@ -31,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/parallel"
 	"repro/internal/server"
 )
 
@@ -41,9 +47,11 @@ func main() {
 		queueDepth  = flag.Int("queue", 0, "job queue depth before 429 backpressure (0 = 64)")
 		cacheSize   = flag.Int("cache", 0, "spectrum cache entries (0 = 32)")
 		maxNetlists = flag.Int("max-netlists", 0, "netlist store bound (0 = 128)")
+		parallelism = flag.Int("parallelism", 0, "worker goroutines per numerical kernel (0 = NumCPU)")
 		grace       = flag.Duration("grace", 30*time.Second, "drain window for in-flight jobs on shutdown")
 	)
 	flag.Parse()
+	parallel.SetLimit(*parallelism)
 	if err := run(*addr, *workers, *queueDepth, *cacheSize, *maxNetlists, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "spectrald:", err)
 		os.Exit(1)

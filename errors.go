@@ -115,6 +115,9 @@ func validateOptions(h *hypergraph.Hypergraph, raw, o Options) error {
 	if o.Method < MELO || o.Method > HL {
 		return fmt.Errorf("spectral: unknown method %v", o.Method)
 	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("spectral: Parallelism = %d, want >= 1 (or 0 for the process default)", o.Parallelism)
+	}
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // BlockKrylovOptions configures the block Rayleigh–Ritz solver.
@@ -20,6 +21,11 @@ type BlockKrylovOptions struct {
 	MaxDim int
 	// Seed seeds the starting block. Default 1.
 	Seed int64
+	// Workers bounds the goroutines the solver's kernels (sharded
+	// MatVec, block Gram–Schmidt, the Rayleigh–Ritz projection) may
+	// use. 0 selects the process default; 1 forces serial. Results are
+	// bitwise identical at every setting.
+	Workers int
 }
 
 // BlockKrylov computes the d smallest eigenpairs of the symmetric
@@ -43,6 +49,7 @@ func BlockKrylovCtx(ctx context.Context, a linalg.Operator, d int, opts *BlockKr
 	b := 2
 	tol := 1e-8
 	seed := int64(1)
+	workers := 0
 	maxDim := 12*d + 96
 	if maxDim < 240 {
 		maxDim = 240
@@ -60,7 +67,9 @@ func BlockKrylovCtx(ctx context.Context, a linalg.Operator, d int, opts *BlockKr
 		if opts.Seed != 0 {
 			seed = opts.Seed
 		}
+		workers = opts.Workers
 	}
+	workers = parallel.Workers(workers)
 	if maxDim > n {
 		maxDim = n
 	}
@@ -68,11 +77,12 @@ func BlockKrylovCtx(ctx context.Context, a linalg.Operator, d int, opts *BlockKr
 		b = n
 	}
 	rng := rand.New(rand.NewSource(seed))
+	a = linalg.Par(a, workers)
 
 	// Orthonormal basis, grown block by block.
 	var basis [][]float64
 	appendOrthonormal := func(v []float64) bool {
-		linalg.Orthogonalize(v, basis)
+		linalg.OrthogonalizeBlock(v, basis, workers)
 		if linalg.Normalize(v) < 1e-10 {
 			return false
 		}
@@ -125,11 +135,18 @@ func BlockKrylovCtx(ctx context.Context, a linalg.Operator, d int, opts *BlockKr
 			proj := linalg.NewDense(m, m)
 			for i := 0; i < m; i++ {
 				a.MatVec(basis[i], av)
-				for j := i; j < m; j++ {
-					val := linalg.Dot(av, basis[j])
-					proj.Set(i, j, val)
-					proj.Set(j, i, val)
-				}
+				// Upper-triangle dots of row i, sharded over j: each
+				// (i,j)/(j,i) pair is written by exactly one worker and
+				// each dot is a serial whole-vector product, so the
+				// projection is worker-invariant.
+				i := i
+				parallel.For(workers, m-i, 1, func(_, lo, hi int) {
+					for j := i + lo; j < i+hi; j++ {
+						val := linalg.Dot(av, basis[j])
+						proj.Set(i, j, val)
+						proj.Set(j, i, val)
+					}
+				})
 			}
 			small, err := SymEig(proj)
 			if err != nil {

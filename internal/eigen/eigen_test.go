@@ -386,3 +386,62 @@ func TestDensify(t *testing.T) {
 		t.Fatalf("densify wrong: %v", d.Data)
 	}
 }
+
+// TestResidualTable drives Residual through its edge cases: an empty
+// decomposition (d = 0) has no pairs and must report a zero residual; a
+// full dense decomposition (d = n) of an exact solve is at numerical
+// zero; a deliberately wrong eigenvalue shows up as exactly the norm of
+// the perturbation it induces.
+func TestResidualTable(t *testing.T) {
+	lap := pathLaplacian(8)
+	full, err := SymEig(Densify(lap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken, err := full.Truncate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken = &Decomposition{Values: append([]float64(nil), broken.Values...), Vectors: broken.Vectors}
+	broken.Values[1] += 0.5 // residual becomes ‖0.5·u‖ = 0.5 exactly (u is unit)
+	cases := []struct {
+		name string
+		dec  *Decomposition
+		min  float64
+		max  float64
+	}{
+		{"d=0 empty", &Decomposition{Values: nil, Vectors: linalg.NewDense(8, 0)}, 0, 0},
+		{"d=n full dense solve", full, 0, 1e-8},
+		{"perturbed eigenvalue", broken, 0.5 - 1e-9, 0.5 + 1e-9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := Residual(lap, tc.dec)
+			if r < tc.min || r > tc.max {
+				t.Fatalf("Residual = %v, want in [%v, %v]", r, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+// TestTruncateTable covers Truncate's boundary sizes: 0 pairs, all
+// pairs, and out-of-range requests.
+func TestTruncateTable(t *testing.T) {
+	lap := pathLaplacian(6)
+	full, err := SymEig(Densify(lap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec, err := full.Truncate(0); err != nil || dec.D() != 0 {
+		t.Fatalf("Truncate(0): dec.D()=%v err=%v, want empty decomposition", dec.D(), err)
+	}
+	if dec, err := full.Truncate(full.D()); err != nil || dec.D() != full.D() {
+		t.Fatalf("Truncate(n) failed: %v", err)
+	}
+	if _, err := full.Truncate(full.D() + 1); err == nil {
+		t.Fatal("Truncate beyond capacity accepted")
+	}
+	if _, err := full.Truncate(-1); err == nil {
+		t.Fatal("Truncate(-1) accepted")
+	}
+}

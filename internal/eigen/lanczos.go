@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // LanczosOptions configures the Lanczos solver. The zero value selects
@@ -28,6 +29,12 @@ type LanczosOptions struct {
 	// for deterministic fault injection (tests and the resilience
 	// layer).
 	Fault FaultHook
+	// Workers bounds the goroutines the solver's kernels (row-sharded
+	// MatVec, block Gram–Schmidt reorthogonalization) may use. 0 selects
+	// the process default (parallel.Limit()); 1 forces serial execution.
+	// Every setting produces bitwise-identical eigenpairs: the kernels
+	// fix their arithmetic order independently of the worker count.
+	Workers int
 }
 
 func (o *LanczosOptions) withDefaults(n, d int) LanczosOptions {
@@ -46,7 +53,9 @@ func (o *LanczosOptions) withDefaults(n, d int) LanczosOptions {
 			v.CheckEvery = o.CheckEvery
 		}
 		v.Fault = o.Fault
+		v.Workers = o.Workers
 	}
+	v.Workers = parallel.Workers(v.Workers)
 	if v.MaxDim == 0 {
 		// Clustered spectra (typical for netlist-derived Laplacians) need
 		// a generous Krylov space; full reorthogonalization keeps the cost
@@ -113,6 +122,9 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 		directive = dir
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
+	// Row-shard the operator's MatVec across the solver's workers; the
+	// wrapped product is bitwise identical to the serial one.
+	a = linalg.Par(a, o.Workers)
 
 	// Krylov basis, alpha (diagonal of T) and beta (subdiagonal of T).
 	basis := make([][]float64, 0, o.MaxDim)
@@ -145,7 +157,7 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 		if len(basis) >= 2 {
 			linalg.Axpy(-betas[len(betas)-1], basis[len(basis)-2], w)
 		}
-		linalg.Orthogonalize(w, basis)
+		linalg.OrthogonalizeBlock(w, basis, o.Workers)
 		beta := linalg.Norm2(w)
 		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.IsNaN(beta) || math.IsInf(beta, 0) {
 			return nil, fmt.Errorf("eigen: lanczos step %d produced alpha=%v beta=%v: %w",
@@ -198,7 +210,7 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 			// Restart with a fresh random direction orthogonal to the
 			// current basis so the remaining spectrum is explored.
 			v = randomUnit(rng, n)
-			linalg.Orthogonalize(v, basis)
+			linalg.OrthogonalizeBlock(v, basis, o.Workers)
 			if linalg.Normalize(v) == 0 {
 				// Basis already spans the whole space; the j == n branch
 				// above should have fired, so treat this as failure.
@@ -328,7 +340,7 @@ func SmallestEigenpairsCtx(ctx context.Context, a linalg.Operator, d int, tol fl
 // and CSR operators, by applying it to the standard basis otherwise.
 // Only sensible for small dimensions.
 func Densify(a linalg.Operator) *linalg.Dense {
-	switch t := a.(type) {
+	switch t := linalg.Unwrap(a).(type) {
 	case *linalg.Dense:
 		return t
 	case *linalg.CSR:

@@ -63,11 +63,18 @@ func New(n int, edges []Edge) (*Graph, error) {
 	for k, w := range merged {
 		g.adj[k.u] = append(g.adj[k.u], Half{To: k.v, W: w})
 		g.adj[k.v] = append(g.adj[k.v], Half{To: k.u, W: w})
-		g.deg[k.u] += w
-		g.deg[k.v] += w
 	}
+	// Degrees are summed over the sorted adjacency, not in map order:
+	// float addition is order-sensitive, and a map-ordered sum would make
+	// repeated builds of the same graph differ in the last ulp — enough
+	// to flip near-tied eigenvector signs downstream.
 	for u := range g.adj {
 		sort.Slice(g.adj[u], func(i, j int) bool { return g.adj[u][i].To < g.adj[u][j].To })
+		var d float64
+		for _, h := range g.adj[u] {
+			d += h.W
+		}
+		g.deg[u] = d
 	}
 	g.edgeCount = len(merged)
 	return g, nil

@@ -3,6 +3,8 @@ package linalg
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // Triplet is a coordinate-format matrix entry used while assembling a CSR
@@ -86,6 +88,27 @@ func (c *CSR) MatVec(x, y []float64) {
 		}
 		y[i] = s
 	}
+}
+
+// MatVecPar is MatVec with the rows sharded across up to workers
+// goroutines (0 uses the process default; see internal/parallel). Each
+// row is accumulated by exactly one worker in the same left-to-right
+// order as MatVec, and rows write disjoint entries of y, so the result
+// is bitwise identical to MatVec at every worker count.
+func (c *CSR) MatVecPar(x, y []float64, workers int) {
+	if len(x) != c.M || len(y) != c.N {
+		panic(fmt.Sprintf("linalg: CSR MatVec dimension mismatch (%d×%d)·%d -> %d",
+			c.N, c.M, len(x), len(y)))
+	}
+	parallel.For(workers, c.N, matVecRowGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+				s += c.Val[k] * x[c.ColIdx[k]]
+			}
+			y[i] = s
+		}
+	})
 }
 
 // Diag returns a copy of the diagonal of a square CSR matrix.

@@ -1,6 +1,10 @@
 package linalg
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
 
 // Dense is a row-major dense matrix.
 type Dense struct {
@@ -45,6 +49,22 @@ func (m *Dense) MatVec(x, y []float64) {
 	for i := 0; i < m.Rows; i++ {
 		y[i] = Dot(m.Row(i), x)
 	}
+}
+
+// MatVecPar is MatVec with the rows sharded across up to workers
+// goroutines (0 uses the process default). Each row's dot product is
+// computed serially by one worker, so the result is bitwise identical
+// to MatVec at every worker count.
+func (m *Dense) MatVecPar(x, y []float64, workers int) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("linalg: MatVec dimension mismatch (%d×%d)·%d -> %d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	parallel.For(workers, m.Rows, matVecRowGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = Dot(m.Row(i), x)
+		}
+	})
 }
 
 // Dim returns the number of rows (for the SymMatVec interface).

@@ -24,7 +24,13 @@ import (
 
 	"repro/internal/eigen"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
+
+// scanGrain is the minimum candidates per shard of a parallel gain
+// scan; each candidate costs O(d) flops, so finer shards would be all
+// scheduling overhead.
+const scanGrain = 256
 
 // Scheme selects the weighting function that ranks candidate vectors at
 // each MELO step. The source scan garbles the paper's exact formulas; the
@@ -92,6 +98,12 @@ type Options struct {
 	// iterations) and T is updated"). 0 scans every unplaced vector
 	// every step (exact greedy).
 	CandidateWindow int
+	// Workers bounds the goroutines the per-candidate gain evaluation
+	// may use. 0 selects the process default (parallel.Limit()); 1
+	// forces serial. The scan reduces shard results in index order
+	// with the same first-wins tie-break as the serial loop, so the
+	// constructed ordering is byte-identical at every setting.
+	Workers int
 }
 
 // NewOptions returns Options with the paper's defaults (d = 10, scheme #1,
@@ -241,18 +253,39 @@ func OrderCtx(ctx context.Context, g *graph.Graph, dec *eigen.Decomposition, opt
 		return math.Sqrt(yNormSq)
 	}
 
-	// pickAll scans every unplaced vector (exact greedy).
+	workers := parallel.Workers(opts.Workers)
+
+	// pickAll scans every unplaced vector (exact greedy). The scan is
+	// sharded: each shard keeps its first-best candidate, and shards
+	// are reduced in index order with a strict comparison — exactly the
+	// serial loop's lowest-index-wins tie-break, so the winner is
+	// identical at every worker count.
+	type shardBest struct {
+		idx int
+		s   float64
+	}
+	shards := make([]shardBest, parallel.NumChunks(workers, n, scanGrain))
 	pickAll := func(first bool) int {
 		yn := yNorm()
+		parallel.For(workers, n, scanGrain, func(ch, lo, hi int) {
+			b := shardBest{idx: -1, s: math.Inf(-1)}
+			for i := lo; i < hi; i++ {
+				if placed[i] {
+					continue
+				}
+				if s := score(i, first, yn); s > b.s {
+					b.s = s
+					b.idx = i
+				}
+			}
+			shards[ch] = b
+		})
 		best := -1
 		bestScore := math.Inf(-1)
-		for i := 0; i < n; i++ {
-			if placed[i] {
-				continue
-			}
-			if s := score(i, first, yn); s > bestScore {
-				bestScore = s
-				best = i
+		for _, b := range shards {
+			if b.idx >= 0 && b.s > bestScore {
+				bestScore = b.s
+				best = b.idx
 			}
 		}
 		return best
@@ -267,9 +300,20 @@ func OrderCtx(ctx context.Context, g *graph.Graph, dec *eigen.Decomposition, opt
 	var candidates []int // active window (unplaced)
 	var ranking []int    // full stale ranking; ptr = next replenishment
 	ptr := 0
+	scores := make([]float64, n) // scratch for refreshCandidates
 	refreshCandidates := func() {
 		w := opts.CandidateWindow
 		yn := yNorm()
+		// Score every unplaced vector in parallel (disjoint writes, one
+		// serial evaluation per candidate: worker-invariant), then rank
+		// serially so the sort sees identical input at every setting.
+		parallel.For(workers, n, scanGrain, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if !placed[i] {
+					scores[i] = score(i, false, yn)
+				}
+			}
+		})
 		type ranked struct {
 			idx int
 			s   float64
@@ -277,10 +321,10 @@ func OrderCtx(ctx context.Context, g *graph.Graph, dec *eigen.Decomposition, opt
 		all := make([]ranked, 0, n)
 		for i := 0; i < n; i++ {
 			if !placed[i] {
-				all = append(all, ranked{i, score(i, false, yn)})
+				all = append(all, ranked{i, scores[i]})
 			}
 		}
-		sort.Slice(all, func(a, b int) bool { return all[a].s > all[b].s })
+		sort.SliceStable(all, func(a, b int) bool { return all[a].s > all[b].s })
 		ranking = ranking[:0]
 		for _, r := range all {
 			ranking = append(ranking, r.idx)

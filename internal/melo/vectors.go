@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 	"repro/internal/vecpart"
 )
 
@@ -18,6 +19,15 @@ import (
 // natural entry point when experimenting with alternative scalings
 // (MinSum, custom H) or with vectors from other sources.
 func OrderVectors(v *vecpart.Vectors, scheme Scheme) (*Result, error) {
+	return OrderVectorsWorkers(v, scheme, 0)
+}
+
+// OrderVectorsWorkers is OrderVectors with an explicit bound on the
+// goroutines used by the per-candidate gain scan (0 selects the
+// process default, 1 forces serial). The scan reduces shard winners in
+// index order with the serial loop's first-wins tie-break, so the
+// ordering is byte-identical at every worker count.
+func OrderVectorsWorkers(v *vecpart.Vectors, scheme Scheme, workers int) (*Result, error) {
 	n := v.N()
 	if n == 0 {
 		return nil, errors.New("melo: empty vector instance")
@@ -33,45 +43,63 @@ func OrderVectors(v *vecpart.Vectors, scheme Scheme) (*Result, error) {
 	sum := make([]float64, d)
 	placed := make([]bool, n)
 
+	workers = parallel.Workers(workers)
+	type shardBest struct {
+		idx int
+		s   float64
+	}
+	shards := make([]shardBest, parallel.NumChunks(workers, n, scanGrain))
+
 	for t := 0; t < n; t++ {
 		yNorm := linalg.Norm2(sum)
-		best := -1
-		bestScore := math.Inf(-1)
-		for i := 0; i < n; i++ {
-			if placed[i] {
-				continue
-			}
-			row := v.Row(i)
-			ns := linalg.NormSq(row)
-			var score float64
-			if t == 0 {
-				score = ns
-			} else {
-				dot := linalg.Dot(sum, row)
-				switch scheme {
-				case SchemeCosine:
-					den := yNorm * math.Sqrt(ns)
-					if den < 1e-300 {
-						score = ns
-					} else {
-						score = dot / den
+		first := t == 0
+		parallel.For(workers, n, scanGrain, func(ch, lo, hi int) {
+			b := shardBest{idx: -1, s: math.Inf(-1)}
+			for i := lo; i < hi; i++ {
+				if placed[i] {
+					continue
+				}
+				row := v.Row(i)
+				ns := linalg.NormSq(row)
+				var score float64
+				if first {
+					score = ns
+				} else {
+					dot := linalg.Dot(sum, row)
+					switch scheme {
+					case SchemeCosine:
+						den := yNorm * math.Sqrt(ns)
+						if den < 1e-300 {
+							score = ns
+						} else {
+							score = dot / den
+						}
+					case SchemeNormalizedGain:
+						den := math.Sqrt(ns)
+						if den < 1e-300 {
+							score = 0
+						} else {
+							score = (2*dot + ns) / den
+						}
+					case SchemeProjection:
+						score = dot
+					default: // SchemeGain
+						score = 2*dot + ns
 					}
-				case SchemeNormalizedGain:
-					den := math.Sqrt(ns)
-					if den < 1e-300 {
-						score = 0
-					} else {
-						score = (2*dot + ns) / den
-					}
-				case SchemeProjection:
-					score = dot
-				default: // SchemeGain
-					score = 2*dot + ns
+				}
+				if score > b.s {
+					b.s = score
+					b.idx = i
 				}
 			}
-			if score > bestScore {
-				bestScore = score
-				best = i
+			shards[ch] = b
+		})
+		best := -1
+		bestScore := math.Inf(-1)
+		for _, b := range shards {
+			if b.idx >= 0 && b.s > bestScore {
+				bestScore = b.s
+				best = b.idx
 			}
 		}
 		placed[best] = true

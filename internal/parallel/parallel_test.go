@@ -1,0 +1,122 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLimitDefaultsToNumCPU(t *testing.T) {
+	SetLimit(0)
+	if got := Limit(); got != runtime.NumCPU() {
+		t.Errorf("Limit() = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+}
+
+func TestSetLimitRoundTrip(t *testing.T) {
+	defer SetLimit(0)
+	SetLimit(3)
+	if got := Limit(); got != 3 {
+		t.Errorf("Limit() = %d after SetLimit(3)", got)
+	}
+	SetLimit(-5)
+	if got := Limit(); got != runtime.NumCPU() {
+		t.Errorf("Limit() = %d after SetLimit(-5), want NumCPU", got)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	defer SetLimit(0)
+	SetLimit(4)
+	for _, tc := range []struct{ req, want int }{
+		{0, 4}, {-1, 4}, {1, 1}, {7, 7},
+	} {
+		if got := Workers(tc.req); got != tc.want {
+			t.Errorf("Workers(%d) = %d, want %d", tc.req, got, tc.want)
+		}
+	}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		for _, n := range []int{0, 1, 7, 100, 1001} {
+			var touched []int32
+			if n > 0 {
+				touched = make([]int32, n)
+			}
+			For(workers, n, 3, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&touched[i], 1)
+				}
+			})
+			for i, c := range touched {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d touched %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkBoundariesIgnoreTiming(t *testing.T) {
+	// Chunk index must map to a fixed [lo,hi) for fixed (workers, n,
+	// grain), regardless of which goroutine runs it.
+	const workers, n, grain = 4, 503, 16
+	count := NumChunks(workers, n, grain)
+	type span struct{ lo, hi int }
+	ref := make([]span, count)
+	For(workers, n, grain, func(c, lo, hi int) { ref[c] = span{lo, hi} })
+	for trial := 0; trial < 10; trial++ {
+		got := make([]span, count)
+		For(workers, n, grain, func(c, lo, hi int) { got[c] = span{lo, hi} })
+		for c := range ref {
+			if got[c] != ref[c] {
+				t.Fatalf("trial %d chunk %d: got %v, want %v", trial, c, got[c], ref[c])
+			}
+		}
+	}
+}
+
+func TestNumChunksMatchesFor(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, n := range []int{0, 1, 64, 999} {
+			var calls atomic.Int32
+			For(workers, n, 10, func(_, _, _ int) { calls.Add(1) })
+			if int(calls.Load()) != NumChunks(workers, n, 10) {
+				t.Errorf("workers=%d n=%d: For made %d chunks, NumChunks says %d",
+					workers, n, calls.Load(), NumChunks(workers, n, 10))
+			}
+		}
+	}
+}
+
+func TestForRespectsGrain(t *testing.T) {
+	// Every chunk except possibly the last must hold >= grain indices.
+	const n, grain = 1000, 64
+	For(8, n, grain, func(c, lo, hi int) {
+		if hi-lo < grain && hi != n {
+			panic("short interior chunk")
+		}
+	})
+}
+
+func TestDoRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var ran [20]int32
+		tasks := make([]func(), len(ran))
+		for i := range tasks {
+			i := i
+			tasks[i] = func() { atomic.AddInt32(&ran[i], 1) }
+		}
+		Do(workers, tasks...)
+		for i, c := range ran {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	Do(4) // must not hang or panic
+}

@@ -1,0 +1,159 @@
+// Package partest is the serial-vs-parallel equivalence and
+// paper-invariant test harness for the parallel numerical kernels
+// (internal/parallel and its users: linalg, eigen, melo, the facade).
+//
+// The kernels promise bitwise worker-invariance: every parallelism level
+// produces the same floating-point results as the serial run. The
+// equivalence suite holds them to it — orderings and partitions must be
+// *identical* across worker counts, eigenpairs must match after sign
+// canonicalization. The invariant suite checks the paper's exact
+// identities (Theorem 1, Corollaries 5/6) on seeded random netlists, so
+// a kernel change that silently altered the arithmetic would break an
+// algebraic identity even if it stayed self-consistent.
+package partest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/linalg"
+	"repro/internal/partition"
+)
+
+// RandomNetlist synthesizes a connected netlist with n modules and about
+// extra random multi-pin nets, reproducibly from seed: a Hamiltonian
+// chain of 2-pin nets guarantees connectivity, then extra nets of 2..maxPin
+// pins are drawn uniformly. Distinct seeds give distinct instances.
+func RandomNetlist(n, extra, maxPin int, seed int64) *hypergraph.Hypergraph {
+	if maxPin < 2 {
+		maxPin = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.AddModules(n)
+	for i := 0; i+1 < n; i++ {
+		if err := b.AddNet(fmt.Sprintf("chain%d", i), i, i+1); err != nil {
+			panic(err)
+		}
+	}
+	for e := 0; e < extra; e++ {
+		pins := 2 + rng.Intn(maxPin-1)
+		if pins > n {
+			pins = n
+		}
+		seen := make(map[int]bool, pins)
+		mods := make([]int, 0, pins)
+		for len(mods) < pins {
+			m := rng.Intn(n)
+			if !seen[m] {
+				seen[m] = true
+				mods = append(mods, m)
+			}
+		}
+		if err := b.AddNet(fmt.Sprintf("rnd%d", e), mods...); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+// DisconnectedNetlist concatenates netlists into one with no nets
+// between the parts, then appends `isolated` modules with no nets at
+// all — the worst case for per-component eigensolving.
+func DisconnectedNetlist(isolated int, parts ...*hypergraph.Hypergraph) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	base := 0
+	for pi, p := range parts {
+		b.AddModules(p.NumModules())
+		for ni, net := range p.Nets {
+			mods := make([]int, len(net))
+			for i, m := range net {
+				mods[i] = base + m
+			}
+			if err := b.AddNet(fmt.Sprintf("p%d_%d", pi, ni), mods...); err != nil {
+				panic(err)
+			}
+		}
+		base += p.NumModules()
+	}
+	b.AddModules(isolated)
+	return b.Build()
+}
+
+// RandomPartition assigns each of n elements to one of k clusters
+// uniformly at random, reproducibly, forcing every cluster non-empty by
+// seeding cluster h with element h.
+func RandomPartition(n, k int, seed int64) *partition.Partition {
+	rng := rand.New(rand.NewSource(seed))
+	assign := make([]int, n)
+	for i := range assign {
+		if i < k {
+			assign[i] = i
+		} else {
+			assign[i] = rng.Intn(k)
+		}
+	}
+	return partition.MustNew(assign, k)
+}
+
+// CanonSign flips v in place so its first entry of magnitude > tol is
+// positive, resolving the ±1 ambiguity of a unit eigenvector.
+func CanonSign(v []float64, tol float64) {
+	for _, x := range v {
+		if math.Abs(x) > tol {
+			if x < 0 {
+				for i := range v {
+					v[i] = -v[i]
+				}
+			}
+			return
+		}
+	}
+}
+
+// CanonicalVectors returns a copy of the decomposition's eigenvector
+// columns, each sign-canonicalized via CanonSign.
+func CanonicalVectors(dec *eigen.Decomposition, tol float64) [][]float64 {
+	out := make([][]float64, dec.D())
+	for j := range out {
+		v := linalg.CopyVec(dec.Vector(j))
+		CanonSign(v, tol)
+		out[j] = v
+	}
+	return out
+}
+
+// TraceXtQX computes trace(XᵀQX) for the indicator matrix X of p over
+// the Laplacian of g — the right-hand side of Theorem 1 — using only
+// Laplacian matvecs.
+func TraceXtQX(g *graph.Graph, p *partition.Partition) float64 {
+	q := g.Laplacian()
+	n := g.N()
+	x := make([]float64, n)
+	qx := make([]float64, n)
+	var trace float64
+	for h := 0; h < p.K; h++ {
+		for i := range x {
+			x[i] = 0
+		}
+		for i, c := range p.Assign {
+			if c == h {
+				x[i] = 1
+			}
+		}
+		q.MatVec(x, qx)
+		trace += linalg.Dot(x, qx)
+	}
+	return trace
+}
+
+// FullDecomposition returns the complete dense eigendecomposition of g's
+// Laplacian (all n pairs, ascending), the exact d = n setting the
+// paper's Corollaries 5 and 6 hold in.
+func FullDecomposition(g *graph.Graph) (*eigen.Decomposition, error) {
+	return eigen.SymEig(g.LaplacianDense())
+}

@@ -40,6 +40,12 @@ type EigenPolicy struct {
 	// Faults, when non-nil, injects the plan's deterministic faults
 	// into every attempt.
 	Faults *FaultPlan
+	// Workers bounds the goroutines the sparse solver's kernels may
+	// use (see eigen.LanczosOptions.Workers). 0 selects the process
+	// default; 1 forces serial. Every rung of the ladder is
+	// deterministic at every setting — the kernels are
+	// worker-invariant and the dense rungs are serial.
+	Workers int
 }
 
 func (p EigenPolicy) withDefaults() EigenPolicy {
@@ -161,7 +167,7 @@ func SolveEigen(ctx context.Context, a linalg.Operator, d int, pol EigenPolicy) 
 		}
 		res.Attempts++
 		seed := pol.BaseSeed + int64(attempt-1)
-		opts := &eigen.LanczosOptions{Tol: pol.Tol, MaxDim: dim, Seed: seed}
+		opts := &eigen.LanczosOptions{Tol: pol.Tol, MaxDim: dim, Seed: seed, Workers: pol.Workers}
 		if pol.Faults != nil {
 			opts.Fault = pol.Faults
 		}

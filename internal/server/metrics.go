@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/parallel"
 )
 
 // handleMetrics renders the pool, cache and store counters in the
@@ -43,6 +44,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("spectrald_queue_depth", "Jobs currently waiting for a worker.", st.QueueDepth)
 	gauge("spectrald_queue_capacity", "Configured queue bound.", st.QueueCapacity)
 	gauge("spectrald_workers", "Configured worker count.", st.Workers)
+	gauge("spectrald_parallelism", "Worker goroutines per numerical kernel.", parallel.Limit())
 
 	counter("spectrald_spectrum_cache_hits_total", "Jobs served by a cached eigendecomposition.", st.Cache.Hits)
 	counter("spectrald_spectrum_cache_misses_total", "Eigendecompositions computed (cache misses).", st.Cache.Misses)

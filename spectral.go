@@ -37,6 +37,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/melo"
 	"repro/internal/paraboli"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/resilience"
 	"repro/internal/rsb"
@@ -135,6 +136,16 @@ type Options struct {
 	// passes (the paper's iterative-improvement extension): direct FM
 	// for k = 2, pairwise FM sweeps for k > 2.
 	Refine bool
+	// Parallelism bounds the worker goroutines the numerical kernels
+	// (row-sharded MatVec, block Gram–Schmidt reorthogonalization,
+	// MELO's candidate scans, per-component eigensolves) may use for
+	// this run. 0 selects the process-wide default (parallel.Limit(),
+	// normally runtime.NumCPU, settable via spectrald -parallelism); 1
+	// forces serial execution. The kernels fix their arithmetic order
+	// independently of the worker count, so every setting produces the
+	// same partitioning and the same ordering, bit for bit (see
+	// DESIGN.md, "The parallelism model").
+	Parallelism int
 }
 
 // Validate reports whether the options are usable for partitioning h,
@@ -226,6 +237,21 @@ type pipeline struct {
 }
 
 func (pl *pipeline) enter(s resilience.Stage) { pl.stage = s }
+
+// workers resolves the run's worker budget from Options.Parallelism
+// (0 = process default).
+func (pl *pipeline) workers() int { return parallel.Workers(pl.o.Parallelism) }
+
+// eigenPolicy returns the run's eigensolver policy with the worker
+// budget filled in. A policy injected with an explicit Workers value
+// (tests) wins over the option.
+func (pl *pipeline) eigenPolicy(workers int) resilience.EigenPolicy {
+	pol := pl.pol
+	if pol.Workers == 0 {
+		pol.Workers = workers
+	}
+	return pol
+}
 
 // protect runs fn, converting a panic into a *PipelineError carrying the
 // stage that was executing and the recovery stack.
@@ -346,41 +372,78 @@ func (pl *pipeline) decompose(h *Netlist, model graph.CliqueModel, d int) (*grap
 // block-diagonal so its spectrum is the union of the component spectra.
 // This also keeps Lanczos away from the degenerate zero eigenvalue of
 // multiplicity = #components, its worst case.
+//
+// Components are solved concurrently under the run's worker budget,
+// splitting the budget between component-level concurrency and the
+// kernels inside each solve. Each solve is worker-invariant and the
+// results are merged in component order, so the decomposition is the
+// same at every parallelism level.
 func (pl *pipeline) solveComponents(g *graph.Graph, want int) (*eigen.Decomposition, error) {
 	comps := g.Components()
+	workers := pl.workers()
 	if len(comps) <= 1 {
-		sol, err := resilience.SolveEigen(pl.ctx, g.Laplacian(), want, pl.pol)
+		sol, err := resilience.SolveEigen(pl.ctx, g.Laplacian(), want, pl.eigenPolicy(workers))
 		if err != nil {
 			return nil, err
 		}
 		return sol.Dec, nil
 	}
+	conc := workers
+	if conc > len(comps) {
+		conc = len(comps)
+	}
+	inner := workers / conc
+	if inner < 1 {
+		inner = 1
+	}
+	pol := pl.eigenPolicy(inner)
 	type pair struct {
 		val  float64
 		vec  []float64 // component-local entries
 		back []int     // component-local index -> original vertex
 	}
+	type compOut struct {
+		pairs []pair
+		err   error
+	}
+	outs := make([]compOut, len(comps))
+	tasks := make([]func(), len(comps))
+	for ci := range comps {
+		ci := ci
+		comp := comps[ci]
+		tasks[ci] = func() {
+			if err := pl.ctx.Err(); err != nil {
+				outs[ci].err = err
+				return
+			}
+			if len(comp) == 1 {
+				outs[ci].pairs = []pair{{val: 0, vec: []float64{1}, back: comp}}
+				return
+			}
+			sub, back := g.Induce(comp)
+			cw := want
+			if cw > len(comp) {
+				cw = len(comp)
+			}
+			sol, err := resilience.SolveEigen(pl.ctx, sub.Laplacian(), cw, pol)
+			if err != nil {
+				outs[ci].err = err
+				return
+			}
+			ps := make([]pair, sol.Dec.D())
+			for j := 0; j < sol.Dec.D(); j++ {
+				ps[j] = pair{val: sol.Dec.Values[j], vec: sol.Dec.Vector(j), back: back}
+			}
+			outs[ci].pairs = ps
+		}
+	}
+	parallel.Do(conc, tasks...)
 	var pairs []pair
-	for _, comp := range comps {
-		if err := pl.ctx.Err(); err != nil {
-			return nil, err
+	for _, out := range outs { // first failing component (in order) wins
+		if out.err != nil {
+			return nil, out.err
 		}
-		if len(comp) == 1 {
-			pairs = append(pairs, pair{val: 0, vec: []float64{1}, back: comp})
-			continue
-		}
-		sub, back := g.Induce(comp)
-		cw := want
-		if cw > len(comp) {
-			cw = len(comp)
-		}
-		sol, err := resilience.SolveEigen(pl.ctx, sub.Laplacian(), cw, pl.pol)
-		if err != nil {
-			return nil, err
-		}
-		for j := 0; j < sol.Dec.D(); j++ {
-			pairs = append(pairs, pair{val: sol.Dec.Values[j], vec: sol.Dec.Vector(j), back: back})
-		}
+		pairs = append(pairs, out.pairs...)
 	}
 	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].val < pairs[b].val })
 	if len(pairs) > want {
@@ -406,6 +469,7 @@ func (pl *pipeline) partitionMELO(h *Netlist) (*Partitioning, error) {
 	mo := melo.NewOptions()
 	mo.D = pl.o.D
 	mo.Scheme = melo.Scheme(pl.o.Scheme)
+	mo.Workers = pl.o.Parallelism
 	res, err := melo.OrderCtx(pl.ctx, g, dec, mo)
 	if err != nil {
 		return nil, err
@@ -564,6 +628,7 @@ func orderModulesCtx(ctx context.Context, h *Netlist, sp *Spectrum, d int, schem
 		mo := melo.NewOptions()
 		mo.D = d
 		mo.Scheme = melo.Scheme(scheme)
+		mo.Workers = pl.o.Parallelism
 		res, err := melo.OrderCtx(ctx, g, dec, mo)
 		if err != nil {
 			return err
