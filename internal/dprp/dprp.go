@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/hypergraph"
 	"repro/internal/partition"
@@ -15,8 +16,21 @@ type Options struct {
 	K int
 	// MinSize and MaxSize bound every cluster's size. Zero values select
 	// the defaults n/(2k) and ceil(2n/k), the "restricted partitioning"
-	// bounds of [1].
+	// bounds of [1]. Ignored when the netlist carries explicit module
+	// areas (unless set explicitly): the paper's weighted-vertex
+	// constraint L_h ≤ w(S_h) ≤ W_h bounds AREA sums, not module counts.
 	MinSize, MaxSize int
+	// MinArea and MaxArea bound every cluster's total module area. Zero
+	// values select A/(2k) and 2A/k (the area analogues of the
+	// restricted-partitioning bounds) when the netlist has explicit
+	// areas and no explicit size bounds were given.
+	MinArea, MaxArea float64
+}
+
+// AreaBounds returns the default restricted-partitioning area window
+// [A/(2k), 2A/k] the DP uses for a netlist of total area A.
+func AreaBounds(totalArea float64, k int) (lo, hi float64) {
+	return totalArea / (2 * float64(k)), 2 * totalArea / float64(k)
 }
 
 // Result is a DP-RP solution.
@@ -58,21 +72,86 @@ func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, order []int, op
 	if k > n {
 		return nil, fmt.Errorf("dprp: k = %d exceeds n = %d", k, n)
 	}
+	// Balance windows: explicit size bounds always win; otherwise a
+	// netlist with explicit module areas is bounded in AREA (the paper's
+	// weighted-vertex constraint L_h ≤ w(S_h) ≤ W_h), and only unit-area
+	// netlists fall back to the module-count bounds of [1]. Counting
+	// modules on a heterogeneous-area netlist was the area-balance bug
+	// the oracle harness surfaced: a "balanced" block could hold nearly
+	// all the area.
 	lo, hi := opts.MinSize, opts.MaxSize
+	loA, hiA := opts.MinArea, opts.MaxArea
+	sizeExplicit := lo > 0 || hi > 0
+	areaMode := loA > 0 || hiA > 0 || (h.HasAreas() && !sizeExplicit)
 	if lo <= 0 {
-		lo = n / (2 * k)
-		if lo < 1 {
-			lo = 1
+		lo = 1
+		if !areaMode {
+			lo = n / (2 * k)
+			if lo < 1 {
+				lo = 1
+			}
 		}
 	}
 	if hi <= 0 {
-		hi = (2*n + k - 1) / k
+		hi = n
+		if !areaMode {
+			hi = (2*n + k - 1) / k
+		}
 	}
 	if hi > n {
 		hi = n
 	}
 	if lo*k > n || hi*k < n {
 		return nil, fmt.Errorf("dprp: size bounds [%d,%d] infeasible for n=%d k=%d", lo, hi, n, k)
+	}
+	totalArea := h.TotalArea()
+	const areaEps = 1e-9
+	areaTol := areaEps * (1 + totalArea)
+	if areaMode {
+		defLoA, defHiA := AreaBounds(totalArea, k)
+		if loA <= 0 {
+			loA = defLoA
+		}
+		if hiA <= 0 {
+			hiA = defHiA
+		}
+		if loA*float64(k) > totalArea+areaTol || hiA*float64(k) < totalArea-areaTol {
+			return nil, fmt.Errorf("dprp: area bounds [%g,%g] infeasible for total area %g, k=%d", loA, hiA, totalArea, k)
+		}
+	}
+	// prefixArea[t] is the area of order[0:t]; blocks are bounded via
+	// pre-sums so the window arithmetic below is O(1) per (i, j).
+	prefixArea := make([]float64, n+1)
+	for t := 1; t <= n; t++ {
+		prefixArea[t] = prefixArea[t-1] + h.Area(order[t-1])
+	}
+	blockAreaOK := func(i, j int) bool {
+		if !areaMode {
+			return true
+		}
+		a := prefixArea[j+1] - prefixArea[i]
+		return a >= loA-areaTol && a <= hiA+areaTol
+	}
+	// areaILo returns the smallest block start i for which [i, j] does
+	// not exceed MaxArea (areas are positive, so block area is monotone
+	// decreasing in i).
+	areaILo := func(j int) int {
+		if !areaMode {
+			return 0
+		}
+		want := prefixArea[j+1] - hiA - areaTol
+		i := sort.Search(n+1, func(t int) bool { return prefixArea[t] >= want })
+		return i
+	}
+	// areaIHi returns the largest block start i for which [i, j] still
+	// reaches MinArea, or -1 if none does.
+	areaIHi := func(j int) int {
+		if !areaMode {
+			return j
+		}
+		want := prefixArea[j+1] - loA + areaTol
+		i := sort.Search(n+1, func(t int) bool { return prefixArea[t] > want })
+		return i - 1
 	}
 
 	pos := invert(order)
@@ -143,7 +222,7 @@ func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, order []int, op
 		// where pinned(0,j) = nets with minPos <= j and contained =
 		// nets with maxPos <= j.
 		size := j + 1
-		if size >= lo && size <= hi {
+		if size >= lo && size <= hi && blockAreaOK(0, j) {
 			pinned := m - afterCnt[j+1]
 			contained := beforeCnt[j+1]
 			dp[1][j] = float64(pinned-contained) / float64(size)
@@ -155,6 +234,9 @@ func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, order []int, op
 			//   pinned    = # nets with >= 1 pin in [i, j]
 			//   contained = # nets with all pins in [i, j]
 			iLo := j - hi + 1
+			if a := areaILo(j); a > iLo {
+				iLo = a
+			}
 			if iLo < 1 {
 				iLo = 1
 			}
@@ -175,6 +257,9 @@ func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, order []int, op
 				cost[i] = float64(pinned-contained) / float64(j-i+1)
 			}
 			iHi := j - lo + 1
+			if a := areaIHi(j); a < iHi {
+				iHi = a
+			}
 			if iHi > j {
 				iHi = j
 			}

@@ -152,6 +152,13 @@ func bestSplit(order []int, profile []float64, minFrac float64, ratio bool) (Spl
 		return SplitResult{}, fmt.Errorf("dprp: cannot split an ordering of %d elements", n)
 	}
 	lo := int(math.Ceil(minFrac * float64(n)))
+	// For odd n a fractional bound can exceed the most balanced
+	// achievable smaller side (minFrac = 0.45, n = 5: ceil(2.25) = 3 > 2),
+	// which would reject every split including the perfectly balanced
+	// one. Relax to the most balanced split instead of failing.
+	if most := n / 2; lo > most && minFrac <= 0.5 {
+		lo = most
+	}
 	if lo < 1 {
 		lo = 1
 	}

@@ -23,6 +23,7 @@ func BestBalancedSplitAreas(h *hypergraph.Hypergraph, order []int, minFrac float
 	profile := CutProfile(h, order)
 	total := h.TotalArea()
 	loArea := minFrac * total
+	areaTol := 1e-9 * (1 + total)
 
 	// prefixArea[s] = area of order[0:s].
 	prefixArea := make([]float64, n+1)
@@ -30,12 +31,25 @@ func BestBalancedSplitAreas(h *hypergraph.Hypergraph, order []int, minFrac float
 		prefixArea[s] = prefixArea[s-1] + h.Area(order[s-1])
 	}
 
+	// When no split reaches the fractional bound (a single huge module,
+	// or the count analogue of the odd-n case in bestSplit), relax to the
+	// most balanced achievable split rather than fail.
+	maxMin := 0.0
+	for s := 1; s < n; s++ {
+		if m := math.Min(prefixArea[s], total-prefixArea[s]); m > maxMin {
+			maxMin = m
+		}
+	}
+	if loArea > maxMin && minFrac <= 0.5 {
+		loArea = maxMin
+	}
+
 	bestPos := -1
 	best := math.Inf(1)
 	half := total / 2
 	for s := 1; s < n; s++ {
 		a := prefixArea[s]
-		if a < loArea || total-a < loArea {
+		if a < loArea-areaTol || total-a < loArea-areaTol {
 			continue
 		}
 		c := profile[s-1]

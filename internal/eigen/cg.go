@@ -60,6 +60,14 @@ func CGCtx(ctx context.Context, a linalg.Operator, b, x0 []float64, diag []float
 	if bnorm == 0 {
 		return make([]float64, n), 0, nil
 	}
+	// Already converged at the starting guess. Without this check a
+	// (near-)exact x0 makes the first search direction (near-)zero, and
+	// p'Ap ≤ 0 is then misreported as "operator not positive definite" —
+	// exactly what happens in reanchoring placement rounds whose previous
+	// solution already solves the new system.
+	if linalg.Norm2(r) <= tol*bnorm {
+		return x, 0, nil
+	}
 
 	// Jacobi preconditioner: z = r ./ diag. A nil or non-positive diagonal
 	// entry falls back to the identity for that coordinate.

@@ -1,0 +1,34 @@
+package hypergraph
+
+import "fmt"
+
+// CutSize returns the number of nets that span more than one cluster
+// under the given assignment (assign[i] is module i's cluster).
+//
+// This is the ground-truth cut recomputation used by the differential
+// oracle (internal/oracle): it is implemented independently of
+// partition.NetCut — a net is cut iff the minimum and maximum cluster id
+// over its pins differ — so bookkeeping drift in any algorithm's
+// incremental cut maintenance shows up as a mismatch against this value.
+func (h *Hypergraph) CutSize(assign []int) (int, error) {
+	if len(assign) != h.NumModules() {
+		return 0, fmt.Errorf("hypergraph: assignment covers %d modules, netlist has %d", len(assign), h.NumModules())
+	}
+	cut := 0
+	for _, net := range h.Nets {
+		lo, hi := assign[net[0]], assign[net[0]]
+		for _, m := range net[1:] {
+			c := assign[m]
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if lo != hi {
+			cut++
+		}
+	}
+	return cut, nil
+}

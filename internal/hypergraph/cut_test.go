@@ -1,0 +1,63 @@
+package hypergraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCutSize(t *testing.T) {
+	h := tiny(t) // n0={a,b,c} n1={c,d} n2={d,e}
+	cases := []struct {
+		name   string
+		assign []int
+		want   int
+	}{
+		{"all together", []int{0, 0, 0, 0, 0}, 0},
+		{"split after c", []int{0, 0, 0, 1, 1}, 1},
+		{"split inside n0", []int{0, 1, 0, 0, 0}, 1},
+		{"alternating", []int{0, 1, 0, 1, 0}, 3},
+		{"three way", []int{0, 0, 1, 1, 2}, 2},
+	}
+	for _, tc := range cases {
+		got, err := h.CutSize(tc.assign)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: CutSize = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCutSizeLengthMismatch(t *testing.T) {
+	h := tiny(t)
+	if _, err := h.CutSize([]int{0, 1}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if _, err := h.CutSize(make([]int, 6)); err == nil {
+		t.Fatal("long assignment accepted")
+	}
+}
+
+// Duplicate pins in a net must not inflate the count: a net is cut once
+// no matter how many of its pins straddle the boundary.
+func TestCutSizeDuplicatePins(t *testing.T) {
+	h, err := ReadHMetis(strings.NewReader("2 4\n1 2 2 3\n3 3 4 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.CutSize([]int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("CutSize = %d, want 2", got)
+	}
+	got, err = h.CutSize([]int{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("CutSize on uncut netlist = %d, want 0", got)
+	}
+}

@@ -26,6 +26,14 @@ type Options struct {
 	// reassigning from the prototype-cosine ranking; 1 guarantees
 	// non-empty clusters. Default 1 (0 is treated as 1).
 	MinSize int
+	// Areas optionally gives per-vertex areas (length n). With MinArea > 0
+	// the repair pass balances cluster AREA sums, not module counts — on
+	// heterogeneous-area netlists a count-balanced cluster can still hold
+	// almost none of the area.
+	Areas []float64
+	// MinArea forces every cluster's area sum to at least this value by
+	// the same weakest-affinity reassignment as MinSize. Requires Areas.
+	MinArea float64
 }
 
 // Partition runs KP using the first K eigenpairs of dec (which must hold
@@ -48,6 +56,21 @@ func Partition(dec *eigen.Decomposition, opts Options) (*partition.Partition, er
 	}
 	if minSize*k > n {
 		return nil, fmt.Errorf("kp: MinSize %d infeasible for n=%d k=%d", minSize, n, k)
+	}
+	if opts.MinArea > 0 {
+		if len(opts.Areas) != n {
+			return nil, fmt.Errorf("kp: MinArea set but Areas has %d entries, need %d", len(opts.Areas), n)
+		}
+		total := 0.0
+		for _, a := range opts.Areas {
+			if a <= 0 {
+				return nil, fmt.Errorf("kp: module areas must be positive")
+			}
+			total += a
+		}
+		if opts.MinArea*float64(k) > total {
+			return nil, fmt.Errorf("kp: MinArea %g infeasible for total area %g, k=%d", opts.MinArea, total, k)
+		}
 	}
 
 	// Rows of the n×k eigenvector matrix, normalized to the unit sphere.
@@ -83,6 +106,9 @@ func Partition(dec *eigen.Decomposition, opts Options) (*partition.Partition, er
 	}
 
 	repairSizes(assign, cos, k, minSize)
+	if opts.MinArea > 0 {
+		repairAreas(assign, cos, k, opts.Areas, opts.MinArea)
+	}
 	return partition.New(assign, k)
 }
 
@@ -167,6 +193,46 @@ func repairSizes(assign []int, cos [][]float64, k, minSize int) {
 		sizes[assign[best]]--
 		assign[best] = deficit
 		sizes[deficit]++
+	}
+}
+
+// repairAreas moves the best-affinity vertices of area-rich clusters
+// into clusters below the area floor until every cluster's area sum
+// reaches minArea. A donor must stay at or above the floor after giving
+// up a vertex, so repaired clusters are never re-broken.
+func repairAreas(assign []int, cos [][]float64, k int, areas []float64, minArea float64) {
+	areaSum := make([]float64, k)
+	for i, c := range assign {
+		areaSum[c] += areas[i]
+	}
+	tol := 1e-9 * (1 + minArea)
+	for {
+		deficit := -1
+		for c := 0; c < k; c++ {
+			if areaSum[c] < minArea-tol {
+				deficit = c
+				break
+			}
+		}
+		if deficit == -1 {
+			return
+		}
+		best, bestScore := -1, math.Inf(-1)
+		for i, c := range assign {
+			if c == deficit || areaSum[c]-areas[i] < minArea-tol {
+				continue
+			}
+			if s := cos[i][deficit]; s > bestScore {
+				bestScore = s
+				best = i
+			}
+		}
+		if best == -1 {
+			return // nothing movable; leave as is
+		}
+		areaSum[assign[best]] -= areas[best]
+		assign[best] = deficit
+		areaSum[deficit] += areas[best]
 	}
 }
 

@@ -107,3 +107,64 @@ func TestKPNonEmptyClusters(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionAreaFloor: on a heterogeneous-area netlist a count-
+// balanced KP cluster can hold almost none of the area. With Areas and
+// MinArea set, the repair pass must bring every cluster up to the area
+// floor (the oracle harness held KP to the restricted-partitioning
+// floor A/(2k) and caught the count-only accounting).
+func TestPartitionAreaFloor(t *testing.T) {
+	size := 6
+	g := threeClusters(size)
+	n := 3 * size
+	dec := decompose(t, g, 3)
+	// One cluster carries tiny modules: its natural cosine assignment is
+	// count-fine but area-starved.
+	areas := make([]float64, n)
+	total := 0.0
+	for i := range areas {
+		areas[i] = 1
+		if i >= 2*size {
+			areas[i] = 0.05
+		}
+		total += areas[i]
+	}
+	floor := total / 6 // A/(2k), k = 3
+	p, err := Partition(dec, Options{K: 3, MinSize: 1, Areas: areas, MinArea: floor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]float64, 3)
+	for i, c := range p.Assign {
+		sums[c] += areas[i]
+	}
+	for c, s := range sums {
+		if s < floor-1e-9 {
+			t.Errorf("cluster %d area %g below floor %g (sums %v)", c, s, floor, sums)
+		}
+	}
+}
+
+// TestPartitionAreaValidation covers the new option's error paths.
+func TestPartitionAreaValidation(t *testing.T) {
+	g := threeClusters(4)
+	dec := decompose(t, g, 2)
+	if _, err := Partition(dec, Options{K: 2, MinArea: 1}); err == nil {
+		t.Error("MinArea without Areas accepted")
+	}
+	bad := make([]float64, g.N())
+	for i := range bad {
+		bad[i] = 1
+	}
+	bad[0] = -1
+	if _, err := Partition(dec, Options{K: 2, Areas: bad, MinArea: 1}); err == nil {
+		t.Error("negative area accepted")
+	}
+	ok := make([]float64, g.N())
+	for i := range ok {
+		ok[i] = 1
+	}
+	if _, err := Partition(dec, Options{K: 2, Areas: ok, MinArea: 100}); err == nil {
+		t.Error("infeasible MinArea accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// CheckFeasible verifies that p is a legal k-way partition of h under
+// bal: non-nil, covering every module exactly once, every cluster
+// non-empty, and the balance window honored. It returns a descriptive
+// error for the first violation.
+func CheckFeasible(h *hypergraph.Hypergraph, p *partition.Partition, k int, bal Balance) error {
+	if p == nil {
+		return fmt.Errorf("oracle: nil partition")
+	}
+	if p.N() != h.NumModules() {
+		return fmt.Errorf("oracle: partition covers %d modules, netlist has %d", p.N(), h.NumModules())
+	}
+	if p.K != k {
+		return fmt.Errorf("oracle: partition has K = %d, want %d", p.K, k)
+	}
+	for i, c := range p.Assign {
+		if c < 0 || c >= k {
+			return fmt.Errorf("oracle: module %d assigned to cluster %d, out of [0,%d)", i, c, k)
+		}
+	}
+	sizes := p.Sizes()
+	areas := partition.ClusterAreas(h, p)
+	for c := 0; c < k; c++ {
+		if sizes[c] == 0 {
+			return fmt.Errorf("oracle: cluster %d is empty", c)
+		}
+		if bal.MinSize > 0 && sizes[c] < bal.MinSize {
+			return fmt.Errorf("oracle: cluster %d has %d modules, balance requires >= %d", c, sizes[c], bal.MinSize)
+		}
+		if bal.MaxSize > 0 && sizes[c] > bal.MaxSize {
+			return fmt.Errorf("oracle: cluster %d has %d modules, balance requires <= %d", c, sizes[c], bal.MaxSize)
+		}
+		if bal.MinArea > 0 && areas[c] < bal.MinArea-areaTol {
+			return fmt.Errorf("oracle: cluster %d has area %g, balance requires >= %g", c, areas[c], bal.MinArea)
+		}
+		if bal.MaxArea > 0 && areas[c] > bal.MaxArea+areaTol {
+			return fmt.Errorf("oracle: cluster %d has area %g, balance requires <= %g", c, areas[c], bal.MaxArea)
+		}
+	}
+	return nil
+}
+
+// areaTol absorbs float accumulation order differences when comparing
+// area sums against window bounds.
+const areaTol = 1e-9
+
+// CheckReportedCut verifies that a cut value an algorithm reported for p
+// equals the independent hypergraph.CutSize recomputation.
+func CheckReportedCut(h *hypergraph.Hypergraph, p *partition.Partition, reported int) error {
+	actual, err := h.CutSize(p.Assign)
+	if err != nil {
+		return err
+	}
+	if actual != reported {
+		return fmt.Errorf("oracle: reported cut %d, recomputed cut %d", reported, actual)
+	}
+	return nil
+}
+
+// CheckSpectrum cross-checks an iteratively computed decomposition of
+// g's Laplacian against the exhaustive dense eigensolve: eigenvalues
+// must agree pairwise within tol and the decomposition's residual
+// max_j ‖Qv_j − λ_j v_j‖ must be below tol.
+func CheckSpectrum(g *graph.Graph, dec *eigen.Decomposition, tol float64) error {
+	full, err := eigen.SymEig(g.LaplacianDense())
+	if err != nil {
+		return fmt.Errorf("oracle: dense eigensolve: %v", err)
+	}
+	if dec.D() > full.D() {
+		return fmt.Errorf("oracle: decomposition has %d pairs, matrix only %d", dec.D(), full.D())
+	}
+	for j := 0; j < dec.D(); j++ {
+		if d := abs(dec.Values[j] - full.Values[j]); d > tol {
+			return fmt.Errorf("oracle: eigenvalue %d: iterative %.12g vs dense %.12g (Δ %.3g > %.3g)", j, dec.Values[j], full.Values[j], d, tol)
+		}
+	}
+	if r := eigen.Residual(g.Laplacian(), dec); r > tol {
+		return fmt.Errorf("oracle: eigen residual %.3g > %.3g", r, tol)
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

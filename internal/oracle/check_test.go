@@ -1,0 +1,82 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func TestCheckFeasible(t *testing.T) {
+	h := Path(4)
+	good := partition.MustNew([]int{0, 0, 1, 1}, 2)
+	if err := CheckFeasible(h, good, 2, Balance{MinSize: 2, MaxSize: 2}); err != nil {
+		t.Errorf("good partition rejected: %v", err)
+	}
+	if err := CheckFeasible(h, nil, 2, Balance{}); err == nil {
+		t.Error("nil partition accepted")
+	}
+	if err := CheckFeasible(h, good, 3, Balance{}); err == nil {
+		t.Error("K mismatch accepted")
+	}
+	short := partition.MustNew([]int{0, 1}, 2)
+	if err := CheckFeasible(h, short, 2, Balance{}); err == nil {
+		t.Error("wrong module count accepted")
+	}
+	empty := &partition.Partition{Assign: []int{0, 0, 0, 0}, K: 2}
+	if err := CheckFeasible(h, empty, 2, Balance{}); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	skew := partition.MustNew([]int{0, 1, 1, 1}, 2)
+	if err := CheckFeasible(h, skew, 2, Balance{MinSize: 2}); err == nil {
+		t.Error("MinSize violation accepted")
+	}
+	if err := CheckFeasible(h, skew, 2, Balance{MaxSize: 2}); err == nil {
+		t.Error("MaxSize violation accepted")
+	}
+	if err := h.SetAreas([]float64{4, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// skew: cluster 0 = {0} area 4, cluster 1 = {1,2,3} area 3.
+	if err := CheckFeasible(h, skew, 2, Balance{MinArea: 3.5}); err == nil {
+		t.Error("MinArea violation accepted")
+	}
+	if err := CheckFeasible(h, skew, 2, Balance{MaxArea: 3.5}); err == nil {
+		t.Error("MaxArea violation accepted")
+	}
+	if err := CheckFeasible(h, skew, 2, Balance{MinArea: 3, MaxArea: 4}); err != nil {
+		t.Errorf("area-legal partition rejected: %v", err)
+	}
+}
+
+func TestCheckReportedCut(t *testing.T) {
+	h := Path(4)
+	p := partition.MustNew([]int{0, 0, 1, 1}, 2)
+	if err := CheckReportedCut(h, p, 1); err != nil {
+		t.Errorf("correct report rejected: %v", err)
+	}
+	err := CheckReportedCut(h, p, 2)
+	if err == nil {
+		t.Fatal("wrong report accepted")
+	}
+	if !strings.Contains(err.Error(), "reported cut 2") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestCheckSpectrum(t *testing.T) {
+	g := graph.Path(6)
+	dec, err := eigen.SymEig(g.LaplacianDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSpectrum(g, dec, 1e-8); err != nil {
+		t.Errorf("dense decomposition rejected: %v", err)
+	}
+	dec.Values[1] += 0.5
+	if err := CheckSpectrum(g, dec, 1e-8); err == nil {
+		t.Error("corrupted eigenvalue accepted")
+	}
+}

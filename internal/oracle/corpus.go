@@ -1,0 +1,165 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partest"
+)
+
+// Case is one corpus instance: a named netlist small enough for the
+// exact references.
+type Case struct {
+	Name string
+	H    *hypergraph.Hypergraph
+}
+
+// Path returns the path netlist P_n (n−1 two-pin nets in a chain).
+func Path(n int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.AddModules(n)
+	for i := 0; i+1 < n; i++ {
+		mustAddNet(b, fmt.Sprintf("e%d", i), i, i+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle netlist C_n. For even n its clique-model
+// Laplacian has a degenerate Fiedler value (λ₂ multiplicity 2) — the
+// regime where tie-breaking bugs hide.
+func Cycle(n int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.AddModules(n)
+	for i := 0; i < n; i++ {
+		mustAddNet(b, fmt.Sprintf("e%d", i), i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Star returns the star netlist S_n: one hub, n−1 leaves, all two-pin
+// nets. Every non-trivial Laplacian eigenvalue but one coincides.
+func Star(n int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.AddModules(n)
+	for i := 1; i < n; i++ {
+		mustAddNet(b, fmt.Sprintf("e%d", i), 0, i)
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b} as two-pin nets between every pair
+// of opposite-side modules.
+func CompleteBipartite(a, b int) *hypergraph.Hypergraph {
+	bl := hypergraph.NewBuilder()
+	bl.AddModules(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			mustAddNet(bl, fmt.Sprintf("e%d_%d", i, j), i, a+j)
+		}
+	}
+	return bl.Build()
+}
+
+// Dumbbell returns two s-cliques joined by `bridges` two-pin nets — the
+// canonical provable-optimum bipartitioning instance (optimal cut =
+// bridges).
+func Dumbbell(s, bridges int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.AddModules(2 * s)
+	clique := func(base int, tag string) {
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				mustAddNet(b, fmt.Sprintf("%s%d_%d", tag, i, j), base+i, base+j)
+			}
+		}
+	}
+	clique(0, "l")
+	clique(s, "r")
+	for k := 0; k < bridges; k++ {
+		mustAddNet(b, fmt.Sprintf("bridge%d", k), k%s, s+k%s)
+	}
+	return b.Build()
+}
+
+// Twins returns two disjoint copies of an s-cycle — a disconnected
+// netlist whose Fiedler value is 0 with multiplicity 2, the worst case
+// for eigenvector-based splitting.
+func Twins(s int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.AddModules(2 * s)
+	for i := 0; i < s; i++ {
+		mustAddNet(b, fmt.Sprintf("a%d", i), i, (i+1)%s)
+		mustAddNet(b, fmt.Sprintf("b%d", i), s+i, s+(i+1)%s)
+	}
+	return b.Build()
+}
+
+// Corpus returns the seeded differential corpus: structured families
+// with hand-provable optima and degenerate spectra, plus seeded random
+// netlists (some multi-pin, some with heterogeneous areas). Every
+// instance has n ≤ MaxModules. The same seed always produces the same
+// corpus.
+func Corpus(seed int64) []Case {
+	var cases []Case
+	add := func(name string, h *hypergraph.Hypergraph) {
+		cases = append(cases, Case{Name: name, H: h})
+	}
+	for n := 4; n <= 12; n += 2 {
+		add(fmt.Sprintf("path%d", n), Path(n))
+		add(fmt.Sprintf("cycle%d", n), Cycle(n))
+	}
+	for _, n := range []int{5, 7, 9} {
+		add(fmt.Sprintf("star%d", n), Star(n))
+	}
+	add("k23", CompleteBipartite(2, 3))
+	add("k33", CompleteBipartite(3, 3))
+	add("k34", CompleteBipartite(3, 4))
+	add("k44", CompleteBipartite(4, 4))
+	add("dumbbell4x1", Dumbbell(4, 1))
+	add("dumbbell5x2", Dumbbell(5, 2))
+	add("dumbbell6x3", Dumbbell(6, 3))
+	add("twins4", Twins(4))
+	add("twins5", Twins(5))
+	add("twins6", Twins(6))
+
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 18; i++ {
+		n := 6 + rng.Intn(7) // 6..12
+		extra := 2 + rng.Intn(2*n)
+		maxPin := 2 + rng.Intn(4)
+		h := partest.RandomNetlist(n, extra, maxPin, seed+int64(i)*101)
+		add(fmt.Sprintf("rand%d_n%d", i, n), h)
+	}
+	// Heterogeneous-area variants: same topologies, skewed module areas.
+	for i := 0; i < 8; i++ {
+		n := 6 + rng.Intn(7)
+		extra := 2 + rng.Intn(n)
+		h := partest.RandomNetlist(n, extra, 4, seed+1000+int64(i)*131)
+		areas := make([]float64, n)
+		for m := range areas {
+			areas[m] = float64(1 + rng.Intn(5))
+		}
+		if err := h.SetAreas(areas); err != nil {
+			panic(err)
+		}
+		add(fmt.Sprintf("area%d_n%d", i, n), h)
+	}
+	areaPath := Path(8)
+	if err := areaPath.SetAreas([]float64{5, 1, 1, 1, 1, 1, 1, 5}); err != nil {
+		panic(err)
+	}
+	add("areapath8", areaPath)
+	areaBell := Dumbbell(4, 1)
+	if err := areaBell.SetAreas([]float64{4, 1, 1, 1, 1, 1, 1, 4}); err != nil {
+		panic(err)
+	}
+	add("areabell4", areaBell)
+	return cases
+}
+
+func mustAddNet(b *hypergraph.Builder, name string, mods ...int) {
+	if err := b.AddNet(name, mods...); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,194 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dprp"
+	"repro/internal/hypergraph"
+	"repro/internal/partest"
+	"repro/internal/partition"
+)
+
+// fuzzSeed folds fuzzer bytes into a deterministic RNG seed.
+func fuzzSeed(data []byte) int64 {
+	s := int64(1469598103934665603)
+	for _, b := range data {
+		s = s*1099511628211 + int64(b)
+	}
+	if s < 0 {
+		s = -s
+	}
+	return s
+}
+
+// FuzzParseHMetis differentially checks the parser: any netlist it
+// accepts must satisfy the production metric (partition.NetCut) and the
+// oracle's independent recount (Hypergraph.CutSize) agreeing on an
+// arbitrary bipartition — including weighted-format and duplicate-pin
+// inputs.
+func FuzzParseHMetis(f *testing.F) {
+	f.Add("2 3\n1 2\n2 3\n")
+	f.Add("1 2 10\n1 2\n3\n4\n")
+	f.Add("3 4 11\n1 1 2\n2 2 3\n1 3 4\n1\n2\n3\n4\n")
+	f.Add("2 3\n1 2 2 3\n3 3 1\n")
+	f.Add("1 2 1\n5 1 2\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		h, err := hypergraph.ReadHMetis(strings.NewReader(src))
+		if err != nil {
+			return // rejected input is fine; panics and bad accepts are not
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("accepted netlist fails validation: %v", err)
+		}
+		n := h.NumModules()
+		if n < 2 {
+			return
+		}
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = i % 2
+		}
+		p := partition.MustNew(assign, 2)
+		cut, err := h.CutSize(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := partition.NetCut(h, p); got != cut {
+			t.Fatalf("NetCut %d != oracle CutSize %d", got, cut)
+		}
+	})
+}
+
+// FuzzPartition runs a fuzzer-chosen partitioner on a fuzzer-shaped
+// random netlist and holds it to the oracle contract: the run succeeds,
+// internal reported-value checks pass, the partition is feasible for the
+// method's promise, and the cut is never below the brute-force optimum.
+func FuzzPartition(f *testing.F) {
+	f.Add([]byte{4, 3, 0, 0, 1})
+	f.Add([]byte{8, 9, 1, 5, 2, 7})
+	f.Add([]byte{2, 0, 2, 16, 3})
+	f.Add([]byte{6, 11, 0, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		n := 4 + int(data[0])%7 // 4..10
+		extra := int(data[1]) % 12
+		maxPin := 2 + int(data[2])%3
+		h := partest.RandomNetlist(n, extra, maxPin, fuzzSeed(data))
+		env, err := newCaseEnv(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := runners()
+		r := rs[int(data[3])%len(rs)]
+		res, err := r.run(env)
+		if err != nil {
+			t.Fatalf("%s failed on n=%d extra=%d maxPin=%d: %v", r.name, n, extra, maxPin, err)
+		}
+		if res == nil {
+			return // method does not apply at this size
+		}
+		for _, pr := range res.problems {
+			t.Errorf("%s: %s", r.name, pr)
+		}
+		if err := CheckFeasible(h, res.p, res.k, res.bal); err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		exact, err := env.exactFor(res.k, res.bal)
+		if err != nil {
+			t.Fatalf("%s: exact reference: %v", r.name, err)
+		}
+		cut, err := h.CutSize(res.p.Assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cut < exact.Cut {
+			t.Fatalf("%s: heuristic cut %d below exact optimum %d", r.name, cut, exact.Cut)
+		}
+	})
+}
+
+// FuzzOrderSplit checks the ordering splitters against enumeration on
+// fuzzer-shaped netlists, orderings and (optionally) module areas: the
+// balanced sweep must match the per-position recount, and the DP must
+// match the exact contiguous-split optimum.
+func FuzzOrderSplit(f *testing.F) {
+	f.Add([]byte{6, 1, 0, 3, 7})
+	f.Add([]byte{9, 0, 1, 0, 1, 2, 3, 4, 5})
+	f.Add([]byte{12, 2, 0})
+	f.Add([]byte{5, 1, 1, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		n := 4 + int(data[0])%9 // 4..12
+		k := 2 + int(data[1])%3
+		if k > n {
+			k = 2
+		}
+		withAreas := data[2]%2 == 1
+		seed := fuzzSeed(data)
+		h := partest.RandomNetlist(n, 3+int(data[0])%5, 3, seed)
+		if withAreas {
+			areas := make([]float64, n)
+			for i := range areas {
+				areas[i] = float64(1 + (int(data[i%len(data)])+i)%5)
+			}
+			if err := h.SetAreas(areas); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		order := rng.Perm(n)
+
+		// Single balanced split vs per-position recount.
+		var res dprp.SplitResult
+		var err error
+		if withAreas {
+			res, err = dprp.BestBalancedSplitAreas(h, order, 0.45)
+		} else {
+			res, err = dprp.BestBalancedSplit(h, order, 0.45)
+		}
+		if err != nil {
+			t.Fatalf("balanced split n=%d: %v", n, err)
+		}
+		want, err := ExactBestSplitCut(h, order, 0.45, withAreas)
+		if err != nil {
+			t.Fatalf("exact sweep n=%d: %v", n, err)
+		}
+		if int(res.Cut) != want {
+			t.Fatalf("sweep cut %d, exact best split %d", int(res.Cut), want)
+		}
+		if err := CheckReportedCut(h, res.Partition, int(res.Cut)); err != nil {
+			t.Fatal(err)
+		}
+
+		// DP vs exact contiguous-split optimum under the same window.
+		var bal Balance
+		if h.HasAreas() {
+			loA, hiA := dprp.AreaBounds(h.TotalArea(), k)
+			bal = Balance{MinArea: loA, MaxArea: hiA}
+		} else {
+			lo, hi := dpBounds(n, k)
+			bal = Balance{MinSize: lo, MaxSize: hi}
+		}
+		dp, dpErr := dprp.Partition(h, order, dprp.Options{K: k})
+		exact, _, exErr := ExactOrderSplit(h, order, k, bal)
+		if dpErr != nil {
+			if exErr == nil {
+				t.Fatalf("DP found no feasible split but enumeration did (k=%d): %v", k, dpErr)
+			}
+			return
+		}
+		if exErr != nil {
+			t.Fatalf("DP split succeeded but enumeration found none (k=%d): %v", k, exErr)
+		}
+		if math.Abs(dp.ScaledCost-exact) > 1e-9 {
+			t.Fatalf("DP ScaledCost %.12g != exact %.12g (k=%d)", dp.ScaledCost, exact, k)
+		}
+	})
+}

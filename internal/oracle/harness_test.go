@@ -1,0 +1,56 @@
+package oracle
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDifferentialCorpusGate is the PR's central assertion: every
+// partitioner, on every corpus case, produces a feasible partition whose
+// reported cut matches the independent recomputation and is never below
+// the brute-force optimum. Any violation here is a real bug in either an
+// algorithm or the oracle — both block the gate.
+func TestDifferentialCorpusGate(t *testing.T) {
+	cases := Corpus(1)
+	if len(cases) < 50 {
+		t.Fatalf("corpus has %d cases, want >= 50", len(cases))
+	}
+	rep, err := Run(1, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("%s/%s: %s", v.Case, v.Method, v.Detail)
+	}
+	wantMethods := len(runners())
+	if len(rep.Methods) != wantMethods {
+		t.Fatalf("stats for %d methods, want %d", len(rep.Methods), wantMethods)
+	}
+	for _, st := range rep.Methods {
+		if st.Instances != len(cases) {
+			t.Errorf("%s ran on %d/%d cases", st.Method, st.Instances, len(cases))
+		}
+		if st.Optimal < 1 {
+			t.Errorf("%s never found an optimum on %d tiny cases — wiring suspect", st.Method, st.Instances)
+		}
+		if st.MeanGap < 0 || st.MaxGap < st.MeanGap {
+			t.Errorf("%s has inconsistent gaps: mean %g, max %g", st.Method, st.MeanGap, st.MaxGap)
+		}
+	}
+}
+
+// TestHarnessDeterministic: the same seed must reproduce the report
+// bit-for-bit — the BENCH_oracle.json artifact is meant to be diffable.
+func TestHarnessDeterministic(t *testing.T) {
+	a, err := Run(3, Corpus(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(3, Corpus(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical seeds produced different reports")
+	}
+}

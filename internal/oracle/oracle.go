@@ -1,0 +1,262 @@
+// Package oracle provides exact brute-force references for the
+// partitioning heuristics in this repository, plus the differential
+// harness that cross-checks every algorithm against them (see harness.go).
+//
+// The references are only feasible on tiny instances (n ≤ MaxModules),
+// which is the point: on instances small enough to enumerate, a heuristic
+// that ever reports a cut below the true optimum, an infeasible
+// partition, or a cut value that disagrees with an independent
+// recomputation has a bug — and the fragile regimes (Fiedler-value
+// multiplicity, heterogeneous areas, degenerate netlists) all occur at
+// small n.
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// MaxModules is the largest instance ExactKWay will enumerate. With
+// restricted-growth-string symmetry breaking the worst case (n = 12,
+// k = 4) visits well under a million leaf assignments.
+const MaxModules = 12
+
+// Balance constrains the clusters of a feasible partition. Zero values
+// leave the corresponding bound unconstrained; every cluster must be
+// non-empty regardless.
+type Balance struct {
+	// MinSize and MaxSize bound each cluster's module count.
+	MinSize, MaxSize int
+	// MinArea and MaxArea bound each cluster's total module area.
+	MinArea, MaxArea float64
+}
+
+// Exact is the result of a brute-force enumeration.
+type Exact struct {
+	// Cut is the minimum number of cut nets over all feasible partitions.
+	Cut int
+	// Partition attains the optimum (the first optimum in enumeration
+	// order, so repeated runs agree).
+	Partition *partition.Partition
+	// Feasible counts the feasible assignments examined.
+	Feasible int
+}
+
+// ExactKWay enumerates every partition of h's modules into exactly k
+// non-empty clusters satisfying bal and returns the minimum net cut.
+// Cluster labels are symmetry-broken (restricted growth strings), so each
+// set partition is visited once. n must be ≤ MaxModules.
+func ExactKWay(h *hypergraph.Hypergraph, k int, bal Balance) (*Exact, error) {
+	n := h.NumModules()
+	if n > MaxModules {
+		return nil, fmt.Errorf("oracle: n = %d exceeds enumeration limit %d", n, MaxModules)
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("oracle: k = %d infeasible for n = %d", k, n)
+	}
+	maxSize := bal.MaxSize
+	if maxSize <= 0 {
+		maxSize = n
+	}
+	maxArea := bal.MaxArea
+	if maxArea <= 0 {
+		maxArea = math.Inf(1)
+	}
+
+	assign := make([]int, n)
+	sizes := make([]int, k)
+	areas := make([]float64, k)
+	best := &Exact{Cut: math.MaxInt}
+	feasible := 0
+
+	var recur func(i, used int)
+	recur = func(i, used int) {
+		if i == n {
+			if used != k {
+				return
+			}
+			for c := 0; c < k; c++ {
+				if sizes[c] < bal.MinSize || areas[c] < bal.MinArea {
+					return
+				}
+			}
+			feasible++
+			cut, err := h.CutSize(assign)
+			if err != nil {
+				panic(err) // assign always covers n modules
+			}
+			if cut < best.Cut {
+				best.Cut = cut
+				best.Partition = partition.MustNew(assign, k)
+			}
+			return
+		}
+		// Remaining modules must still be able to open the unopened
+		// clusters.
+		if k-used > n-i {
+			return
+		}
+		limit := used
+		if limit >= k {
+			limit = k - 1
+		}
+		a := h.Area(i)
+		for c := 0; c <= limit; c++ {
+			if sizes[c]+1 > maxSize || areas[c]+a > maxArea {
+				continue
+			}
+			assign[i] = c
+			sizes[c]++
+			areas[c] += a
+			nu := used
+			if c == used {
+				nu++
+			}
+			recur(i+1, nu)
+			sizes[c]--
+			areas[c] -= a
+		}
+	}
+	recur(0, 0)
+	best.Feasible = feasible
+	if best.Partition == nil {
+		return nil, fmt.Errorf("oracle: no feasible %d-way partition under %+v", k, bal)
+	}
+	return best, nil
+}
+
+// BalancedMinSize is the repository's MinFrac balance rule for
+// count-balanced bipartitioning: the smaller side must hold at least
+// ceil(minFrac·n) modules, relaxed to floor(n/2) when the fractional
+// bound exceeds the most balanced achievable split (odd n).
+func BalancedMinSize(n int, minFrac float64) int {
+	lo := int(math.Ceil(minFrac * float64(n)))
+	if most := n / 2; lo > most && minFrac <= 0.5 {
+		lo = most
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	return lo
+}
+
+// ExactBipartition is ExactKWay with k = 2 and the MinFrac balance rule
+// the repository's bipartitioners use: the smaller side must hold at
+// least BalancedMinSize(n, minFrac) modules (or, when byArea is set, at
+// least minFrac of the total area).
+func ExactBipartition(h *hypergraph.Hypergraph, minFrac float64, byArea bool) (*Exact, error) {
+	n := h.NumModules()
+	bal := Balance{}
+	if byArea {
+		bal.MinArea = minFrac * h.TotalArea()
+	} else {
+		bal.MinSize = BalancedMinSize(n, minFrac)
+	}
+	return ExactKWay(h, 2, bal)
+}
+
+// ExactOrderSplit enumerates every way to cut the ordering into k
+// contiguous blocks satisfying bal and returns the minimum Scaled Cost
+// together with the minimizing partition. This is the exact reference
+// for the DP-RP dynamic program, which promises optimality over exactly
+// this family. Feasibility of each candidate is judged by CheckFeasible,
+// sharing no window arithmetic with the DP.
+func ExactOrderSplit(h *hypergraph.Hypergraph, order []int, k int, bal Balance) (float64, *partition.Partition, error) {
+	n := len(order)
+	if n != h.NumModules() {
+		return 0, nil, fmt.Errorf("oracle: ordering covers %d modules, netlist has %d", n, h.NumModules())
+	}
+	if n > MaxModules+4 { // C(n-1, k-1) stays tiny well past MaxModules
+		return 0, nil, fmt.Errorf("oracle: n = %d too large for split enumeration", n)
+	}
+	bestCost := math.Inf(1)
+	var bestP *partition.Partition
+	splits := make([]int, k-1)
+	var recur func(block, start int)
+	recur = func(block, start int) {
+		if block == k-1 {
+			p, err := partition.FromOrderSplit(order, splits, k)
+			if err != nil {
+				return
+			}
+			if CheckFeasible(h, p, k, bal) != nil {
+				return
+			}
+			if sc := partition.ScaledCost(h, p); sc < bestCost {
+				bestCost = sc
+				bestP = p
+			}
+			return
+		}
+		for pos := start + 1; pos < n; pos++ {
+			splits[block] = pos
+			recur(block+1, pos)
+		}
+	}
+	recur(0, 0)
+	if bestP == nil {
+		return 0, nil, fmt.Errorf("oracle: no feasible %d-way order split under %+v", k, bal)
+	}
+	return bestCost, bestP, nil
+}
+
+// ExactBestSplitCut returns the minimum net cut over all single split
+// positions of the ordering whose smaller side holds at least
+// BalancedMinSize(n, minFrac) modules (or minFrac of the total area
+// when byArea is set, relaxed to the most balanced achievable split if
+// no position reaches the fraction). The cut at each position is
+// recomputed from scratch — no shared profile code with dprp — so it is
+// an independent reference for the split sweeps.
+func ExactBestSplitCut(h *hypergraph.Hypergraph, order []int, minFrac float64, byArea bool) (int, error) {
+	n := len(order)
+	if n != h.NumModules() {
+		return 0, fmt.Errorf("oracle: ordering covers %d modules, netlist has %d", n, h.NumModules())
+	}
+	totalArea := h.TotalArea()
+	tol := 1e-9 * (1 + totalArea)
+	prefix := make([]float64, n+1)
+	for s := 1; s <= n; s++ {
+		prefix[s] = prefix[s-1] + h.Area(order[s-1])
+	}
+	loArea := minFrac * totalArea
+	maxMin := 0.0
+	for s := 1; s < n; s++ {
+		if m := math.Min(prefix[s], totalArea-prefix[s]); m > maxMin {
+			maxMin = m
+		}
+	}
+	if loArea > maxMin && minFrac <= 0.5 {
+		loArea = maxMin
+	}
+	lo := BalancedMinSize(n, minFrac)
+
+	best := math.MaxInt
+	assign := make([]int, n)
+	for _, v := range order {
+		assign[v] = 1
+	}
+	for s := 1; s < n; s++ {
+		assign[order[s-1]] = 0
+		if byArea {
+			if prefix[s] < loArea-tol || totalArea-prefix[s] < loArea-tol {
+				continue
+			}
+		} else if s < lo || n-s < lo {
+			continue
+		}
+		cut, err := h.CutSize(assign)
+		if err != nil {
+			return 0, err
+		}
+		if cut < best {
+			best = cut
+		}
+	}
+	if best == math.MaxInt {
+		return 0, fmt.Errorf("oracle: balance %.2f leaves no feasible split for n = %d", minFrac, n)
+	}
+	return best, nil
+}

@@ -1,0 +1,205 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dprp"
+	"repro/internal/hypergraph"
+	"repro/internal/partest"
+)
+
+func TestBalancedMinSize(t *testing.T) {
+	cases := []struct {
+		n       int
+		minFrac float64
+		want    int
+	}{
+		{5, 0.45, 2},  // ceil(2.25) = 3 > 2 → most balanced
+		{7, 0.45, 3},  // ceil(3.15) = 4 > 3 → most balanced
+		{9, 0.45, 4},  // ceil(4.05) = 5 > 4 → most balanced
+		{11, 0.45, 5}, // ceil(4.95) = 5 ≤ 5, no clamp
+		{8, 0.45, 4},
+		{10, 0.45, 5},
+		{12, 0.45, 6},
+		{4, 0.1, 1},
+		{2, 0.45, 1},
+		{5, 0.6, 3}, // above 1/2: no clamp, caller gets the impossible bound
+	}
+	for _, c := range cases {
+		if got := BalancedMinSize(c.n, c.minFrac); got != c.want {
+			t.Errorf("BalancedMinSize(%d, %g) = %d, want %d", c.n, c.minFrac, got, c.want)
+		}
+	}
+}
+
+// TestExactKnownOptima pins the brute-force references to hand-provable
+// optima on the structured families: paths and cycles (tree/cycle edge
+// connectivity), stars, complete bipartite graphs, two-clique dumbbells
+// and disconnected twins.
+func TestExactKnownOptima(t *testing.T) {
+	cases := []struct {
+		name string
+		h    *hypergraph.Hypergraph
+		k    int
+		bal  Balance
+		want int
+	}{
+		{"path6-k2", Path(6), 2, Balance{MinSize: 3}, 1},
+		{"path9-k3", Path(9), 3, Balance{MinSize: 3, MaxSize: 3}, 2},
+		{"cycle6-k2", Cycle(6), 2, Balance{MinSize: 3}, 2},
+		{"cycle8-k4", Cycle(8), 4, Balance{MinSize: 2, MaxSize: 2}, 4},
+		{"star5-k2", Star(5), 2, Balance{MinSize: 2}, 2},
+		{"k23-k2", CompleteBipartite(2, 3), 2, Balance{MinSize: 2}, 3},
+		{"k33-k2", CompleteBipartite(3, 3), 2, Balance{MinSize: 3}, 5},
+		{"dumbbell4x1-k2", Dumbbell(4, 1), 2, Balance{MinSize: 4}, 1},
+		{"dumbbell5x2-k2", Dumbbell(5, 2), 2, Balance{MinSize: 5}, 2},
+		{"twins4-k2", Twins(4), 2, Balance{MinSize: 4}, 0},
+		{"twins4-k2-free", Twins(4), 2, Balance{}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ex, err := ExactKWay(c.h, c.k, c.bal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ex.Cut != c.want {
+				t.Errorf("exact cut %d, want %d", ex.Cut, c.want)
+			}
+			if err := CheckFeasible(c.h, ex.Partition, c.k, c.bal); err != nil {
+				t.Errorf("optimum infeasible: %v", err)
+			}
+			if err := CheckReportedCut(c.h, ex.Partition, ex.Cut); err != nil {
+				t.Errorf("optimum cut inconsistent: %v", err)
+			}
+			if ex.Feasible < 1 {
+				t.Errorf("feasible count %d", ex.Feasible)
+			}
+		})
+	}
+}
+
+func TestExactKWayValidation(t *testing.T) {
+	h := Path(13)
+	if _, err := ExactKWay(h, 2, Balance{}); err == nil {
+		t.Error("n > MaxModules accepted")
+	}
+	h = Path(6)
+	if _, err := ExactKWay(h, 0, Balance{}); err == nil {
+		t.Error("k = 0 accepted")
+	}
+	if _, err := ExactKWay(h, 7, Balance{}); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := ExactKWay(h, 2, Balance{MinSize: 4}); err == nil {
+		t.Error("infeasible balance accepted")
+	}
+}
+
+// TestExactKWayAreaWindow: a giant module forces the area-windowed
+// optimum away from the count-balanced one.
+func TestExactKWayAreaWindow(t *testing.T) {
+	h := Path(6)
+	if err := h.SetAreas([]float64{5, 1, 1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Total area 10; each side in [4, 6]: the giant plus at most one unit
+	// module on its side.
+	ex, err := ExactKWay(h, 2, Balance{MinArea: 4, MaxArea: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFeasible(h, ex.Partition, 2, Balance{MinArea: 4, MaxArea: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Cut != 1 {
+		t.Errorf("cut %d, want 1 (contiguous area-legal split exists)", ex.Cut)
+	}
+}
+
+// TestExactOrderSplitMatchesDP: the DP and the enumeration minimize the
+// same objective over the same family, so their optima must coincide.
+func TestExactOrderSplitMatchesDP(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		h := partest.RandomNetlist(10, 8, 4, seed)
+		order := rand.New(rand.NewSource(seed)).Perm(10)
+		for _, k := range []int{2, 3} {
+			dp, err := dprp.Partition(h, order, dprp.Options{K: k})
+			if err != nil {
+				t.Fatalf("seed %d k %d: %v", seed, k, err)
+			}
+			lo, hi := dpBounds(10, k)
+			exact, _, err := ExactOrderSplit(h, order, k, Balance{MinSize: lo, MaxSize: hi})
+			if err != nil {
+				t.Fatalf("seed %d k %d: %v", seed, k, err)
+			}
+			if math.Abs(dp.ScaledCost-exact) > 1e-9 {
+				t.Errorf("seed %d k %d: DP %.12g, exact %.12g", seed, k, dp.ScaledCost, exact)
+			}
+		}
+	}
+}
+
+// TestExactBestSplitCutMatchesSweep: the O(pins) profile sweep and the
+// per-position recount must agree on every ordering.
+func TestExactBestSplitCutMatchesSweep(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, n := range []int{5, 8, 11} {
+			h := partest.RandomNetlist(n, 6, 3, seed*17+int64(n))
+			order := rand.New(rand.NewSource(seed)).Perm(n)
+			res, err := dprp.BestBalancedSplit(h, order, 0.45)
+			if err != nil {
+				t.Fatalf("n %d seed %d: %v", n, seed, err)
+			}
+			want, err := ExactBestSplitCut(h, order, 0.45, false)
+			if err != nil {
+				t.Fatalf("n %d seed %d: %v", n, seed, err)
+			}
+			if int(res.Cut) != want {
+				t.Errorf("n %d seed %d: sweep %d, exact %d", n, seed, int(res.Cut), want)
+			}
+		}
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	cases := Corpus(1)
+	if len(cases) < 50 {
+		t.Fatalf("corpus has %d cases, want >= 50", len(cases))
+	}
+	seen := map[string]bool{}
+	areas := 0
+	for _, c := range cases {
+		if seen[c.Name] {
+			t.Errorf("duplicate case name %s", c.Name)
+		}
+		seen[c.Name] = true
+		if n := c.H.NumModules(); n < 2 || n > MaxModules {
+			t.Errorf("%s: n = %d outside [2, %d]", c.Name, n, MaxModules)
+		}
+		if c.H.HasAreas() {
+			areas++
+		}
+	}
+	if areas < 5 {
+		t.Errorf("only %d heterogeneous-area cases, want >= 5", areas)
+	}
+	// Same seed, same corpus.
+	again := Corpus(1)
+	if len(again) != len(cases) {
+		t.Fatal("corpus not deterministic in size")
+	}
+	for i := range again {
+		if again[i].Name != cases[i].Name || again[i].H.NumPins() != cases[i].H.NumPins() {
+			t.Fatalf("corpus case %d differs between identical seeds", i)
+		}
+	}
+}
+
+func ExampleExactKWay() {
+	ex, _ := ExactKWay(Dumbbell(4, 1), 2, Balance{MinSize: 4})
+	fmt.Println(ex.Cut)
+	// Output: 1
+}

@@ -10,6 +10,7 @@ package sb
 
 import (
 	"errors"
+	"math"
 	"sort"
 
 	"repro/internal/dprp"
@@ -20,7 +21,12 @@ import (
 
 // FiedlerOrder returns the vertices of g sorted by their coordinates in
 // the Fiedler vector (the eigenvector of the second-smallest Laplacian
-// eigenvalue). Ties are broken by vertex index for determinism.
+// eigenvalue). The coordinates are quantized and sign-canonicalized
+// first, so the ordering is deterministic under the eigenvector's
+// arbitrary sign and under eigensolver noise — the fragile regime is a
+// degenerate λ₂ (even cycles, stars, disconnected netlists), where
+// coordinates tie or differ only by solver noise and v and −v are
+// equally valid answers. Residual ties break by vertex index.
 func FiedlerOrder(g *graph.Graph, dec *eigen.Decomposition) ([]int, error) {
 	if dec.D() < 2 {
 		return nil, errors.New("sb: decomposition must include at least 2 eigenpairs")
@@ -33,14 +39,52 @@ func FiedlerOrder(g *graph.Graph, dec *eigen.Decomposition) ([]int, error) {
 	for i := range order {
 		order[i] = i
 	}
-	fiedler := dec.Vector(1)
+	key := canonicalKeys(dec.Vector(1))
 	sort.SliceStable(order, func(a, b int) bool {
-		if fiedler[order[a]] != fiedler[order[b]] {
-			return fiedler[order[a]] < fiedler[order[b]]
+		if key[order[a]] != key[order[b]] {
+			return key[order[a]] < key[order[b]]
 		}
 		return order[a] < order[b]
 	})
 	return order, nil
+}
+
+// quantum is the relative grid the Fiedler coordinates are snapped to:
+// coordinates within eigensolver noise of each other must collapse to
+// the same key so their order is decided by index, not by noise.
+const quantum = 1e-9
+
+// canonicalKeys maps Fiedler coordinates to comparison keys: each
+// coordinate is rounded onto a quantum·max|v| grid, then the whole key
+// vector is negated if its first nonzero entry is negative. Rounding
+// commutes with negation (math.Round is odd), so v and −v produce
+// identical keys.
+func canonicalKeys(v []float64) []float64 {
+	maxAbs := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	keys := make([]float64, len(v))
+	if maxAbs == 0 {
+		return keys
+	}
+	scale := quantum * maxAbs
+	for i, x := range v {
+		keys[i] = math.Round(x / scale)
+	}
+	for _, k := range keys {
+		if k != 0 {
+			if k < 0 {
+				for i := range keys {
+					keys[i] = -keys[i]
+				}
+			}
+			break
+		}
+	}
+	return keys
 }
 
 // Bipartition runs SB on the netlist h using the clique-model graph g

@@ -6,6 +6,7 @@ import (
 	"repro/internal/eigen"
 	"repro/internal/graph"
 	"repro/internal/hypergraph"
+	"repro/internal/linalg"
 	"repro/internal/partition"
 )
 
@@ -116,5 +117,101 @@ func TestFiedlerOrderValidation(t *testing.T) {
 	other := graph.Path(7)
 	if _, err := FiedlerOrder(other, dec); err == nil {
 		t.Error("size mismatch accepted")
+	}
+}
+
+// negatedFiedler returns a copy of dec with the Fiedler column negated —
+// an equally valid eigendecomposition, since eigenvector signs are
+// arbitrary.
+func negatedFiedler(dec *eigen.Decomposition) *eigen.Decomposition {
+	n, d := dec.Vectors.Rows, dec.D()
+	vecs := linalg.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			x := dec.Vectors.At(i, j)
+			if j == 1 {
+				x = -x
+			}
+			vecs.Set(i, j, x)
+		}
+	}
+	vals := make([]float64, d)
+	copy(vals, dec.Values)
+	return &eigen.Decomposition{Values: vals, Vectors: vecs}
+}
+
+// TestFiedlerOrderSignInvariant: v and −v are both Fiedler vectors, so
+// the ordering must not depend on which one the eigensolver returns.
+// The degenerate-λ₂ graphs (even cycle, star, disconnected twins) are
+// exactly where SB/RSB used to flip between mirror-image splits.
+func TestFiedlerOrderSignInvariant(t *testing.T) {
+	twins := func() *graph.Graph {
+		var edges []graph.Edge
+		for i := 0; i < 4; i++ {
+			edges = append(edges,
+				graph.Edge{U: i, V: (i + 1) % 4, W: 1},
+				graph.Edge{U: 4 + i, V: 4 + (i+1)%4, W: 1})
+		}
+		return graph.MustNew(8, edges)
+	}
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle4", graph.Cycle(4)},
+		{"star6", graph.Star(6)},
+		{"twins", twins()},
+		{"path9", graph.Path(9)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dec, err := eigen.SymEig(tc.g.LaplacianDense())
+			if err != nil {
+				t.Fatal(err)
+			}
+			order, err := FiedlerOrder(tc.g, dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flipped, err := FiedlerOrder(tc.g, negatedFiedler(dec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range order {
+				if order[i] != flipped[i] {
+					t.Fatalf("sign flip changed the ordering:\n  +v: %v\n  -v: %v", order, flipped)
+				}
+			}
+		})
+	}
+}
+
+// TestBipartitionSignInvariant: the end-to-end SB split must be the same
+// bipartition for either eigenvector sign.
+func TestBipartitionSignInvariant(t *testing.T) {
+	h := pathNetlist(t, 9)
+	g, err := graph.FromHypergraph(h, graph.PartitioningSpecific, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := eigen.SymEig(g.LaplacianDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Bipartition(h, g, dec, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bipartition(h, g, negatedFiedler(dec), 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swap := a.Partition.Assign[0] != b.Partition.Assign[0]
+	for i, c := range b.Partition.Assign {
+		if swap {
+			c = 1 - c
+		}
+		if c != a.Partition.Assign[i] {
+			t.Fatalf("sign flip changed the split: %v vs %v", a.Partition.Assign, b.Partition.Assign)
+		}
 	}
 }

@@ -511,7 +511,19 @@ func (pl *pipeline) partitionKP(h *Netlist) (*Partitioning, error) {
 		return nil, err
 	}
 	pl.enter(resilience.StageSplit)
-	return kp.Partition(dec, kp.Options{K: pl.o.K, MinSize: 1})
+	ko := kp.Options{K: pl.o.K, MinSize: 1}
+	if h.HasAreas() {
+		// Heterogeneous areas: repair against the restricted-partitioning
+		// area floor (the same A/(2k) the DP splitter uses) instead of
+		// module counts.
+		areas := make([]float64, h.NumModules())
+		for i := range areas {
+			areas[i] = h.Area(i)
+		}
+		ko.Areas = areas
+		ko.MinArea, _ = dprp.AreaBounds(h.TotalArea(), pl.o.K)
+	}
+	return kp.Partition(dec, ko)
 }
 
 func (pl *pipeline) partitionSFC(h *Netlist) (*Partitioning, error) {
