@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// gate enforces the bench-regression rules on a fresh report:
+//
+//   - against a baseline report (comparePath non-empty): every baseline
+//     kernel must exist in the current report, and neither its serial
+//     nor parallel time may exceed baseline x tolerance;
+//   - within the current report (maxTraceOverhead > 0): every
+//     trace-off-* row's traced/untraced ratio must stay at or below the
+//     bound. This gate needs no baseline file and no machine parity —
+//     both columns were measured by the same process moments apart.
+//
+// It returns an error describing every violation, not just the first,
+// so a CI failure names the full damage.
+func gate(cur Report, comparePath, tolerance string, maxTraceOverhead float64) error {
+	var violations []string
+
+	if comparePath != "" {
+		tol, err := parseTolerance(tolerance)
+		if err != nil {
+			return err
+		}
+		base, err := loadReport(comparePath)
+		if err != nil {
+			return err
+		}
+		curByName := make(map[string]Kernel, len(cur.Kernels))
+		for _, k := range cur.Kernels {
+			curByName[k.Name] = k
+		}
+		for _, bk := range base.Kernels {
+			ck, ok := curByName[bk.Name]
+			if !ok {
+				violations = append(violations, fmt.Sprintf("kernel %q present in baseline but missing from current report", bk.Name))
+				continue
+			}
+			violations = append(violations, checkColumn(bk.Name, "serial", ck.SerialSeconds, bk.SerialSeconds, tol)...)
+			violations = append(violations, checkColumn(bk.Name, "parallel", ck.ParallelSeconds, bk.ParallelSeconds, tol)...)
+		}
+	}
+
+	if maxTraceOverhead > 0 {
+		checked := 0
+		for _, k := range cur.Kernels {
+			if !strings.HasPrefix(k.Name, "trace-off-") {
+				continue
+			}
+			checked++
+			if k.SerialSeconds <= 0 {
+				violations = append(violations, fmt.Sprintf("%s: untraced time %g not positive", k.Name, k.SerialSeconds))
+				continue
+			}
+			if ratio := k.ParallelSeconds / k.SerialSeconds; ratio > maxTraceOverhead {
+				violations = append(violations, fmt.Sprintf(
+					"%s: disabled-tracer overhead %.3fx exceeds bound %.3fx", k.Name, ratio, maxTraceOverhead))
+			}
+		}
+		if checked == 0 {
+			violations = append(violations, "max-trace-overhead gate requested but report has no trace-off-* rows")
+		}
+	}
+
+	if len(violations) > 0 {
+		return fmt.Errorf("bench gate failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
+}
+
+// checkColumn compares one timing column against its baseline. Columns
+// faster than 100µs are exempt from the ratio gate: at that scale,
+// scheduler jitter alone produces multi-x ratios and the gate would
+// only measure noise.
+func checkColumn(kernel, col string, cur, base, tol float64) []string {
+	const floor = 100e-6
+	if base <= floor || cur <= floor {
+		return nil
+	}
+	if cur > base*tol {
+		return []string{fmt.Sprintf("%s %s: %.3fms exceeds baseline %.3fms x %.2f = %.3fms",
+			kernel, col, cur*1e3, base*1e3, tol, base*tol*1e3)}
+	}
+	return nil
+}
+
+// parseTolerance parses "1.5x" (or "1.5") into a multiplier >= 1.
+func parseTolerance(s string) (float64, error) {
+	t := strings.TrimSuffix(strings.TrimSpace(s), "x")
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad -tolerance %q: %v", s, err)
+	}
+	if v < 1 {
+		return 0, fmt.Errorf("bad -tolerance %q: want >= 1", s)
+	}
+	return v, nil
+}
+
+func loadReport(path string) (Report, error) {
+	var r Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return r, fmt.Errorf("parse %s: %v", path, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, r Report) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func kernel(name string, serial, par float64) Kernel {
+	return Kernel{Name: name, SerialSeconds: serial, ParallelSeconds: par, Speedup: serial / par, Reps: 3}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	base := writeReport(t, Report{Kernels: []Kernel{kernel("matvec", 0.010, 0.005)}})
+	cur := Report{Kernels: []Kernel{kernel("matvec", 0.012, 0.006)}}
+	if err := gate(cur, base, "1.5x", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := writeReport(t, Report{Kernels: []Kernel{kernel("matvec", 0.010, 0.005)}})
+	cur := Report{Kernels: []Kernel{kernel("matvec", 0.020, 0.005)}}
+	err := gate(cur, base, "1.5x", 0)
+	if err == nil || !strings.Contains(err.Error(), "matvec serial") {
+		t.Fatalf("want serial regression failure, got %v", err)
+	}
+}
+
+func TestGateFailsOnMissingKernel(t *testing.T) {
+	base := writeReport(t, Report{Kernels: []Kernel{
+		kernel("matvec", 0.010, 0.005),
+		kernel("lanczos", 0.100, 0.050),
+	}})
+	cur := Report{Kernels: []Kernel{kernel("matvec", 0.010, 0.005)}}
+	err := gate(cur, base, "1.5x", 0)
+	if err == nil || !strings.Contains(err.Error(), `"lanczos"`) {
+		t.Fatalf("want missing-kernel failure, got %v", err)
+	}
+}
+
+func TestGateReportsEveryViolation(t *testing.T) {
+	base := writeReport(t, Report{Kernels: []Kernel{
+		kernel("matvec", 0.010, 0.005),
+		kernel("lanczos", 0.100, 0.050),
+	}})
+	cur := Report{Kernels: []Kernel{kernel("matvec", 0.050, 0.050)}}
+	err := gate(cur, base, "1.5x", 0)
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	for _, want := range []string{"matvec serial", "matvec parallel", `"lanczos"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error lacks %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestGateSubMillisecondColumnsExempt(t *testing.T) {
+	// 20µs vs 90µs is a 4.5x "regression" that is pure timer noise;
+	// both sit under the 100µs floor and must not trip the gate.
+	base := writeReport(t, Report{Kernels: []Kernel{kernel("tiny", 20e-6, 20e-6)}})
+	cur := Report{Kernels: []Kernel{kernel("tiny", 90e-6, 90e-6)}}
+	if err := gate(cur, base, "1.5x", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverheadGate(t *testing.T) {
+	ok := Report{Kernels: []Kernel{kernel("trace-off-lanczos", 0.100, 0.101)}}
+	if err := gate(ok, "", "1.5x", 1.02); err != nil {
+		t.Fatal(err)
+	}
+	bad := Report{Kernels: []Kernel{kernel("trace-off-lanczos", 0.100, 0.110)}}
+	err := gate(bad, "", "1.5x", 1.02)
+	if err == nil || !strings.Contains(err.Error(), "trace-off-lanczos") {
+		t.Fatalf("want overhead failure, got %v", err)
+	}
+	// trace-on rows are informational, never gated.
+	onOnly := Report{Kernels: []Kernel{
+		kernel("trace-off-lanczos", 0.100, 0.100),
+		kernel("trace-on-lanczos", 0.100, 0.500),
+	}}
+	if err := gate(onOnly, "", "1.5x", 1.02); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverheadGateNeedsRows(t *testing.T) {
+	cur := Report{Kernels: []Kernel{kernel("matvec", 0.010, 0.005)}}
+	err := gate(cur, "", "1.5x", 1.02)
+	if err == nil || !strings.Contains(err.Error(), "no trace-off-") {
+		t.Fatalf("gate without overhead rows must fail, got %v", err)
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"1.5x", 1.5, true},
+		{"1.5", 1.5, true},
+		{" 2x ", 2, true},
+		{"0.5x", 0, false},
+		{"", 0, false},
+		{"fast", 0, false},
+	} {
+		got, err := parseTolerance(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Errorf("parseTolerance(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestLoadReportErrors(t *testing.T) {
+	if _, err := loadReport(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReport(bad); err == nil {
+		t.Error("malformed JSON must fail")
+	}
+}

@@ -5,11 +5,28 @@
 // Usage:
 //
 //	benchpar [-n 20000] [-workers 0] [-reps 5] [-out BENCH_parallel.json]
+//	         [-trace out.jsonl]
+//	         [-compare BENCH_parallel.json] [-tolerance 1.5x]
+//	         [-max-trace-overhead 1.02]
 //
 // The report records runtime.NumCPU so a baseline captured on a small
 // machine is not mistaken for a scaling claim: speedups near 1.0 with
 // cores=1 are the expected, honest result. On >= 4 cores the MatVec
 // speedup is the ISSUE's >= 2x acceptance gauge.
+//
+// Besides the serial-vs-parallel rows, the report carries
+// tracer-overhead rows (trace-off-*, trace-on-*): each times a kernel
+// with no tracer in the serial column and with a disabled (trace-off)
+// or enabled (trace-on) tracer in the parallel column, so the
+// "speedup" is the inverse overhead factor. The trace-off rows are the
+// instrumentation's no-op guarantee, budgeted at <= 2%.
+//
+// -compare gates a fresh run against a previous report: any kernel
+// whose serial or parallel time exceeds baseline x tolerance fails
+// (exit 1), as does a kernel missing from the new report.
+// -max-trace-overhead additionally bounds the trace-off rows'
+// traced/untraced ratio in the CURRENT run (machine-independent, since
+// both columns come from the same process).
 package main
 
 import (
@@ -25,6 +42,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/melo"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // Report is the top-level BENCH_parallel.json document.
@@ -42,24 +60,43 @@ type Report struct {
 	Kernels []Kernel `json:"kernels"`
 }
 
-// Kernel is one serial-vs-parallel measurement.
+// Kernel is one serial-vs-parallel measurement. Tracer-overhead rows
+// reuse the columns (serial = untraced, parallel = traced) and say so
+// in Note.
 type Kernel struct {
 	Name            string  `json:"name"`
 	SerialSeconds   float64 `json:"serial_seconds"`
 	ParallelSeconds float64 `json:"parallel_seconds"`
 	Speedup         float64 `json:"speedup"`
 	Reps            int     `json:"reps"`
+	Note            string  `json:"note,omitempty"`
 }
 
 func main() {
 	var (
-		n       = flag.Int("n", 20000, "modules in the synthesized MatVec netlist")
-		workers = flag.Int("workers", 0, "parallel worker count (0 = NumCPU)")
-		reps    = flag.Int("reps", 5, "repetitions per timing (best-of)")
-		out     = flag.String("out", "BENCH_parallel.json", "output path")
+		n          = flag.Int("n", 20000, "modules in the synthesized MatVec netlist")
+		workers    = flag.Int("workers", 0, "parallel worker count (0 = NumCPU)")
+		reps       = flag.Int("reps", 5, "repetitions per timing (best-of)")
+		out        = flag.String("out", "BENCH_parallel.json", "output path")
+		traceOut   = flag.String("trace", "", "append finished spans as JSON lines to this file")
+		comparePth = flag.String("compare", "", "baseline report to gate against (empty = no gate)")
+		tolerance  = flag.String("tolerance", "1.5x", "max allowed slowdown vs baseline per kernel column")
+		maxTraceOv = flag.Float64("max-trace-overhead", 0, "max traced/untraced ratio for trace-off rows (0 = no gate)")
 	)
 	flag.Parse()
 	w := parallel.Workers(*workers)
+
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		// Installed globally so the ctx-free kernels report through the
+		// fallback path; removed before the overhead rows run their
+		// untraced baselines.
+		trace.SetGlobal(trace.New(trace.NewJSONWriter(f)))
+	}
 
 	rep := Report{Cores: runtime.NumCPU(), Workers: w, GoMaxProcs: runtime.GOMAXPROCS(0), N: *n}
 
@@ -70,16 +107,18 @@ func main() {
 		x[i] = float64(i%13) * 0.3
 	}
 	y := make([]float64, big.N())
+	matvecPar := func() { q.MatVecPar(x, y, w) }
 	rep.Kernels = append(rep.Kernels, measure("matvec", *reps,
 		func() { q.MatVec(x, y) },
-		func() { q.MatVecPar(x, y, w) },
+		matvecPar,
 	))
 
 	mid := buildGraph(4000)
 	qm := mid.Laplacian()
+	lanczosPar := func() { mustSolve(qm, w) }
 	rep.Kernels = append(rep.Kernels, measure("lanczos", *reps,
 		func() { mustSolve(qm, 1) },
-		func() { mustSolve(qm, w) },
+		lanczosPar,
 	))
 
 	small := buildGraph(2000)
@@ -87,10 +126,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	meloPar := func() { mustOrder(small, dec, w) }
 	rep.Kernels = append(rep.Kernels, measure("melo-order", *reps,
 		func() { mustOrder(small, dec, 1) },
-		func() { mustOrder(small, dec, w) },
+		meloPar,
 	))
+
+	// Tracer-overhead rows: same kernel, untraced vs traced, in one
+	// process. trace-off rows must stay within the <= 2% no-op budget.
+	for _, k := range []struct {
+		name string
+		fn   func()
+	}{
+		{"matvec", matvecPar},
+		{"lanczos", lanczosPar},
+		{"melo", meloPar},
+	} {
+		rep.Kernels = append(rep.Kernels, measureOverhead(k.name, *reps, k.fn)...)
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -102,29 +155,64 @@ func main() {
 	}
 	fmt.Printf("wrote %s (cores=%d workers=%d)\n", *out, rep.Cores, rep.Workers)
 	for _, k := range rep.Kernels {
-		fmt.Printf("  %-10s serial %8.3fms  parallel %8.3fms  speedup %.2fx\n",
+		fmt.Printf("  %-18s serial %8.3fms  parallel %8.3fms  speedup %.2fx\n",
 			k.Name, k.SerialSeconds*1e3, k.ParallelSeconds*1e3, k.Speedup)
+	}
+
+	if *comparePth != "" || *maxTraceOv > 0 {
+		if err := gate(rep, *comparePth, *tolerance, *maxTraceOv); err != nil {
+			fatal(err)
+		}
+		fmt.Println("bench gate passed")
 	}
 }
 
 // measure times serial and parallel variants, best-of-reps, after one
 // untimed warmup each.
 func measure(name string, reps int, serial, par func()) Kernel {
-	best := func(fn func()) float64 {
-		fn() // warmup
-		b := time.Duration(1<<62 - 1)
-		for r := 0; r < reps; r++ {
-			t0 := time.Now()
-			fn()
-			if d := time.Since(t0); d < b {
-				b = d
-			}
-		}
-		return b.Seconds()
-	}
-	s := best(serial)
-	p := best(par)
+	s := bestOf(reps, serial)
+	p := bestOf(reps, par)
 	return Kernel{Name: name, SerialSeconds: s, ParallelSeconds: p, Speedup: s / p, Reps: reps}
+}
+
+// measureOverhead times fn three ways — no tracer, disabled tracer,
+// enabled tracer (ring sink) — and reports two rows reusing the
+// serial/parallel columns as untraced/traced. The prior global tracer
+// is restored afterwards so -trace capture resumes.
+func measureOverhead(name string, reps int, fn func()) []Kernel {
+	prev := trace.Global()
+	defer trace.SetGlobal(prev)
+
+	trace.SetGlobal(nil)
+	base := bestOf(reps, fn)
+
+	off := trace.New()
+	off.SetEnabled(false)
+	trace.SetGlobal(off)
+	offT := bestOf(reps, fn)
+
+	on := trace.New(trace.NewRing(4096))
+	trace.SetGlobal(on)
+	onT := bestOf(reps, fn)
+
+	note := "serial column = untraced, parallel column = traced; speedup = inverse overhead"
+	return []Kernel{
+		{Name: "trace-off-" + name, SerialSeconds: base, ParallelSeconds: offT, Speedup: base / offT, Reps: reps, Note: note},
+		{Name: "trace-on-" + name, SerialSeconds: base, ParallelSeconds: onT, Speedup: base / onT, Reps: reps, Note: note},
+	}
+}
+
+func bestOf(reps int, fn func()) float64 {
+	fn() // warmup
+	b := time.Duration(1<<62 - 1)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0); d < b {
+			b = d
+		}
+	}
+	return b.Seconds()
 }
 
 func buildGraph(n int) *graph.Graph {

@@ -11,6 +11,11 @@
 // At -scale 1 the full suite takes minutes (the industry2 circuit has
 // 12637 modules and every algorithm runs on it); smaller scales preserve
 // the qualitative comparisons and run in seconds.
+//
+// -trace out.jsonl appends every finished pipeline span as a JSON line;
+// -trace-report prints the aggregate summary (per-span p50/p95/max,
+// counter totals) to stderr when the run ends. Either flag enables the
+// tracer; without them it stays off and costs nothing.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // exitDeadline is the exit code for a run aborted by -timeout, distinct
@@ -31,15 +37,17 @@ const exitDeadline = 3
 
 func main() {
 	var (
-		tableN  = flag.Int("table", 0, "table number to regenerate (1-5)")
-		figureN = flag.Int("figure", 0, "figure number to regenerate (1-2)")
-		ext     = flag.Bool("ext", false, "regenerate the extensions comparison table")
-		all     = flag.Bool("all", false, "regenerate every table and figure")
-		scale   = flag.Float64("scale", 1.0, "benchmark scale factor (0,1]")
-		d       = flag.Int("d", 10, "MELO eigenvector count")
-		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
-		par     = flag.Int("parallelism", 0, "worker goroutines per numerical kernel (0 = NumCPU; results identical at every setting)")
-		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		tableN   = flag.Int("table", 0, "table number to regenerate (1-5)")
+		figureN  = flag.Int("figure", 0, "figure number to regenerate (1-2)")
+		ext      = flag.Bool("ext", false, "regenerate the extensions comparison table")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		scale    = flag.Float64("scale", 1.0, "benchmark scale factor (0,1]")
+		d        = flag.Int("d", 10, "MELO eigenvector count")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
+		par      = flag.Int("parallelism", 0, "worker goroutines per numerical kernel (0 = NumCPU; results identical at every setting)")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		traceOut = flag.String("trace", "", "append finished spans as JSON lines to this file")
+		traceRep = flag.Bool("trace-report", false, "print the trace summary to stderr at exit")
 	)
 	flag.Parse()
 	parallel.SetLimit(*par)
@@ -49,6 +57,27 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *traceOut != "" || *traceRep {
+		var sinks []trace.Sink
+		if *traceOut != "" {
+			f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: open trace file: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			sinks = append(sinks, trace.NewJSONWriter(f))
+		}
+		tracer := trace.New(sinks...)
+		// The Lab threads ctx into every facade call, but the parallel
+		// kernels report through the process-global fallback.
+		trace.SetGlobal(tracer)
+		ctx = trace.WithTracer(ctx, tracer)
+		if *traceRep {
+			defer tracer.WriteReport(os.Stderr)
+		}
 	}
 
 	cfg := experiments.Config{Ctx: ctx, Out: os.Stdout, Scale: *scale, D: *d}

@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	oracle [-seed 1] [-out BENCH_oracle.json]
+//	oracle [-seed 1] [-out BENCH_oracle.json] [-trace-report=false]
+//
+// The harness runs under a process-global tracer; -trace-report
+// (default on) prints the aggregate span timings and kernel counter
+// totals to stderr after the results table, so a slow oracle run shows
+// where the time went.
 //
 // Exit status is non-zero when any violation is found — the harness is
 // a correctness gate, not a benchmark: a heuristic may be far from the
@@ -22,14 +27,19 @@ import (
 	"os"
 
 	"repro/internal/oracle"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		seed = flag.Int64("seed", 1, "corpus seed (same seed, same corpus)")
-		out  = flag.String("out", "BENCH_oracle.json", "output path")
+		seed     = flag.Int64("seed", 1, "corpus seed (same seed, same corpus)")
+		out      = flag.String("out", "BENCH_oracle.json", "output path")
+		traceRep = flag.Bool("trace-report", true, "print the trace summary to stderr after the results")
 	)
 	flag.Parse()
+
+	tracer := trace.New()
+	trace.SetGlobal(tracer)
 
 	cases := oracle.Corpus(*seed)
 	fmt.Printf("oracle: %d cases, n <= %d\n", len(cases), oracle.MaxModules)
@@ -45,6 +55,9 @@ func main() {
 	}
 	for _, v := range rep.Violations {
 		fmt.Printf("VIOLATION %s/%s: %s\n", v.Case, v.Method, v.Detail)
+	}
+	if *traceRep {
+		tracer.WriteReport(os.Stderr)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -11,11 +11,20 @@
 //
 //	spectrald [-addr :8090] [-workers N] [-queue N] [-cache N]
 //	          [-max-netlists N] [-parallelism N] [-grace 30s]
+//	          [-debug-addr 127.0.0.1:8091] [-trace out.jsonl]
+//	          [-trace-ring N] [-trace-chunks N]
 //
 // -workers bounds how many jobs run concurrently; -parallelism bounds
 // the goroutines the numerical kernels inside one job may use
 // (0 = NumCPU). Results are bit-identical at every -parallelism
 // setting; see DESIGN.md, "The parallelism model".
+//
+// Every job execution is traced (per-stage spans, kernel counters; see
+// internal/trace): /metrics exposes the aggregates. -debug-addr opens a
+// second listener with net/http/pprof, /debug/trace?job=<id> (recent
+// span trees, filterable by job) and /debug/report (the text summary);
+// keep it on a loopback or otherwise private address. -trace appends
+// every finished span as a JSON line to a file.
 //
 // On SIGINT or SIGTERM the daemon stops accepting work (healthz flips
 // to 503, submissions are refused), shuts the listener down, and lets
@@ -38,6 +47,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/parallel"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -49,28 +59,82 @@ func main() {
 		maxNetlists = flag.Int("max-netlists", 0, "netlist store bound (0 = 128)")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines per numerical kernel (0 = NumCPU)")
 		grace       = flag.Duration("grace", 30*time.Second, "drain window for in-flight jobs on shutdown")
+		debugAddr   = flag.String("debug-addr", "", "diagnostics listen address (pprof, /debug/trace, /debug/report); empty = disabled")
+		traceOut    = flag.String("trace", "", "append finished spans as JSON lines to this file")
+		traceRing   = flag.Int("trace-ring", 4096, "recent spans retained for /debug/trace")
+		traceChunks = flag.Int("trace-chunks", 0, "sample one in N parallel chunks as spans (0 = off)")
 	)
 	flag.Parse()
 	parallel.SetLimit(*parallelism)
-	if err := run(*addr, *workers, *queueDepth, *cacheSize, *maxNetlists, *grace); err != nil {
+	if err := run(config{
+		addr:        *addr,
+		workers:     *workers,
+		queueDepth:  *queueDepth,
+		cacheSize:   *cacheSize,
+		maxNetlists: *maxNetlists,
+		grace:       *grace,
+		debugAddr:   *debugAddr,
+		traceOut:    *traceOut,
+		traceRing:   *traceRing,
+		traceChunks: *traceChunks,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "spectrald:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queueDepth, cacheSize, maxNetlists int, grace time.Duration) error {
+type config struct {
+	addr                           string
+	workers, queueDepth, cacheSize int
+	maxNetlists                    int
+	grace                          time.Duration
+	debugAddr, traceOut            string
+	traceRing, traceChunks         int
+}
+
+func run(cfg config) error {
+	ring := trace.NewRing(cfg.traceRing)
+	sinks := []trace.Sink{ring}
+	if cfg.traceOut != "" {
+		f, err := os.OpenFile(cfg.traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open trace file: %w", err)
+		}
+		defer f.Close()
+		sinks = append(sinks, trace.NewJSONWriter(f))
+	}
+	tracer := trace.New(sinks...)
+	tracer.SetChunkSampling(cfg.traceChunks)
+	trace.SetGlobal(tracer)
+
 	pool := jobs.NewPool(jobs.Config{
-		Workers:      workers,
-		QueueDepth:   queueDepth,
-		CacheEntries: cacheSize,
+		Workers:      cfg.workers,
+		QueueDepth:   cfg.queueDepth,
+		CacheEntries: cfg.cacheSize,
 	})
+	pool.SetTracer(tracer)
 	pool.Start()
-	srv := server.New(pool, server.Config{MaxNetlists: maxNetlists})
+	srv := server.New(pool, server.Config{MaxNetlists: cfg.maxNetlists, Tracer: tracer})
 
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	var debugSrv *http.Server
+	if cfg.debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              cfg.debugAddr,
+			Handler:           server.NewDebugHandler(tracer, ring),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("spectrald diagnostics on %s", cfg.debugAddr)
+			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -78,7 +142,7 @@ func run(addr string, workers, queueDepth, cacheSize, maxNetlists int, grace tim
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("spectrald listening on %s", addr)
+		log.Printf("spectrald listening on %s", cfg.addr)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -97,13 +161,16 @@ func run(addr string, workers, queueDepth, cacheSize, maxNetlists int, grace tim
 	}
 	stop() // restore default signal handling: a second ^C kills us
 
-	log.Printf("signal received; draining (grace %s)", grace)
+	log.Printf("signal received; draining (grace %s)", cfg.grace)
 	srv.SetDraining(true)
 
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
 	}
 	if err := pool.Shutdown(shutdownCtx); err != nil {
 		log.Printf("drain window expired; cancelled remaining jobs: %v", err)

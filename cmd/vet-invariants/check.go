@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// defaultPackages are the deterministic kernel directories; see the
+// package comment for why they may not import "time".
+var defaultPackages = []string{
+	"internal/eigen",
+	"internal/melo",
+	"internal/dprp",
+	"internal/parallel",
+}
+
+// checkTimeImports parses every non-test .go file directly inside the
+// given package directories (imports only — bodies are never typed or
+// compiled) and returns one violation string per "time" import, sorted.
+// A listed directory that does not exist is an error: a silently
+// skipped package is a silently dead invariant.
+func checkTimeImports(root string, pkgDirs []string) ([]string, error) {
+	fset := token.NewFileSet()
+	var violations []string
+	for _, dir := range pkgDirs {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		abs := filepath.Join(root, dir)
+		entries, err := os.ReadDir(abs)
+		if err != nil {
+			return nil, fmt.Errorf("package %s: %w", dir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(abs, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if p == "time" {
+					pos := fset.Position(imp.Path.Pos())
+					violations = append(violations, fmt.Sprintf(
+						"%s imports %q at line %d", filepath.Join(dir, name), p, pos.Line))
+				}
+			}
+		}
+	}
+	sort.Strings(violations)
+	return violations, nil
+}

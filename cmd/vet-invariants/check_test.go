@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsDirectTimeImport(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "internal/kernel/clean.go"),
+		"package kernel\n\nimport \"math\"\n\nvar _ = math.Pi\n")
+	writeFile(t, filepath.Join(root, "internal/kernel/dirty.go"),
+		"package kernel\n\nimport \"time\"\n\nvar _ = time.Now\n")
+
+	v, err := checkTimeImports(root, []string{"internal/kernel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 {
+		t.Fatalf("want 1 violation, got %d: %v", len(v), v)
+	}
+	if !strings.Contains(v[0], "dirty.go") || !strings.Contains(v[0], `"time"`) {
+		t.Fatalf("violation does not name the offending file/import: %q", v[0])
+	}
+}
+
+func TestTestFilesAreExempt(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "internal/kernel/kernel.go"),
+		"package kernel\n")
+	writeFile(t, filepath.Join(root, "internal/kernel/kernel_test.go"),
+		"package kernel\n\nimport \"time\"\n\nvar _ = time.Now\n")
+
+	v, err := checkTimeImports(root, []string{"internal/kernel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("test file should be exempt, got %v", v)
+	}
+}
+
+func TestGroupedAndNamedImportsDetected(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "internal/kernel/grouped.go"),
+		"package kernel\n\nimport (\n\t\"fmt\"\n\tclock \"time\"\n)\n\nvar _ = fmt.Sprint\nvar _ = clock.Now\n")
+
+	v, err := checkTimeImports(root, []string{"internal/kernel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 {
+		t.Fatalf("renamed import must still be caught, got %v", v)
+	}
+}
+
+func TestMissingPackageIsAnError(t *testing.T) {
+	root := t.TempDir()
+	if _, err := checkTimeImports(root, []string{"internal/nonexistent"}); err == nil {
+		t.Fatal("missing package directory must fail, not be skipped")
+	}
+}
+
+func TestRealKernelPackagesAreClean(t *testing.T) {
+	// The invariant itself, run against the repository this test lives
+	// in: the kernel packages must be clean right now.
+	v, err := checkTimeImports("../..", defaultPackages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("kernel packages import \"time\": %v", v)
+	}
+}

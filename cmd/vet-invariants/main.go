@@ -1,0 +1,54 @@
+// Command vet-invariants enforces repository invariants that go vet
+// cannot express. Today there is one: the numerical kernel packages
+// (internal/eigen, internal/melo, internal/dprp, internal/parallel)
+// must not import "time".
+//
+// The kernels are required to be deterministic and bit-identical at
+// every parallelism setting (DESIGN.md, "The parallelism model"), and
+// reading the clock is the easiest way to smuggle nondeterminism into
+// one — a time-based seed, a duration-based cutoff, a progress
+// callback that fires "every 100ms". All timing of kernels belongs to
+// the callers and to internal/trace, which wraps the clock once,
+// outside the algorithms. Banning the import keeps the boundary
+// machine-checked instead of review-checked.
+//
+// Test files are exempt: a _test.go harness may legitimately time the
+// code it drives.
+//
+// Usage:
+//
+//	vet-invariants [-root .] [-packages internal/eigen,...]
+//
+// Exits 1 and lists every offending import when the invariant is
+// violated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		root = flag.String("root", ".", "repository root to scan")
+		pkgs = flag.String("packages", strings.Join(defaultPackages, ","),
+			"comma-separated package directories that must not import \"time\"")
+	)
+	flag.Parse()
+
+	violations, err := checkTimeImports(*root, strings.Split(*pkgs, ","))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vet-invariants:", err)
+		os.Exit(1)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "vet-invariants:", v)
+		}
+		fmt.Fprintf(os.Stderr, "vet-invariants: %d violation(s): kernel packages must not read the clock (route timing through internal/trace)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Printf("vet-invariants: ok (%s)\n", *pkgs)
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/hypergraph"
 	"repro/internal/partition"
+	"repro/internal/trace"
 )
 
 // Options configures the DP-RP dynamic program.
@@ -154,6 +155,14 @@ func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, order []int, op
 		return i - 1
 	}
 
+	ctx, sp := trace.Start(ctx, "split.dp", trace.Int("n", n), trace.Int("k", k))
+	var cells int64
+	defer func() {
+		trace.Add(ctx, "dprp.cells", cells)
+		sp.Annotate(trace.Int64("cells", cells))
+		sp.End()
+	}()
+
 	pos := invert(order)
 	m := h.NumNets()
 	minPos := make([]int, m)
@@ -266,6 +275,9 @@ func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, order []int, op
 			for t := 2; t <= k; t++ {
 				best := infCost
 				bestI := -1
+				if iHi >= iLo {
+					cells += int64(iHi - iLo + 1)
+				}
 				for i := iLo; i <= iHi; i++ {
 					prev := dp[t-1][i-1]
 					if prev >= infCost {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/linalg"
+	"repro/internal/trace"
 )
 
 // Decomposition holds the result of an eigendecomposition. Values are
@@ -68,6 +69,8 @@ func SymEigCtx(ctx context.Context, a *linalg.Dense) (*Decomposition, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, span := trace.Start(ctx, "eigen.dense", trace.Int("n", a.Rows))
+	defer span.End()
 	n := a.Rows
 	z := a.Clone()
 	d := make([]float64, n)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // LanczosOptions configures the Lanczos solver. The zero value selects
@@ -121,6 +122,20 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 		}
 		directive = dir
 	}
+	// One span per attempt; kernel-loop counters accumulate in locals
+	// and post once on exit so the hot loop sees no atomics.
+	ctx, span := trace.Start(ctx, "eigen.lanczos",
+		trace.Int("n", n), trace.Int("d", d), trace.Int("maxdim", o.MaxDim), trace.Int64("seed", o.Seed))
+	var matvecs, reorths, restarts int64
+	defer func() {
+		if tr := trace.FromContext(ctx); tr != nil {
+			tr.Add("eigen.matvec", matvecs)
+			tr.Add("eigen.reorth", reorths)
+			tr.Add("eigen.restarts", restarts)
+		}
+		span.Annotate(trace.Int64("steps", matvecs), trace.Int64("restarts", restarts))
+		span.End()
+	}()
 	rng := rand.New(rand.NewSource(o.Seed))
 	// Row-shard the operator's MatVec across the solver's workers; the
 	// wrapped product is bitwise identical to the serial one.
@@ -144,6 +159,7 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 		}
 		basis = append(basis, v)
 		a.MatVec(v, w)
+		matvecs++
 		if o.Fault != nil {
 			o.Fault.AtStep(len(basis), w)
 		}
@@ -158,6 +174,7 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 			linalg.Axpy(-betas[len(betas)-1], basis[len(basis)-2], w)
 		}
 		linalg.OrthogonalizeBlock(w, basis, o.Workers)
+		reorths++
 		beta := linalg.Norm2(w)
 		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.IsNaN(beta) || math.IsInf(beta, 0) {
 			return nil, fmt.Errorf("eigen: lanczos step %d produced alpha=%v beta=%v: %w",
@@ -211,6 +228,8 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 			// current basis so the remaining spectrum is explored.
 			v = randomUnit(rng, n)
 			linalg.OrthogonalizeBlock(v, basis, o.Workers)
+			reorths++
+			restarts++
 			if linalg.Normalize(v) == 0 {
 				// Basis already spans the whole space; the j == n branch
 				// above should have fired, so treat this as failure.

@@ -10,6 +10,7 @@ import (
 	spectral "repro"
 	"repro/internal/resilience"
 	"repro/internal/speccache"
+	"repro/internal/trace"
 )
 
 // Config sizes a Pool. Zero fields select the noted defaults.
@@ -76,6 +77,11 @@ type Pool struct {
 	// deterministic slow/blocking workloads.
 	runFn func(ctx context.Context, j *Job) (*Result, error)
 
+	// tracer, when set, receives per-job spans: a "job" root with a
+	// retroactive "job.queue" child (queue wait) and a "job.run" child
+	// wrapping the pipeline, whose own spans nest beneath it.
+	tracer *trace.Tracer
+
 	mu        sync.Mutex
 	jobs      map[string]*Job
 	order     []string // insertion order, for bounded retention
@@ -114,6 +120,10 @@ func (p *Pool) Start() {
 
 // Cache exposes the spectrum cache (for metrics).
 func (p *Pool) Cache() *speccache.Cache { return p.cache }
+
+// SetTracer attaches a tracer to the pool's job executions. Call before
+// Start; a nil tracer (the default) leaves jobs untraced.
+func (p *Pool) SetTracer(t *trace.Tracer) { p.tracer = t }
 
 // Submit validates and enqueues a request. It never blocks: a full
 // queue returns ErrQueueFull, a shut-down pool ErrShuttingDown.
@@ -317,9 +327,25 @@ func (p *Pool) execute(j *Job) {
 		j.finish(nil, err, true, now)
 		return
 	}
+	ctx := j.ctx
+	if p.tracer != nil {
+		ctx = trace.WithTracer(ctx, p.tracer)
+	}
+	ctx, jspan := trace.Start(ctx, "job",
+		trace.Str("job", j.id), trace.Str("kind", string(j.req.Kind)), trace.Str("method", j.req.Opts.Method.String()))
+	// The queue wait already happened; record it retroactively as the
+	// job's first child so queue-wait vs run time splits per trace.
+	_, qspan := trace.StartAt(ctx, "job.queue", j.created)
+	qspan.End()
 	j.markStarted(now)
-	res, err := p.runFn(j.ctx, j)
+	rctx, rspan := trace.Start(ctx, "job.run")
+	res, err := p.runFn(rctx, j)
+	rspan.End()
 	cancelled := err != nil && resilience.IsContextError(err)
+	if err != nil {
+		jspan.Annotate(trace.Str("error", err.Error()))
+	}
+	jspan.End()
 	j.finish(res, err, cancelled, time.Now())
 	p.mu.Lock()
 	j.mu.Lock()
@@ -390,8 +416,11 @@ func (p *Pool) spectrum(ctx context.Context, j *Job, spec spectral.SpectrumSpec)
 		pairs = n
 	}
 	key := speccache.Key{Hash: j.req.Hash, Model: spec.Model.String()}
-	entry, hit, err := p.cache.GetOrCompute(ctx, key, pairs, func(context.Context) (speccache.Entry, error) {
-		sp, err := spectral.DecomposeCtx(p.baseCtx, j.req.Netlist, spec.Model, spec.D)
+	entry, hit, err := p.cache.GetOrCompute(ctx, key, pairs, func(cctx context.Context) (speccache.Entry, error) {
+		// Detach from the job's cancellation but keep its trace: the
+		// decompose spans nest under this job's cache.lookup span even
+		// though the compute outlives the job on purpose.
+		sp, err := spectral.DecomposeCtx(trace.Adopt(p.baseCtx, cctx), j.req.Netlist, spec.Model, spec.D)
 		if err != nil {
 			return speccache.Entry{}, err
 		}

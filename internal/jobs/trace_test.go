@@ -1,0 +1,92 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+
+	spectral "repro"
+	"repro/internal/trace"
+)
+
+// TestJobExecutionTraced pins the span shape of one pool execution: a
+// root "job" span carrying the job id, with the retroactive queue-wait
+// span and the run span under it, and the spectrum-cache lookup (plus
+// the decompose it triggered) nested inside the run.
+func TestJobExecutionTraced(t *testing.T) {
+	defer leakCheck(t)()
+	ring := trace.NewRing(256)
+	tracer := trace.New(ring)
+
+	h := testNetlist(t)
+	p := NewPool(Config{Workers: 1, QueueDepth: 8})
+	p.SetTracer(tracer)
+	p.Start()
+	defer p.Shutdown(context.Background())
+
+	j, err := p.Submit(Request{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.MELO}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	recs := ring.Snapshot()
+	byName := map[string][]trace.SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	one := func(name string) trace.SpanRecord {
+		t.Helper()
+		if len(byName[name]) != 1 {
+			t.Fatalf("span %q recorded %d times, want 1", name, len(byName[name]))
+		}
+		return byName[name][0]
+	}
+
+	root := one("job")
+	if root.Parent != 0 {
+		t.Errorf("job span has parent %d, want none", root.Parent)
+	}
+	if got := attrOf(root, "job"); got != j.ID() {
+		t.Errorf("job span id attr = %q, want %q", got, j.ID())
+	}
+	if got := attrOf(root, "kind"); got != string(KindPartition) {
+		t.Errorf("job span kind attr = %q", got)
+	}
+
+	queue, run := one("job.queue"), one("job.run")
+	if queue.Parent != root.Span {
+		t.Errorf("job.queue parent = %d, want job (%d)", queue.Parent, root.Span)
+	}
+	if run.Parent != root.Span {
+		t.Errorf("job.run parent = %d, want job (%d)", run.Parent, root.Span)
+	}
+	if queue.Start.After(root.Start) {
+		t.Errorf("queue wait starts at %v, after the job span %v — StartAt lost the submit time", queue.Start, root.Start)
+	}
+
+	lookup := one("cache.lookup")
+	if lookup.Parent != run.Span {
+		t.Errorf("cache.lookup parent = %d, want job.run (%d)", lookup.Parent, run.Span)
+	}
+	if got := attrOf(lookup, "hit"); got != "false" {
+		t.Errorf("first lookup hit attr = %q, want false", got)
+	}
+	// The compute ran on the pool's base context but adopted the job's
+	// trace: its decompose span must nest under the lookup.
+	dec := one("decompose")
+	if dec.Parent != lookup.Span {
+		t.Errorf("decompose parent = %d, want cache.lookup (%d)", dec.Parent, lookup.Span)
+	}
+	if tracer.Counter("speccache.misses") != 1 {
+		t.Errorf("speccache.misses = %d, want 1", tracer.Counter("speccache.misses"))
+	}
+}
+
+func attrOf(r trace.SpanRecord, key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/eigen"
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // scanGrain is the minimum candidates per shard of a parallel gain
@@ -156,6 +157,19 @@ func OrderCtx(ctx context.Context, g *graph.Graph, dec *eigen.Decomposition, opt
 	if d < 1 {
 		return nil, fmt.Errorf("melo: decomposition has %d pairs, need >= 2", dec.D())
 	}
+	// Candidate-evaluation counting stays in serial code (shard closures
+	// must not share a counter — see the parallelism model): each scan
+	// knows its candidate count up front from the placed tally.
+	ctx, span := trace.Start(ctx, "ordering.melo",
+		trace.Int("n", n), trace.Int("d", opts.D), trace.Str("scheme", opts.Scheme.String()))
+	var evals int64
+	placedN := 0
+	defer func() {
+		trace.Add(ctx, "melo.candidates", evals)
+		span.Annotate(trace.Int64("evals", evals))
+		span.End()
+	}()
+
 	lam := dec.Values[1 : d+1]
 	// U rows: raw (unscaled) eigenvector coordinates per vertex.
 	u := make([][]float64, n)
@@ -266,6 +280,7 @@ func OrderCtx(ctx context.Context, g *graph.Graph, dec *eigen.Decomposition, opt
 	}
 	shards := make([]shardBest, parallel.NumChunks(workers, n, scanGrain))
 	pickAll := func(first bool) int {
+		evals += int64(n - placedN)
 		yn := yNorm()
 		parallel.For(workers, n, scanGrain, func(ch, lo, hi int) {
 			b := shardBest{idx: -1, s: math.Inf(-1)}
@@ -302,6 +317,7 @@ func OrderCtx(ctx context.Context, g *graph.Graph, dec *eigen.Decomposition, opt
 	ptr := 0
 	scores := make([]float64, n) // scratch for refreshCandidates
 	refreshCandidates := func() {
+		evals += int64(n - placedN)
 		w := opts.CandidateWindow
 		yn := yNorm()
 		// Score every unplaced vector in parallel (disjoint writes, one
@@ -354,6 +370,7 @@ func OrderCtx(ctx context.Context, g *graph.Graph, dec *eigen.Decomposition, opt
 		}
 	}
 	pickWindow := func() int {
+		evals += int64(len(candidates))
 		yn := yNorm()
 		best := -1
 		bestScore := math.Inf(-1)
@@ -394,6 +411,7 @@ func OrderCtx(ctx context.Context, g *graph.Graph, dec *eigen.Decomposition, opt
 			}
 		}
 		placed[v] = true
+		placedN++
 		if windowed {
 			replenish(v)
 		}

@@ -21,6 +21,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // limit holds the process-wide worker cap; 0 means "unset, use
@@ -110,6 +112,25 @@ func For(workers, n, grain int, fn func(chunk, lo, hi int)) {
 	}
 	workers = Workers(workers)
 	size, count := plan(workers, n, grain)
+	// Sharding has no context; utilization reporting goes through the
+	// process-global tracer. Per-chunk spans only exist behind the
+	// tracer's sampling flag (trace.Tracer.SetChunkSampling) — they are
+	// the one per-iteration instrumentation in the repository. The
+	// wrapper observes chunks, never reorders them: the determinism
+	// discipline above is untouched.
+	if tr := trace.Active(); tr != nil {
+		tr.Add("parallel.chunks", int64(count))
+		tr.SetGauge("parallel.workers", float64(workers))
+		inner := fn
+		fn = func(c, lo, hi int) {
+			if sp := tr.ChunkSpan("parallel.chunk"); sp != nil {
+				inner(c, lo, hi)
+				sp.End()
+				return
+			}
+			inner(c, lo, hi)
+		}
+	}
 	if workers == 1 || count == 1 {
 		for c := 0; c < count; c++ {
 			lo := c * size
@@ -159,6 +180,9 @@ func Do(workers int, tasks ...func()) {
 	workers = Workers(workers)
 	if workers > len(tasks) {
 		workers = len(tasks)
+	}
+	if tr := trace.Active(); tr != nil {
+		tr.Add("parallel.tasks", int64(len(tasks)))
 	}
 	if workers <= 1 {
 		for _, t := range tasks {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/eigen"
 	"repro/internal/linalg"
+	"repro/internal/trace"
 )
 
 // EigenPolicy configures SolveEigen's retry ladder. The zero value
@@ -116,7 +117,7 @@ func (r *PartialDecomposition) note(format string, args ...any) {
 // ctx is honoured at every solver iteration boundary; cancellation
 // returns ctx.Err() unwrapped. The error from an exhausted ladder wraps
 // the last rung's failure and lists every rung tried.
-func SolveEigen(ctx context.Context, a linalg.Operator, d int, pol EigenPolicy) (*PartialDecomposition, error) {
+func SolveEigen(ctx context.Context, a linalg.Operator, d int, pol EigenPolicy) (_ *PartialDecomposition, retErr error) {
 	n := a.Dim()
 	if d < 1 {
 		return nil, fmt.Errorf("resilience: requested %d eigenpairs, want >= 1", d)
@@ -127,6 +128,17 @@ func SolveEigen(ctx context.Context, a linalg.Operator, d int, pol EigenPolicy) 
 	pol = pol.withDefaults()
 	res := &PartialDecomposition{Requested: d}
 	var lastErr error
+
+	ctx, span := trace.Start(ctx, "eigen.solve", trace.Int("n", n), trace.Int("want", d))
+	rung := "exhausted"
+	defer func() {
+		if isCtxErr(retErr) {
+			rung = "cancelled"
+		}
+		span.Annotate(trace.Str("rung", rung), trace.Int("attempts", res.Attempts))
+		trace.Add(ctx, "resilience.rung."+rung, 1)
+		span.End()
+	}()
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -140,6 +152,7 @@ func SolveEigen(ctx context.Context, a linalg.Operator, d int, pol EigenPolicy) 
 		if err == nil {
 			res.Dec, res.Delivered = dec, d
 			res.note("dense direct solve (n=%d)", n)
+			rung = "dense-direct"
 			return res, nil
 		}
 		if isCtxErr(err) {
@@ -175,6 +188,7 @@ func SolveEigen(ctx context.Context, a linalg.Operator, d int, pol EigenPolicy) 
 		if err == nil {
 			res.Dec, res.Delivered = dec, d
 			res.note("lanczos converged (attempt %d, seed %d, maxdim %d)", attempt, seed, dim)
+			rung = "lanczos"
 			return res, nil
 		}
 		if isCtxErr(err) {
@@ -204,6 +218,7 @@ func SolveEigen(ctx context.Context, a linalg.Operator, d int, pol EigenPolicy) 
 			res.Dec, res.Delivered = dec, d
 			res.DenseFallback = true
 			res.note("dense fallback solve (n=%d)", n)
+			rung = "dense-fallback"
 			return res, nil
 		}
 		if isCtxErr(err) {
@@ -218,6 +233,7 @@ func SolveEigen(ctx context.Context, a linalg.Operator, d int, pol EigenPolicy) 
 		res.Dec, res.Delivered = best, best.D()
 		res.Degraded = true
 		res.note("degraded to %d of %d requested eigenpairs", best.D(), d)
+		rung = "degraded"
 		return res, nil
 	}
 

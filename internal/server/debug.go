@@ -1,0 +1,112 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// NewDebugHandler builds the diagnostics mux spectrald serves on its
+// -debug-addr listener — deliberately a separate listener so profiling
+// and span dumps are never exposed on the public API address:
+//
+//	/debug/pprof/*          net/http/pprof (CPU, heap, goroutine, ...)
+//	/debug/trace            recent finished spans as JSON, grouped into
+//	                        trees; ?job=<id> filters to the traces of
+//	                        one job
+//	/debug/report           the tracer's text report (per-span
+//	                        p50/p95/max, counters, gauges)
+//
+// ring holds the spans (it must be one of tracer's sinks); tracer may
+// be nil, in which case /debug/report is empty and /debug/trace serves
+// whatever the ring holds.
+func NewDebugHandler(tracer *trace.Tracer, ring *trace.Ring) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		handleTraceDump(w, r, ring)
+	})
+	mux.HandleFunc("GET /debug/report", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		tracer.WriteReport(w)
+	})
+	return mux
+}
+
+// spanNode is one span in a rendered trace tree.
+type spanNode struct {
+	Name     string       `json:"name"`
+	DurNs    int64        `json:"ns"`
+	Attrs    []trace.Attr `json:"attrs,omitempty"`
+	Children []*spanNode  `json:"children,omitempty"`
+}
+
+// traceTree is one trace (a root span and its descendants).
+type traceTree struct {
+	Trace uint64    `json:"trace"`
+	Job   string    `json:"job,omitempty"`
+	Root  *spanNode `json:"root"`
+}
+
+// handleTraceDump renders the ring's retained spans as trace trees.
+// ?job=<id> keeps only traces whose root carries a job attribute with
+// that value (the span the job pool opens per execution).
+func handleTraceDump(w http.ResponseWriter, r *http.Request, ring *trace.Ring) {
+	jobFilter := r.URL.Query().Get("job")
+	var recs []trace.SpanRecord
+	if ring != nil {
+		recs = ring.Snapshot()
+	}
+
+	nodes := make(map[uint64]*spanNode, len(recs))
+	parentOf := make(map[uint64]uint64, len(recs))
+	traceOf := make(map[uint64]uint64, len(recs))
+	for _, rec := range recs {
+		nodes[rec.Span] = &spanNode{Name: rec.Name, DurNs: int64(rec.Dur), Attrs: rec.Attrs}
+		parentOf[rec.Span] = rec.Parent
+		traceOf[rec.Span] = rec.Trace
+	}
+	// A span whose parent fell out of the ring is promoted to root of
+	// its trace fragment.
+	roots := make(map[uint64][]*spanNode) // trace id -> root fragments
+	var rootIDs []uint64
+	for _, rec := range recs {
+		n := nodes[rec.Span]
+		if p, ok := nodes[rec.Parent]; ok && rec.Parent != 0 {
+			p.Children = append(p.Children, n)
+			continue
+		}
+		if _, seen := roots[rec.Trace]; !seen {
+			rootIDs = append(rootIDs, rec.Trace)
+		}
+		roots[rec.Trace] = append(roots[rec.Trace], n)
+	}
+	sort.Slice(rootIDs, func(i, j int) bool { return rootIDs[i] < rootIDs[j] })
+
+	out := make([]traceTree, 0, len(rootIDs))
+	for _, tid := range rootIDs {
+		for _, root := range roots[tid] {
+			t := traceTree{Trace: tid, Root: root, Job: attrValue(root.Attrs, "job")}
+			if jobFilter != "" && t.Job != jobFilter {
+				continue
+			}
+			out = append(out, t)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+}
+
+func attrValue(attrs []trace.Attr, key string) string {
+	for _, a := range attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// seedSpans records two tiny traces into the ring, one per job id, and
+// returns the tracer that aggregated them.
+func seedSpans(ring *trace.Ring) *trace.Tracer {
+	tracer := trace.New(ring)
+	for _, job := range []string{"job-1", "job-2"} {
+		ctx, root := trace.Start(trace.WithTracer(context.Background(), tracer), "job", trace.Str("job", job))
+		_, child := trace.Start(ctx, "job.run")
+		child.End()
+		root.End()
+	}
+	return tracer
+}
+
+func TestDebugTraceDumpGroupsAndFilters(t *testing.T) {
+	ring := trace.NewRing(64)
+	tracer := seedSpans(ring)
+	ts := httptest.NewServer(NewDebugHandler(tracer, ring))
+	defer ts.Close()
+
+	var dump struct {
+		Traces []struct {
+			Job  string `json:"job"`
+			Root struct {
+				Name     string `json:"name"`
+				Children []struct {
+					Name string `json:"name"`
+				} `json:"children"`
+			} `json:"root"`
+		} `json:"traces"`
+	}
+	get := func(url string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", url, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get(ts.URL + "/debug/trace")
+	if len(dump.Traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(dump.Traces))
+	}
+	tr := dump.Traces[0]
+	if tr.Root.Name != "job" || len(tr.Root.Children) != 1 || tr.Root.Children[0].Name != "job.run" {
+		t.Fatalf("trace tree mis-shaped: %+v", tr)
+	}
+
+	get(ts.URL + "/debug/trace?job=job-2")
+	if len(dump.Traces) != 1 || dump.Traces[0].Job != "job-2" {
+		t.Fatalf("job filter: got %+v, want exactly job-2", dump.Traces)
+	}
+
+	get(ts.URL + "/debug/trace?job=nope")
+	if len(dump.Traces) != 0 {
+		t.Fatalf("unknown job filter matched %d traces", len(dump.Traces))
+	}
+}
+
+func TestDebugReportAndPprofServed(t *testing.T) {
+	ring := trace.NewRing(64)
+	tracer := seedSpans(ring)
+	ts := httptest.NewServer(NewDebugHandler(tracer, ring))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "job.run") {
+		t.Errorf("report lacks the recorded span:\n%s", body)
+	}
+
+	pp, err := http.Get(ts.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("pprof: %d", pp.StatusCode)
+	}
+}
+
+// TestDebugHandlerNilTracer: a nil tracer must not panic — the report
+// is empty and the dump serves whatever the ring holds.
+func TestDebugHandlerNilTracer(t *testing.T) {
+	ts := httptest.NewServer(NewDebugHandler(nil, nil))
+	defer ts.Close()
+	for _, path := range []string{"/debug/report", "/debug/trace"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %d", path, resp.StatusCode)
+		}
+	}
+}

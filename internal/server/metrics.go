@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 
@@ -62,6 +63,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	} {
 		fmt.Fprintf(&b, "spectrald_stage_seconds_sum{stage=%q} %g\n", sc.stage, sc.agg.TotalSeconds)
 		fmt.Fprintf(&b, "spectrald_stage_seconds_count{stage=%q} %d\n", sc.stage, sc.agg.Count)
+	}
+
+	if tr := s.cfg.Tracer; tr != nil {
+		// The tracer's built-in aggregation is the Prometheus bridge: no
+		// second registry, the same numbers WriteReport prints.
+		if stats := tr.SpanStats(); len(stats) > 0 {
+			fmt.Fprintf(&b, "# HELP spectrald_trace_span_seconds Cumulative duration of trace spans by name.\n# TYPE spectrald_trace_span_seconds summary\n")
+			for _, sp := range stats {
+				fmt.Fprintf(&b, "spectrald_trace_span_seconds_sum{name=%q} %g\n", sp.Name, sp.Total.Seconds())
+				fmt.Fprintf(&b, "spectrald_trace_span_seconds_count{name=%q} %d\n", sp.Name, sp.Count)
+			}
+		}
+		if counters := tr.Counters(); len(counters) > 0 {
+			names := make([]string, 0, len(counters))
+			for name := range counters {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(&b, "# HELP spectrald_trace_counter_total Trace counter totals by name.\n# TYPE spectrald_trace_counter_total counter\n")
+			for _, name := range names {
+				fmt.Fprintf(&b, "spectrald_trace_counter_total{name=%q} %d\n", name, counters[name])
+			}
+		}
 	}
 
 	gauge("spectrald_netlists_stored", "Netlists in the content-addressed store.", stored)

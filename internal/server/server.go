@@ -33,6 +33,7 @@ import (
 	spectral "repro"
 	"repro/internal/jobs"
 	"repro/internal/speccache"
+	"repro/internal/trace"
 )
 
 // Config sizes the server. Zero fields select the noted defaults.
@@ -42,6 +43,9 @@ type Config struct {
 	MaxNetlists int
 	// MaxBodyBytes bounds request bodies. Default 64 MiB.
 	MaxBodyBytes int64
+	// Tracer, when set, is the daemon's tracer: /metrics renders its
+	// per-span timings and counter totals as the Prometheus bridge.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/hypergraph"
+	"repro/internal/trace"
 )
 
 // Fingerprint returns the canonical content hash of a netlist:
@@ -150,6 +151,28 @@ func New(maxEntries int) *Cache {
 // compute keeps running and its result is still cached for the next
 // request. Errors are not cached.
 func (c *Cache) GetOrCompute(ctx context.Context, key Key, pairs int, compute func(context.Context) (Entry, error)) (Entry, bool, error) {
+	ctx, span := trace.Start(ctx, "cache.lookup",
+		trace.Str("model", key.Model), trace.Int("pairs", pairs))
+	entry, hit, err := c.getOrCompute(ctx, key, pairs, compute)
+	if span != nil {
+		span.Annotate(trace.Bool("hit", hit))
+		span.End()
+		tr := trace.FromContext(ctx)
+		if hit {
+			tr.Add("speccache.hits", 1)
+			if entry.Pairs > pairs {
+				// A larger cached decomposition served a smaller request —
+				// the prefix-reuse path the d-sweep pattern relies on.
+				tr.Add("speccache.prefix-reuse", 1)
+			}
+		} else if err == nil {
+			tr.Add("speccache.misses", 1)
+		}
+	}
+	return entry, hit, err
+}
+
+func (c *Cache) getOrCompute(ctx context.Context, key Key, pairs int, compute func(context.Context) (Entry, error)) (Entry, bool, error) {
 	for {
 		c.mu.Lock()
 		if el, ok := c.items[key]; ok {

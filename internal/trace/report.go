@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteReport renders a human-readable summary of the tracer's span
+// statistics (count, total, p50/p95/max) followed by counter and gauge
+// totals. cmd/oracle and cmd/experiments print it after their runs.
+func (t *Tracer) WriteReport(w io.Writer) {
+	if t == nil {
+		return
+	}
+	stats := t.SpanStats()
+	if len(stats) > 0 {
+		fmt.Fprintf(w, "%-24s %8s %12s %10s %10s %10s\n",
+			"span", "count", "total", "p50", "p95", "max")
+		for _, s := range stats {
+			fmt.Fprintf(w, "%-24s %8d %12s %10s %10s %10s\n",
+				s.Name, s.Count, fmtDur(s.Total), fmtDur(s.P50), fmtDur(s.P95), fmtDur(s.Max))
+		}
+	}
+	counters := t.Counters()
+	if len(counters) > 0 {
+		names := make([]string, 0, len(counters))
+		for name := range counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "%-24s %12s\n", "counter", "total")
+		for _, name := range names {
+			fmt.Fprintf(w, "%-24s %12d\n", name, counters[name])
+		}
+	}
+	gauges := t.Gauges()
+	if len(gauges) > 0 {
+		names := make([]string, 0, len(gauges))
+		for name := range gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "%-24s %12s\n", "gauge", "value")
+		for _, name := range names {
+			fmt.Fprintf(w, "%-24s %12g\n", name, gauges[name])
+		}
+	}
+}
+
+// fmtDur trims duration formatting to a stable, column-friendly width.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

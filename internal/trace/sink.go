@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Ring is a bounded in-memory sink keeping the most recent spans. It
+// backs unit tests and spectrald's /debug/trace endpoint.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []SpanRecord
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding the latest n spans (n < 1 is clamped
+// to 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]SpanRecord, n)}
+}
+
+// Record implements Sink.
+func (r *Ring) Record(rec SpanRecord) {
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (r *Ring) Snapshot() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]SpanRecord(nil), r.buf[:r.next]...)
+	}
+	out := make([]SpanRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// JSONWriter is a sink writing one JSON object per finished span
+// (JSON-lines), for the -trace out.jsonl flags.
+type JSONWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONWriter returns a sink encoding spans onto w. The caller owns
+// w's lifecycle (close after the tracer is quiescent).
+func NewJSONWriter(w io.Writer) *JSONWriter {
+	return &JSONWriter{enc: json.NewEncoder(w)}
+}
+
+// Record implements Sink.
+func (j *JSONWriter) Record(rec SpanRecord) {
+	j.mu.Lock()
+	j.enc.Encode(rec) //nolint:errcheck // tracing is best-effort; a full disk must not fail the pipeline
+	j.mu.Unlock()
+}

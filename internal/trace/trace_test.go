@@ -1,0 +1,381 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeParentage(t *testing.T) {
+	ring := NewRing(16)
+	tr := New(ring)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "partition", Str("method", "melo"))
+	cctx, child := Start(ctx, "eigen")
+	_, grand := Start(cctx, "eigen.lanczos", Int("n", 40))
+	grand.End()
+	child.End()
+	root.End()
+
+	recs := ring.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	// Ring holds spans in End order: grand, child, root.
+	g, c, r := recs[0], recs[1], recs[2]
+	if r.Name != "partition" || c.Name != "eigen" || g.Name != "eigen.lanczos" {
+		t.Fatalf("unexpected names: %q %q %q", r.Name, c.Name, g.Name)
+	}
+	if r.Parent != 0 {
+		t.Errorf("root parent = %d, want 0", r.Parent)
+	}
+	if c.Parent != r.Span {
+		t.Errorf("child parent = %d, want root span %d", c.Parent, r.Span)
+	}
+	if g.Parent != c.Span {
+		t.Errorf("grandchild parent = %d, want child span %d", g.Parent, c.Span)
+	}
+	if r.Trace != r.Span || c.Trace != r.Span || g.Trace != r.Span {
+		t.Errorf("trace ids not shared: %d %d %d (root span %d)", r.Trace, c.Trace, g.Trace, r.Span)
+	}
+	if len(r.Attrs) != 1 || r.Attrs[0] != Str("method", "melo") {
+		t.Errorf("root attrs = %v", r.Attrs)
+	}
+}
+
+func TestSiblingsShareParentNotChain(t *testing.T) {
+	ring := NewRing(8)
+	tr := New(ring)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "root")
+	// Two siblings both started from the root's ctx.
+	_, a := Start(ctx, "a")
+	a.End()
+	_, b := Start(ctx, "b")
+	b.End()
+	root.End()
+	recs := ring.Snapshot()
+	if recs[0].Parent != recs[2].Span || recs[1].Parent != recs[2].Span {
+		t.Fatalf("siblings should share root parent: %+v", recs)
+	}
+}
+
+func TestDisabledTracerIsNoop(t *testing.T) {
+	ring := NewRing(8)
+	tr := New(ring)
+	tr.SetEnabled(false)
+	ctx := WithTracer(context.Background(), tr)
+
+	sctx, sp := Start(ctx, "x")
+	if sp != nil {
+		t.Fatal("disabled tracer returned non-nil span")
+	}
+	if sctx != ctx {
+		t.Fatal("disabled Start should return ctx unchanged")
+	}
+	sp.Annotate(Str("k", "v")) // must not panic
+	sp.End()
+	tr.Add("c", 5)
+	tr.SetGauge("g", 1.5)
+	if got := tr.Counter("c"); got != 0 {
+		t.Errorf("disabled Add recorded %d", got)
+	}
+	if len(ring.Snapshot()) != 0 {
+		t.Error("disabled tracer recorded spans")
+	}
+	if tr.ChunkSpan("chunk") != nil {
+		t.Error("disabled tracer issued chunk span")
+	}
+}
+
+func TestNoTracerContext(t *testing.T) {
+	SetGlobal(nil)
+	ctx, sp := Start(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("no-tracer ctx returned non-nil span")
+	}
+	sp.End()
+	Add(ctx, "c", 1) // must not panic
+	SetGauge(ctx, "g", 1)
+}
+
+func TestGlobalFallback(t *testing.T) {
+	tr := New()
+	SetGlobal(tr)
+	defer SetGlobal(nil)
+	_, sp := Start(context.Background(), "via-global")
+	if sp == nil {
+		t.Fatal("global fallback did not produce a span")
+	}
+	sp.End()
+	Add(context.Background(), "gc", 3)
+	if got := tr.Counter("gc"); got != 3 {
+		t.Errorf("global counter = %d, want 3", got)
+	}
+	if Active() != tr {
+		t.Error("Active() should return enabled global")
+	}
+	tr.SetEnabled(false)
+	if Active() != nil {
+		t.Error("Active() should be nil when global disabled")
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	tr := New()
+	ctx := WithTracer(context.Background(), tr)
+	Add(ctx, "matvec", 10)
+	Add(ctx, "matvec", 5)
+	tr.Add("reorth", 2)
+	SetGauge(ctx, "workers", 8)
+	tr.SetGauge("workers", 4)
+
+	if got := tr.Counter("matvec"); got != 15 {
+		t.Errorf("matvec = %d, want 15", got)
+	}
+	c := tr.Counters()
+	if c["matvec"] != 15 || c["reorth"] != 2 {
+		t.Errorf("counters = %v", c)
+	}
+	g := tr.Gauges()
+	if g["workers"] != 4 {
+		t.Errorf("gauges = %v", g)
+	}
+}
+
+func TestStartAtRetroactive(t *testing.T) {
+	tr := New()
+	ctx := WithTracer(context.Background(), tr)
+	past := time.Now().Add(-50 * time.Millisecond)
+	_, sp := StartAt(ctx, "job.queue", past)
+	sp.End()
+	stats := tr.SpanStats()
+	if len(stats) != 1 || stats[0].Name != "job.queue" {
+		t.Fatalf("stats = %v", stats)
+	}
+	if stats[0].Max < 40*time.Millisecond {
+		t.Errorf("retroactive span dur = %v, want >= ~50ms", stats[0].Max)
+	}
+}
+
+func TestSpanStatsPercentiles(t *testing.T) {
+	tr := New()
+	// Feed 100 known durations straight into the aggregation.
+	for i := 1; i <= 100; i++ {
+		tr.observe("s", time.Duration(i)*time.Millisecond)
+	}
+	stats := tr.SpanStats()
+	if len(stats) != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+	s := stats[0]
+	if s.Count != 100 || s.Max != 100*time.Millisecond {
+		t.Errorf("count=%d max=%v", s.Count, s.Max)
+	}
+	if s.P50 < 45*time.Millisecond || s.P50 > 55*time.Millisecond {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P95 < 90*time.Millisecond || s.P95 > 100*time.Millisecond {
+		t.Errorf("p95 = %v", s.P95)
+	}
+	if s.Total != 5050*time.Millisecond {
+		t.Errorf("total = %v", s.Total)
+	}
+}
+
+func TestSampleDecimationBoundsMemory(t *testing.T) {
+	tr := New()
+	for i := 0; i < 3*maxSamples; i++ {
+		tr.observe("hot", time.Microsecond)
+	}
+	tr.mu.Lock()
+	n := len(tr.spans["hot"].samples)
+	stride := tr.spans["hot"].stride
+	tr.mu.Unlock()
+	if n >= maxSamples {
+		t.Errorf("samples grew to %d, cap %d", n, maxSamples)
+	}
+	if stride < 2 {
+		t.Errorf("stride = %d, expected decimation to have kicked in", stride)
+	}
+	if got := tr.SpanStats()[0].Count; got != int64(3*maxSamples) {
+		t.Errorf("count = %d, want %d", got, 3*maxSamples)
+	}
+}
+
+func TestRingWrapsOldestFirst(t *testing.T) {
+	ring := NewRing(3)
+	for i := 0; i < 5; i++ {
+		ring.Record(SpanRecord{Span: uint64(i + 1)})
+	}
+	recs := ring.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	if recs[0].Span != 3 || recs[1].Span != 4 || recs[2].Span != 5 {
+		t.Errorf("ring order = %d,%d,%d want 3,4,5", recs[0].Span, recs[1].Span, recs[2].Span)
+	}
+}
+
+func TestJSONWriterEmitsLines(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJSONWriter(&buf))
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := Start(ctx, "a", Int("n", 7))
+	sp.End()
+	_, sp2 := Start(ctx, "b")
+	sp2.End()
+
+	sc := bufio.NewScanner(&buf)
+	var names []string
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad json line: %v", err)
+		}
+		names = append(names, rec.Name)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestChunkSampling(t *testing.T) {
+	tr := New()
+	if sp := tr.ChunkSpan("c"); sp != nil {
+		t.Fatal("sampling off should yield nil chunk spans")
+	}
+	tr.SetChunkSampling(4)
+	var sampled int
+	for i := 0; i < 16; i++ {
+		if sp := tr.ChunkSpan("c"); sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 4 {
+		t.Errorf("sampled %d of 16 with every=4", sampled)
+	}
+}
+
+func TestAdoptCarriesTracerAndSpan(t *testing.T) {
+	tr := New(NewRing(4))
+	src := WithTracer(context.Background(), tr)
+	src, parent := Start(src, "job")
+	base, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	adopted := Adopt(base, src)
+	if FromContext(adopted) != tr {
+		t.Fatal("Adopt dropped tracer")
+	}
+	_, child := Start(adopted, "decompose")
+	child.End()
+	parent.End()
+
+	stats := tr.SpanStats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %v", stats)
+	}
+	// The child must nest under the job span despite the fresh base ctx.
+	cancel()
+	if adopted.Err() == nil {
+		t.Error("Adopt must preserve base cancellation")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New()
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := Start(ctx, "once")
+	sp.End()
+	sp.End()
+	if got := tr.SpanStats()[0].Count; got != 1 {
+		t.Errorf("double End recorded %d spans", got)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	tr := New()
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := Start(ctx, "eigen")
+	sp.End()
+	tr.Add("eigen.matvec", 42)
+	tr.SetGauge("parallel.workers", 8)
+
+	var buf bytes.Buffer
+	tr.WriteReport(&buf)
+	out := buf.String()
+	for _, want := range []string{"eigen", "eigen.matvec", "42", "parallel.workers", "8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	tr := New(NewRing(128))
+	ctx := WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c, sp := Start(ctx, "work")
+				Add(c, "n", 1)
+				_, inner := Start(c, "inner")
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Counter("n"); got != 1600 {
+		t.Errorf("counter = %d, want 1600", got)
+	}
+	stats := tr.SpanStats()
+	var total int64
+	for _, s := range stats {
+		total += s.Count
+	}
+	if total != 3200 {
+		t.Errorf("span count = %d, want 3200", total)
+	}
+}
+
+func BenchmarkStartEndDisabled(b *testing.B) {
+	tr := New()
+	tr.SetEnabled(false)
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, sp := Start(ctx, "x")
+		_ = c
+		sp.End()
+	}
+}
+
+func BenchmarkStartEndEnabled(b *testing.B) {
+	tr := New()
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "x")
+		sp.End()
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add("c", 1)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/rsb"
 	"repro/internal/sb"
 	"repro/internal/sfc"
+	"repro/internal/trace"
 )
 
 // Netlist is a circuit hypergraph: modules connected by multi-pin nets.
@@ -200,7 +201,7 @@ func PartitionCtx(ctx context.Context, h *Netlist, opts Options) (*Partitioning,
 // partitionCtxWithPolicy is the pipeline entry behind PartitionCtx;
 // tests inject an EigenPolicy carrying a FaultPlan to force specific
 // ladder rungs end to end.
-func partitionCtxWithPolicy(ctx context.Context, h *Netlist, opts Options, pol resilience.EigenPolicy) (*Partitioning, error) {
+func partitionCtxWithPolicy(ctx context.Context, h *Netlist, opts Options, pol resilience.EigenPolicy) (_ *Partitioning, retErr error) {
 	o := opts.withDefaults()
 	if err := ValidateNetlist(h); err != nil {
 		return nil, &PipelineError{Stage: string(resilience.StageValidate), Method: o.Method, Err: err}
@@ -211,7 +212,17 @@ func partitionCtxWithPolicy(ctx context.Context, h *Netlist, opts Options, pol r
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pl := &pipeline{ctx: ctx, o: o, pol: pol, stage: resilience.StageCliqueModel}
+	ctx, rspan := trace.Start(ctx, "partition",
+		trace.Str("method", o.Method.String()), trace.Int("k", o.K),
+		trace.Int("d", o.D), trace.Int("n", h.NumModules()))
+	pl := &pipeline{ctx: ctx, root: ctx, o: o, pol: pol, stage: resilience.StageCliqueModel}
+	defer func() {
+		pl.closeStage()
+		if retErr != nil {
+			rspan.Annotate(trace.Str("error", retErr.Error()))
+		}
+		rspan.End()
+	}()
 	p, err := pl.run(h)
 	if err != nil {
 		return nil, wrapPipelineErr(o.Method, pl.stage, err)
@@ -230,13 +241,32 @@ type pipeline struct {
 	o     Options
 	pol   resilience.EigenPolicy
 	stage resilience.Stage
+	// root is the context carrying the run's root trace span; each
+	// stage span derives from it (stages are siblings, not a chain).
+	// span is the currently open stage span, nil when tracing is off.
+	root context.Context
+	span *trace.Span
 	// sp, when non-nil, is a precomputed decomposition offered for
 	// reuse; decompose consults it before solving (see
 	// PartitionWithSpectrum).
 	sp *Spectrum
 }
 
-func (pl *pipeline) enter(s resilience.Stage) { pl.stage = s }
+// enter advances the pipeline to stage s: the previous stage's span
+// ends and a new sibling span named after s opens under the root span.
+// pl.ctx is rebased onto the new span so work inside the stage nests
+// its own spans correctly.
+func (pl *pipeline) enter(s resilience.Stage) {
+	pl.stage = s
+	pl.span.End()
+	if pl.root != nil {
+		pl.ctx, pl.span = trace.Start(pl.root, string(s))
+	}
+}
+
+// closeStage ends the last open stage span (End is nil-safe and
+// idempotent).
+func (pl *pipeline) closeStage() { pl.span.End() }
 
 // workers resolves the run's worker budget from Options.Parallelism
 // (0 = process default).
@@ -332,7 +362,9 @@ func (pl *pipeline) dispatch(h *Netlist) (*Partitioning, error) {
 // entry points (extensions.go); it shares the resilience ladder and
 // per-component handling with the main pipeline.
 func decompose(h *Netlist, model graph.CliqueModel, d int) (*graph.Graph, *eigen.Decomposition, error) {
-	pl := &pipeline{ctx: context.Background(), o: Options{}.withDefaults(), stage: resilience.StageCliqueModel}
+	ctx := context.Background()
+	pl := &pipeline{ctx: ctx, root: ctx, o: Options{}.withDefaults(), stage: resilience.StageCliqueModel}
+	defer pl.closeStage()
 	return pl.decompose(h, model, d)
 }
 
@@ -347,6 +379,7 @@ func (pl *pipeline) decompose(h *Netlist, model graph.CliqueModel, d int) (*grap
 		want = h.NumModules()
 	}
 	if pl.sp.satisfies(h.NumModules(), model, want) {
+		trace.Add(pl.ctx, "spectrum.reuse", 1)
 		dec, err := pl.sp.dec.Truncate(want)
 		if err != nil {
 			return nil, nil, err
@@ -616,7 +649,7 @@ func OrderModulesCtx(ctx context.Context, h *Netlist, d int, scheme int) ([]int,
 // orderModulesCtx is the ordering entry behind OrderModulesCtx and
 // OrderModulesWithSpectrum: an optional precomputed spectrum and an
 // injectable eigensolver policy for tests.
-func orderModulesCtx(ctx context.Context, h *Netlist, sp *Spectrum, d int, scheme int, pol resilience.EigenPolicy) ([]int, error) {
+func orderModulesCtx(ctx context.Context, h *Netlist, sp *Spectrum, d int, scheme int, pol resilience.EigenPolicy) (_ []int, retErr error) {
 	if d <= 0 {
 		d = 10
 	}
@@ -629,7 +662,16 @@ func orderModulesCtx(ctx context.Context, h *Netlist, sp *Spectrum, d int, schem
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pl := &pipeline{ctx: ctx, o: Options{K: 2, Method: MELO, D: d, Scheme: scheme}.withDefaults(), pol: pol, sp: sp, stage: resilience.StageCliqueModel}
+	ctx, rspan := trace.Start(ctx, "order",
+		trace.Int("d", d), trace.Int("scheme", scheme), trace.Int("n", h.NumModules()))
+	pl := &pipeline{ctx: ctx, root: ctx, o: Options{K: 2, Method: MELO, D: d, Scheme: scheme}.withDefaults(), pol: pol, sp: sp, stage: resilience.StageCliqueModel}
+	defer func() {
+		pl.closeStage()
+		if retErr != nil {
+			rspan.Annotate(trace.Str("error", retErr.Error()))
+		}
+		rspan.End()
+	}()
 	var order []int
 	err := pl.protect(func() error {
 		g, dec, err := pl.decompose(h, graph.PartitioningSpecific, d)
@@ -641,7 +683,7 @@ func orderModulesCtx(ctx context.Context, h *Netlist, sp *Spectrum, d int, schem
 		mo.D = d
 		mo.Scheme = melo.Scheme(scheme)
 		mo.Workers = pl.o.Parallelism
-		res, err := melo.OrderCtx(ctx, g, dec, mo)
+		res, err := melo.OrderCtx(pl.ctx, g, dec, mo)
 		if err != nil {
 			return err
 		}

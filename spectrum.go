@@ -14,6 +14,7 @@ import (
 	"repro/internal/eigen"
 	"repro/internal/graph"
 	"repro/internal/resilience"
+	"repro/internal/trace"
 )
 
 // Model selects the clique expansion used to turn a netlist into a
@@ -170,7 +171,7 @@ func DecomposeCtx(ctx context.Context, h *Netlist, model Model, d int) (*Spectru
 	return decomposeCtxWithPolicy(ctx, h, model, d, resilience.EigenPolicy{})
 }
 
-func decomposeCtxWithPolicy(ctx context.Context, h *Netlist, model Model, d int, pol resilience.EigenPolicy) (*Spectrum, error) {
+func decomposeCtxWithPolicy(ctx context.Context, h *Netlist, model Model, d int, pol resilience.EigenPolicy) (_ *Spectrum, retErr error) {
 	if err := ValidateNetlist(h); err != nil {
 		return nil, &PipelineError{Stage: string(resilience.StageValidate), Method: MELO, Err: err}
 	}
@@ -184,7 +185,16 @@ func decomposeCtxWithPolicy(ctx context.Context, h *Netlist, model Model, d int,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pl := &pipeline{ctx: ctx, o: Options{D: d}.withDefaults(), pol: pol, stage: resilience.StageCliqueModel}
+	ctx, rspan := trace.Start(ctx, "decompose",
+		trace.Str("model", model.String()), trace.Int("d", d), trace.Int("n", h.NumModules()))
+	pl := &pipeline{ctx: ctx, root: ctx, o: Options{D: d}.withDefaults(), pol: pol, stage: resilience.StageCliqueModel}
+	defer func() {
+		pl.closeStage()
+		if retErr != nil {
+			rspan.Annotate(trace.Str("error", retErr.Error()))
+		}
+		rspan.End()
+	}()
 	var sp *Spectrum
 	perr := pl.protect(func() error {
 		g, dec, err := pl.decompose(h, cm, d)
@@ -218,7 +228,7 @@ func PartitionWithSpectrum(ctx context.Context, h *Netlist, sp *Spectrum, opts O
 	return partitionWithSpectrumPolicy(ctx, h, sp, opts, resilience.EigenPolicy{})
 }
 
-func partitionWithSpectrumPolicy(ctx context.Context, h *Netlist, sp *Spectrum, opts Options, pol resilience.EigenPolicy) (*Partitioning, error) {
+func partitionWithSpectrumPolicy(ctx context.Context, h *Netlist, sp *Spectrum, opts Options, pol resilience.EigenPolicy) (_ *Partitioning, retErr error) {
 	o := opts.withDefaults()
 	if err := ValidateNetlist(h); err != nil {
 		return nil, &PipelineError{Stage: string(resilience.StageValidate), Method: o.Method, Err: err}
@@ -229,7 +239,17 @@ func partitionWithSpectrumPolicy(ctx context.Context, h *Netlist, sp *Spectrum, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pl := &pipeline{ctx: ctx, o: o, pol: pol, sp: sp, stage: resilience.StageCliqueModel}
+	ctx, rspan := trace.Start(ctx, "partition",
+		trace.Str("method", o.Method.String()), trace.Int("k", o.K),
+		trace.Int("d", o.D), trace.Int("n", h.NumModules()))
+	pl := &pipeline{ctx: ctx, root: ctx, o: o, pol: pol, sp: sp, stage: resilience.StageCliqueModel}
+	defer func() {
+		pl.closeStage()
+		if retErr != nil {
+			rspan.Annotate(trace.Str("error", retErr.Error()))
+		}
+		rspan.End()
+	}()
 	p, err := pl.run(h)
 	if err != nil {
 		return nil, wrapPipelineErr(o.Method, pl.stage, err)

@@ -1,0 +1,130 @@
+package spectral
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestPartitionEmitsFullSpanTree pins the observable shape of one
+// end-to-end MELO partition: every pipeline stage emits a named span,
+// nested exactly as the pipeline nests. The test is deliberately
+// strict — a stage that stops emitting, double-emits, or re-parents
+// its span is a regression in the observability contract, not a
+// cosmetic change.
+func TestPartitionEmitsFullSpanTree(t *testing.T) {
+	ring := trace.NewRing(256)
+	tracer := trace.New(ring)
+	ctx := trace.WithTracer(context.Background(), tracer)
+
+	h := smallBenchmark(t) // prim1 at 0.15: n <= 256, connected, dense-direct rung
+	p, err := PartitionCtx(ctx, h, Options{K: 4, D: 4, Method: MELO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 4 {
+		t.Fatalf("K = %d", p.K)
+	}
+
+	recs := ring.Snapshot()
+	byName := map[string][]trace.SpanRecord{}
+	byID := map[uint64]trace.SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = append(byName[r.Name], r)
+		byID[r.Span] = r
+	}
+
+	one := func(name string) trace.SpanRecord {
+		t.Helper()
+		rs := byName[name]
+		if len(rs) != 1 {
+			t.Fatalf("span %q recorded %d times, want exactly 1 (all: %v)", name, len(rs), names(recs))
+		}
+		return rs[0]
+	}
+	childOf := func(child, parent string) {
+		t.Helper()
+		c, p := one(child), one(parent)
+		if c.Parent != p.Span {
+			t.Errorf("span %q has parent id %d, want %q (id %d)", child, c.Parent, parent, p.Span)
+		}
+		if c.Trace != p.Trace {
+			t.Errorf("span %q is in trace %d, parent %q in %d", child, c.Trace, parent, p.Trace)
+		}
+	}
+
+	root := one("partition")
+	if root.Parent != 0 {
+		t.Errorf("root span has parent %d, want none", root.Parent)
+	}
+	if got := attr(root, "method"); got != "melo" {
+		t.Errorf("root method attr = %q, want melo", got)
+	}
+
+	// Stages are siblings under the root, in pipeline order.
+	for _, stage := range []string{"clique-model", "eigen", "ordering", "split"} {
+		childOf(stage, "partition")
+	}
+	// No refine was requested and validation precedes the root span.
+	for _, absent := range []string{"refine", "validate"} {
+		if len(byName[absent]) != 0 {
+			t.Errorf("unexpected %q span: %v", absent, byName[absent])
+		}
+	}
+
+	// The work inside each stage nests under that stage's span.
+	childOf("eigen.solve", "eigen")
+	childOf("eigen.dense", "eigen.solve") // n <= 256: the dense-direct rung
+	childOf("ordering.melo", "ordering")
+	childOf("split.dp", "split") // K > 2: the DP-RP path
+
+	if got := attr(one("eigen.solve"), "rung"); got != "dense-direct" {
+		t.Errorf("eigen.solve rung attr = %q, want dense-direct", got)
+	}
+
+	// Kernel counters posted once per solve/order/split.
+	for _, c := range []string{"melo.candidates", "dprp.cells", "resilience.rung.dense-direct"} {
+		if tracer.Counter(c) <= 0 {
+			t.Errorf("counter %q = %d, want > 0", c, tracer.Counter(c))
+		}
+	}
+}
+
+// TestPartitionTraceDisabledEmitsNothing is the other half of the
+// contract: with no tracer in ctx and no global, the same run records
+// no spans and allocates no per-span state.
+func TestPartitionTraceDisabledEmitsNothing(t *testing.T) {
+	ring := trace.NewRing(16)
+	tracer := trace.New(ring)
+	tracer.SetEnabled(false)
+	ctx := trace.WithTracer(context.Background(), tracer)
+
+	h := smallBenchmark(t)
+	if _, err := PartitionCtx(ctx, h, Options{K: 4, D: 4, Method: MELO}); err != nil {
+		t.Fatal(err)
+	}
+	if recs := ring.Snapshot(); len(recs) != 0 {
+		t.Fatalf("disabled tracer recorded %d spans: %v", len(recs), names(recs))
+	}
+	if stats := tracer.SpanStats(); len(stats) != 0 {
+		t.Fatalf("disabled tracer aggregated %d span names", len(stats))
+	}
+}
+
+func names(recs []trace.SpanRecord) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+func attr(r trace.SpanRecord, key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
