@@ -11,6 +11,8 @@
 //
 //	spectrald [-addr :8090] [-workers N] [-queue N] [-cache N]
 //	          [-max-netlists N] [-parallelism N] [-grace 30s]
+//	          [-journal-dir DIR] [-max-queue-wait D]
+//	          [-shed-policy none|degrade|reject]
 //	          [-debug-addr 127.0.0.1:8091] [-trace out.jsonl]
 //	          [-trace-ring N] [-trace-chunks N]
 //
@@ -18,6 +20,18 @@
 // the goroutines the numerical kernels inside one job may use
 // (0 = NumCPU). Results are bit-identical at every -parallelism
 // setting; see DESIGN.md, "The parallelism model".
+//
+// -journal-dir makes the daemon crash-safe: accepted netlists, job
+// submissions and terminal states are logged to an append-only,
+// checksummed journal in that directory, and on startup the daemon
+// replays it — finished jobs are served from their recorded results,
+// interrupted jobs run again, and damaged journal tails are truncated
+// with a warning rather than refusing to boot. See DESIGN.md, "Failure
+// domains and recovery model".
+//
+// -max-queue-wait fails jobs that sat queued longer than the bound;
+// -shed-policy selects what sustained queue pressure does to new jobs
+// (degrade them to a cheaper eigenvector count, or reject early).
 //
 // Every job execution is traced (per-stage spans, kernel counters; see
 // internal/trace): /metrics exposes the aggregates. -debug-addr opens a
@@ -45,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/journal"
 	"repro/internal/parallel"
 	"repro/internal/server"
 	"repro/internal/trace"
@@ -52,31 +67,42 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8090", "HTTP listen address")
-		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, capped at 8)")
-		queueDepth  = flag.Int("queue", 0, "job queue depth before 429 backpressure (0 = 64)")
-		cacheSize   = flag.Int("cache", 0, "spectrum cache entries (0 = 32)")
-		maxNetlists = flag.Int("max-netlists", 0, "netlist store bound (0 = 128)")
-		parallelism = flag.Int("parallelism", 0, "worker goroutines per numerical kernel (0 = NumCPU)")
-		grace       = flag.Duration("grace", 30*time.Second, "drain window for in-flight jobs on shutdown")
-		debugAddr   = flag.String("debug-addr", "", "diagnostics listen address (pprof, /debug/trace, /debug/report); empty = disabled")
-		traceOut    = flag.String("trace", "", "append finished spans as JSON lines to this file")
-		traceRing   = flag.Int("trace-ring", 4096, "recent spans retained for /debug/trace")
-		traceChunks = flag.Int("trace-chunks", 0, "sample one in N parallel chunks as spans (0 = off)")
+		addr         = flag.String("addr", ":8090", "HTTP listen address")
+		workers      = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, capped at 8)")
+		queueDepth   = flag.Int("queue", 0, "job queue depth before 429 backpressure (0 = 64)")
+		cacheSize    = flag.Int("cache", 0, "spectrum cache entries (0 = 32)")
+		maxNetlists  = flag.Int("max-netlists", 0, "netlist store bound (0 = 128)")
+		parallelism  = flag.Int("parallelism", 0, "worker goroutines per numerical kernel (0 = NumCPU)")
+		grace        = flag.Duration("grace", 30*time.Second, "drain window for in-flight jobs on shutdown")
+		journalDir   = flag.String("journal-dir", "", "durable job journal directory; empty = no crash safety")
+		maxQueueWait = flag.Duration("max-queue-wait", 0, "fail jobs queued longer than this (0 = unbounded)")
+		shedPolicy   = flag.String("shed-policy", "none", "overload response: none|degrade|reject")
+		debugAddr    = flag.String("debug-addr", "", "diagnostics listen address (pprof, /debug/trace, /debug/report); empty = disabled")
+		traceOut     = flag.String("trace", "", "append finished spans as JSON lines to this file")
+		traceRing    = flag.Int("trace-ring", 4096, "recent spans retained for /debug/trace")
+		traceChunks  = flag.Int("trace-chunks", 0, "sample one in N parallel chunks as spans (0 = off)")
 	)
 	flag.Parse()
 	parallel.SetLimit(*parallelism)
+	policy, ok := jobs.ParseShedPolicy(*shedPolicy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "spectrald: unknown -shed-policy %q (want none|degrade|reject)\n", *shedPolicy)
+		os.Exit(2)
+	}
 	if err := run(config{
-		addr:        *addr,
-		workers:     *workers,
-		queueDepth:  *queueDepth,
-		cacheSize:   *cacheSize,
-		maxNetlists: *maxNetlists,
-		grace:       *grace,
-		debugAddr:   *debugAddr,
-		traceOut:    *traceOut,
-		traceRing:   *traceRing,
-		traceChunks: *traceChunks,
+		addr:         *addr,
+		workers:      *workers,
+		queueDepth:   *queueDepth,
+		cacheSize:    *cacheSize,
+		maxNetlists:  *maxNetlists,
+		grace:        *grace,
+		journalDir:   *journalDir,
+		maxQueueWait: *maxQueueWait,
+		shedPolicy:   policy,
+		debugAddr:    *debugAddr,
+		traceOut:     *traceOut,
+		traceRing:    *traceRing,
+		traceChunks:  *traceChunks,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "spectrald:", err)
 		os.Exit(1)
@@ -88,6 +114,9 @@ type config struct {
 	workers, queueDepth, cacheSize int
 	maxNetlists                    int
 	grace                          time.Duration
+	journalDir                     string
+	maxQueueWait                   time.Duration
+	shedPolicy                     jobs.ShedPolicy
 	debugAddr, traceOut            string
 	traceRing, traceChunks         int
 }
@@ -107,14 +136,40 @@ func run(cfg config) error {
 	tracer.SetChunkSampling(cfg.traceChunks)
 	trace.SetGlobal(tracer)
 
+	var jnl *journal.Journal
+	var replay *journal.ReplayResult
+	if cfg.journalDir != "" {
+		var err error
+		jnl, replay, err = journal.Open(cfg.journalDir, journal.Options{})
+		if err != nil {
+			return fmt.Errorf("open journal: %w", err)
+		}
+		defer jnl.Close()
+		for _, warn := range replay.Stats.Warnings {
+			log.Printf("journal replay: %s", warn)
+		}
+	}
+
 	pool := jobs.NewPool(jobs.Config{
 		Workers:      cfg.workers,
 		QueueDepth:   cfg.queueDepth,
 		CacheEntries: cfg.cacheSize,
+		MaxQueueWait: cfg.maxQueueWait,
+		ShedPolicy:   cfg.shedPolicy,
+		Journal:      jnl,
 	})
 	pool.SetTracer(tracer)
-	pool.Start()
 	srv := server.New(pool, server.Config{MaxNetlists: cfg.maxNetlists, Tracer: tracer})
+	if jnl != nil {
+		stats, nets, err := pool.Restore(replay)
+		if err != nil {
+			return fmt.Errorf("replay journal: %w", err)
+		}
+		srv.AdoptNetlists(nets)
+		log.Printf("journal replay: %d netlists, %d jobs re-enqueued, %d recovered terminal, %d cancelled, %d failed unrecoverable",
+			stats.Netlists, stats.Reenqueued, stats.RecoveredTerminal, stats.CancelledOnReplay, stats.FailedOnReplay)
+	}
+	pool.Start()
 
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
@@ -18,6 +19,14 @@ var defaultPackages = []string{
 	"internal/melo",
 	"internal/dprp",
 	"internal/parallel",
+}
+
+// defaultDaemonPackages are the long-running daemon layers; see the
+// package comment for why they may not call os.Exit or log.Fatal.
+var defaultDaemonPackages = []string{
+	"internal/jobs",
+	"internal/server",
+	"internal/journal",
 }
 
 // checkTimeImports parses every non-test .go file directly inside the
@@ -59,6 +68,86 @@ func checkTimeImports(root string, pkgDirs []string) ([]string, error) {
 						"%s imports %q at line %d", filepath.Join(dir, name), p, pos.Line))
 				}
 			}
+		}
+	}
+	sort.Strings(violations)
+	return violations, nil
+}
+
+// checkFatalCalls parses every non-test .go file directly inside the
+// given package directories and returns one violation per os.Exit or
+// log.Fatal/Fatalf/Fatalln call, sorted. The daemon layers must fail
+// jobs, return errors or log-and-continue — a process kill buried in a
+// library bypasses journal flushing, connection draining and the
+// crash-safety contract the journal exists to uphold. Renamed imports
+// are followed; test files are exempt.
+func checkFatalCalls(root string, pkgDirs []string) ([]string, error) {
+	fset := token.NewFileSet()
+	var violations []string
+	for _, dir := range pkgDirs {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		abs := filepath.Join(root, dir)
+		entries, err := os.ReadDir(abs)
+		if err != nil {
+			return nil, fmt.Errorf("package %s: %w", dir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(abs, name)
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return nil, err
+			}
+			// Local names under which "os" and "log" are imported.
+			pkgNames := make(map[string]string)
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || (p != "os" && p != "log") {
+					continue
+				}
+				local := p
+				if imp.Name != nil {
+					if imp.Name.Name == "_" || imp.Name.Name == "." {
+						continue
+					}
+					local = imp.Name.Name
+				}
+				pkgNames[local] = p
+			}
+			if len(pkgNames) == 0 {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				p, ok := pkgNames[id.Name]
+				if !ok {
+					return true
+				}
+				fn := sel.Sel.Name
+				if (p == "os" && fn == "Exit") || (p == "log" && strings.HasPrefix(fn, "Fatal")) {
+					pos := fset.Position(call.Pos())
+					violations = append(violations, fmt.Sprintf(
+						"%s calls %s.%s at line %d", filepath.Join(dir, name), p, fn, pos.Line))
+				}
+				return true
+			})
 		}
 	}
 	sort.Strings(violations)

@@ -84,3 +84,81 @@ func TestRealKernelPackagesAreClean(t *testing.T) {
 		t.Fatalf("kernel packages import \"time\": %v", v)
 	}
 }
+
+func TestDetectsFatalCalls(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "internal/daemon/clean.go"),
+		"package daemon\n\nimport (\n\t\"log\"\n\t\"os\"\n)\n\nfunc ok() {\n\tlog.Printf(\"fine\")\n\t_ = os.Getenv(\"HOME\")\n}\n")
+	writeFile(t, filepath.Join(root, "internal/daemon/dirty.go"),
+		"package daemon\n\nimport (\n\t\"log\"\n\t\"os\"\n)\n\nfunc bad() {\n\tlog.Fatalf(\"boom\")\n\tlog.Fatal(\"boom\")\n\tlog.Fatalln(\"boom\")\n\tos.Exit(1)\n}\n")
+
+	v, err := checkFatalCalls(root, []string{"internal/daemon"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 4 {
+		t.Fatalf("want 4 violations, got %d: %v", len(v), v)
+	}
+	for _, viol := range v {
+		if !strings.Contains(viol, "dirty.go") {
+			t.Errorf("violation names the wrong file: %q", viol)
+		}
+	}
+}
+
+func TestFatalCallsRenamedImportDetected(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "internal/daemon/renamed.go"),
+		"package daemon\n\nimport sys \"os\"\n\nfunc bad() { sys.Exit(2) }\n")
+
+	v, err := checkFatalCalls(root, []string{"internal/daemon"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 || !strings.Contains(v[0], "os.Exit") {
+		t.Fatalf("renamed os import must still be caught, got %v", v)
+	}
+}
+
+func TestFatalCallsTestFilesExempt(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "internal/daemon/daemon.go"), "package daemon\n")
+	writeFile(t, filepath.Join(root, "internal/daemon/daemon_test.go"),
+		"package daemon\n\nimport \"os\"\n\nfunc bad() { os.Exit(1) }\n")
+
+	v, err := checkFatalCalls(root, []string{"internal/daemon"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("test file should be exempt, got %v", v)
+	}
+}
+
+func TestFatalCallsOtherPackagesIgnored(t *testing.T) {
+	// A local type or import named os/log that is not the stdlib
+	// package must not trip the check, nor must os.Getenv or log.Print.
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "internal/daemon/lookalike.go"),
+		"package daemon\n\nimport myos \"example.com/os\"\n\nfunc ok() { myos.Exit(1) }\n")
+
+	v, err := checkFatalCalls(root, []string{"internal/daemon"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("non-stdlib lookalike flagged: %v", v)
+	}
+}
+
+func TestRealDaemonPackagesAreClean(t *testing.T) {
+	// The invariant itself, run against the repository this test lives
+	// in: the daemon packages must be clean right now.
+	v, err := checkFatalCalls("../..", defaultDaemonPackages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("daemon packages kill the process: %v", v)
+	}
+}

@@ -1,26 +1,35 @@
 // Command vet-invariants enforces repository invariants that go vet
-// cannot express. Today there is one: the numerical kernel packages
-// (internal/eigen, internal/melo, internal/dprp, internal/parallel)
-// must not import "time".
+// cannot express.
 //
-// The kernels are required to be deterministic and bit-identical at
-// every parallelism setting (DESIGN.md, "The parallelism model"), and
-// reading the clock is the easiest way to smuggle nondeterminism into
-// one — a time-based seed, a duration-based cutoff, a progress
-// callback that fires "every 100ms". All timing of kernels belongs to
-// the callers and to internal/trace, which wraps the clock once,
-// outside the algorithms. Banning the import keeps the boundary
-// machine-checked instead of review-checked.
+// Invariant 1: the numerical kernel packages (internal/eigen,
+// internal/melo, internal/dprp, internal/parallel) must not import
+// "time". The kernels are required to be deterministic and
+// bit-identical at every parallelism setting (DESIGN.md, "The
+// parallelism model"), and reading the clock is the easiest way to
+// smuggle nondeterminism into one — a time-based seed, a
+// duration-based cutoff, a progress callback that fires "every 100ms".
+// All timing of kernels belongs to the callers and to internal/trace,
+// which wraps the clock once, outside the algorithms. Banning the
+// import keeps the boundary machine-checked instead of review-checked.
 //
-// Test files are exempt: a _test.go harness may legitimately time the
-// code it drives.
+// Invariant 2: the daemon layers (internal/jobs, internal/server,
+// internal/journal) must not call os.Exit or log.Fatal. Those packages
+// run inside a long-lived process with a durability contract: a
+// process kill buried in a library skips journal flushing, HTTP
+// draining and the pool's shutdown path, turning a recoverable error
+// into exactly the crash the journal exists to survive. Failures there
+// must surface as errors (or failed jobs), with process exit decided
+// only by cmd/spectrald's main.
+//
+// Test files are exempt from both: a _test.go harness may legitimately
+// time the code it drives or kill its own process.
 //
 // Usage:
 //
 //	vet-invariants [-root .] [-packages internal/eigen,...]
+//	               [-daemon-packages internal/jobs,...]
 //
-// Exits 1 and lists every offending import when the invariant is
-// violated.
+// Exits 1 and lists every offence when an invariant is violated.
 package main
 
 import (
@@ -35,20 +44,40 @@ func main() {
 		root = flag.String("root", ".", "repository root to scan")
 		pkgs = flag.String("packages", strings.Join(defaultPackages, ","),
 			"comma-separated package directories that must not import \"time\"")
+		daemonPkgs = flag.String("daemon-packages", strings.Join(defaultDaemonPackages, ","),
+			"comma-separated package directories that must not call os.Exit or log.Fatal")
 	)
 	flag.Parse()
 
-	violations, err := checkTimeImports(*root, strings.Split(*pkgs, ","))
+	failed := false
+	timeViolations, err := checkTimeImports(*root, strings.Split(*pkgs, ","))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vet-invariants:", err)
 		os.Exit(1)
 	}
-	if len(violations) > 0 {
-		for _, v := range violations {
+	if len(timeViolations) > 0 {
+		for _, v := range timeViolations {
 			fmt.Fprintln(os.Stderr, "vet-invariants:", v)
 		}
-		fmt.Fprintf(os.Stderr, "vet-invariants: %d violation(s): kernel packages must not read the clock (route timing through internal/trace)\n", len(violations))
+		fmt.Fprintf(os.Stderr, "vet-invariants: %d violation(s): kernel packages must not read the clock (route timing through internal/trace)\n", len(timeViolations))
+		failed = true
+	}
+
+	fatalViolations, err := checkFatalCalls(*root, strings.Split(*daemonPkgs, ","))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vet-invariants:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("vet-invariants: ok (%s)\n", *pkgs)
+	if len(fatalViolations) > 0 {
+		for _, v := range fatalViolations {
+			fmt.Fprintln(os.Stderr, "vet-invariants:", v)
+		}
+		fmt.Fprintf(os.Stderr, "vet-invariants: %d violation(s): daemon packages must return errors, not kill the process (exits belong to cmd/spectrald)\n", len(fatalViolations))
+		failed = true
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("vet-invariants: ok (%s; %s)\n", *pkgs, *daemonPkgs)
 }

@@ -1,0 +1,241 @@
+// Package chaos provides deterministic, seedable fault injection for
+// crash/restart testing of the spectrald stack.
+//
+// The package simulates a machine-level kill (SIGKILL plus power loss)
+// at the journal's filesystem boundary: an FS wraps every segment file
+// the journal opens, tracks which byte ranges an fsync actually
+// covered, and on Crash tears the unsynced tail of the active segment
+// — optionally appending garbage bytes, the way a torn sector write
+// leaves junk at the end of a log. Everything a crashed process writes
+// afterwards is discarded, exactly as if the process were gone.
+//
+// Because the tear point never reaches below the sync watermark, any
+// record the journal acknowledged as durable (and therefore anything a
+// client got a 2xx for) survives every crash by construction; whether
+// the *daemon* upholds that same contract is what the harness in this
+// package asserts.
+//
+// Fault dimensions beyond the kill itself are deterministic too:
+// solver faults route through resilience.FaultPlan, journal I/O errors
+// through SetFailWrites, and request deadlines trigger clock-free via
+// already-expired contexts. A Plan derives all knobs from one seed so
+// a failing run reproduces exactly.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/journal"
+)
+
+// Plan is one seeded chaos schedule. The zero value injects nothing;
+// NewPlan derives every knob deterministically from the seed.
+type Plan struct {
+	Seed int64
+	// CrashAfterFinishes is how many jobs must reach a terminal state
+	// before the kill fires — 0 crashes into a fully queued backlog.
+	CrashAfterFinishes int
+	// KeepExtra is how many unsynced tail bytes survive past the sync
+	// watermark (a partially persisted write), tearing mid-record.
+	KeepExtra int64
+	// Garbage, when non-empty, is appended at the tear point: junk from
+	// a torn sector that replay must skip without refusing to boot.
+	Garbage []byte
+	// SegmentBytes sizes journal segments, small enough that most runs
+	// rotate at least once (crashes must not damage sealed segments).
+	SegmentBytes int64
+}
+
+// NewPlan derives a crash schedule from seed. Half the seeds append
+// garbage at the tear, and tear offsets, backlog depth and segment
+// sizes all vary, so a sweep over seeds covers clean kills, torn
+// tails, corrupt tails and mid-rotation kills.
+func NewPlan(seed int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{
+		Seed:               seed,
+		CrashAfterFinishes: rng.Intn(5),
+		KeepExtra:          int64(rng.Intn(96)),
+		SegmentBytes:       int64(1) << (10 + rng.Intn(6)), // 1 KiB .. 32 KiB
+	}
+	if rng.Intn(2) == 1 {
+		p.Garbage = make([]byte, 1+rng.Intn(48))
+		rng.Read(p.Garbage)
+	}
+	return p
+}
+
+// FS hands crash-aware files to journal.Open via its Open method and
+// owns the kill switch. One FS models one machine lifetime: after
+// Crash every file it opened is dead and new opens fail.
+type FS struct {
+	failWrites atomic.Bool
+
+	mu      sync.Mutex
+	files   []*CrashFile // open order == generation order
+	crashed bool
+}
+
+// NewFS returns a filesystem with no scheduled faults.
+func NewFS() *FS { return &FS{} }
+
+// Open implements journal.Options.OpenFile.
+func (fs *FS) Open(path string) (journal.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, errors.New("chaos: filesystem crashed")
+	}
+	f, err := journal.DefaultOpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cf := &CrashFile{fs: fs, path: path, f: f}
+	fs.files = append(fs.files, cf)
+	return cf, nil
+}
+
+// SetFailWrites toggles injected I/O errors on every subsequent write
+// and sync — a full or failing disk. The journal's sticky-error
+// contract means one failed append poisons it until a compaction
+// rewrites onto a fresh segment.
+func (fs *FS) SetFailWrites(v bool) { fs.failWrites.Store(v) }
+
+// Crash kills the machine: the active segment is truncated to its
+// sync watermark plus keepExtra bytes of whatever tail the page cache
+// happened to persist, garbage (if any) lands at the tear point, and
+// every file — sealed segments included — stops accepting writes.
+// Sealed segments keep their bytes: they were synced at rotation.
+func (fs *FS) Crash(keepExtra int64, garbage []byte) error {
+	fs.mu.Lock()
+	fs.crashed = true
+	files := make([]*CrashFile, len(fs.files))
+	copy(files, fs.files)
+	fs.mu.Unlock()
+	var firstErr error
+	for i, cf := range files {
+		active := i == len(files)-1
+		if err := cf.crash(active, keepExtra, garbage); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// CrashFile wraps one journal segment file, tracking the byte ranges
+// that writes delivered and fsyncs made durable so a crash can tear
+// precisely the window a real power loss would.
+type CrashFile struct {
+	fs   *FS
+	path string
+
+	mu      sync.Mutex
+	f       journal.File
+	written int64 // bytes handed to the OS
+	synced  int64 // watermark covered by the last successful sync
+	crashed bool
+}
+
+// Write implements journal.File. After a crash the write is silently
+// discarded — the process that issued it is dead, there is nobody to
+// observe an error.
+func (c *CrashFile) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return len(p), nil
+	}
+	if c.fs.failWrites.Load() {
+		return 0, errors.New("chaos: injected write error")
+	}
+	if c.f == nil {
+		return 0, errors.New("chaos: write to closed segment")
+	}
+	n, err := c.f.Write(p)
+	c.written += int64(n)
+	return n, err
+}
+
+// Sync implements journal.File, advancing the durability watermark.
+func (c *CrashFile) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil
+	}
+	if c.fs.failWrites.Load() {
+		return errors.New("chaos: injected sync error")
+	}
+	if c.f == nil {
+		return errors.New("chaos: sync of closed segment")
+	}
+	if err := c.f.Sync(); err != nil {
+		return err
+	}
+	c.synced = c.written
+	return nil
+}
+
+// Close implements journal.File. Rotation closes sealed segments after
+// a final sync, so their full length is durable.
+func (c *CrashFile) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed || c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}
+
+// Synced reports the file's durability watermark (for assertions).
+func (c *CrashFile) Synced() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.synced
+}
+
+// crash closes the handle and, for the active segment, applies the
+// tear: truncate to max(synced, min(synced+keepExtra, written)) and
+// append garbage. The tear never reaches below the sync watermark —
+// fsynced bytes survive power loss.
+func (c *CrashFile) crash(active bool, keepExtra int64, garbage []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed = true
+	if c.f != nil {
+		_ = c.f.Close()
+		c.f = nil
+	}
+	if !active {
+		return nil
+	}
+	keep := c.synced + keepExtra
+	if keep > c.written {
+		keep = c.written
+	}
+	if err := os.Truncate(c.path, keep); err != nil {
+		return fmt.Errorf("chaos: tear %s: %w", c.path, err)
+	}
+	if len(garbage) > 0 {
+		f, err := os.OpenFile(c.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("chaos: corrupt %s: %w", c.path, err)
+		}
+		_, werr := f.Write(garbage)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("chaos: corrupt %s: %w", c.path, werr)
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}

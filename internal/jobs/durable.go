@@ -1,0 +1,556 @@
+package jobs
+
+// This file is the pool's crash-safety glue: translating job lifecycle
+// events into journal records, replaying a journal back into live pool
+// state after a restart, and compacting the log once the history it
+// holds is dominated by finished work.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	spectral "repro"
+	"repro/internal/journal"
+	"repro/internal/speccache"
+)
+
+// ErrJournal wraps journal append failures surfaced from Submit: the
+// job was NOT durably accepted and the caller must not acknowledge it.
+var ErrJournal = errors.New("jobs: journal append failed")
+
+// specOf serializes a request for the journal.
+func specOf(req Request, shedFromD int) *journal.JobSpec {
+	s := &journal.JobSpec{
+		Kind:      string(req.Kind),
+		TimeoutNS: int64(req.Timeout),
+		ShedFromD: shedFromD,
+	}
+	if req.Kind == KindOrder {
+		s.D = req.D
+		s.Scheme = req.Scheme
+	} else {
+		o := req.Opts
+		s.Method = o.Method.String()
+		s.K = o.K
+		s.D = o.D
+		s.Scheme = o.Scheme
+		s.MinFrac = o.MinFrac
+		s.Refine = o.Refine
+		s.Parallelism = o.Parallelism
+	}
+	return s
+}
+
+// requestOf rebuilds a Request from a replayed spec. The netlist is
+// attached by the caller.
+func requestOf(spec *journal.JobSpec, hash string) (Request, error) {
+	req := Request{Hash: hash, Kind: Kind(spec.Kind), Timeout: time.Duration(spec.TimeoutNS)}
+	switch req.Kind {
+	case KindOrder:
+		req.D = spec.D
+		req.Scheme = spec.Scheme
+	case KindPartition:
+		method, err := spectral.ParseMethod(spec.Method)
+		if err != nil {
+			return Request{}, err
+		}
+		req.Opts = spectral.Options{
+			Method:      method,
+			K:           spec.K,
+			D:           spec.D,
+			Scheme:      spec.Scheme,
+			MinFrac:     spec.MinFrac,
+			Refine:      spec.Refine,
+			Parallelism: spec.Parallelism,
+		}
+	default:
+		return Request{}, fmt.Errorf("jobs: replayed spec has unknown kind %q", spec.Kind)
+	}
+	return req, nil
+}
+
+// appendJournal writes a buffered (non-durable) record; failures are
+// counted and swallowed — losing a start or hint record only costs a
+// deterministic re-run after the next crash.
+func (p *Pool) appendJournal(rec journal.Record) {
+	if p.jnl == nil {
+		return
+	}
+	if err := p.jnl.Append(rec); err != nil {
+		p.noteJournalError()
+	}
+}
+
+func (p *Pool) noteJournalError() {
+	p.mu.Lock()
+	p.journalErrors++
+	p.mu.Unlock()
+	if p.tracer != nil {
+		p.tracer.Add("journal.errors", 1)
+	}
+}
+
+// journalSubmit durably records an accepted job (and, first, its
+// netlist body so replay can rebuild the request). A failure here means
+// the job must not be acknowledged to the client.
+func (p *Pool) journalSubmit(j *Job) error {
+	if p.jnl == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := spectral.SaveNetlist(&buf, "", j.req.Netlist); err != nil {
+		return fmt.Errorf("%w: serialize netlist: %v", ErrJournal, err)
+	}
+	if err := p.jnl.AppendNetlist(j.req.Hash, "", buf.Bytes(), j.created.UnixNano()); err != nil {
+		p.noteJournalError()
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	if err := p.jnl.AppendDurable(journal.Record{
+		Type:   journal.TypeSubmit,
+		ID:     j.id,
+		Hash:   j.req.Hash,
+		Spec:   specOf(j.req, j.shedFromD),
+		UnixNS: j.created.UnixNano(),
+	}); err != nil {
+		p.noteJournalError()
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return nil
+}
+
+// finishRecord builds the journal record for a terminal transition.
+func finishRecord(id string, st State, res *Result, err error, unixNS int64) journal.Record {
+	rec := journal.Record{Type: journal.TypeFinish, ID: id, State: string(st), UnixNS: unixNS}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if res != nil {
+		if b, merr := json.Marshal(res); merr == nil {
+			rec.Result = b
+		}
+	}
+	return rec
+}
+
+// journalFinish durably records a terminal transition: a finished job's
+// result is part of what a restarted daemon must still serve.
+func (p *Pool) journalFinish(j *Job, st State, res *Result, err error) {
+	if p.jnl == nil {
+		return
+	}
+	if aerr := p.jnl.AppendDurable(finishRecord(j.id, st, res, err, time.Now().UnixNano())); aerr != nil {
+		p.noteJournalError()
+		return
+	}
+	p.maybeCompact()
+}
+
+// RestoredNetlist is a netlist recovered from the journal, keyed by
+// content hash in Restore's return value so the HTTP layer can re-adopt
+// it into its store.
+type RestoredNetlist struct {
+	Name    string
+	Netlist *spectral.Netlist
+}
+
+// RestoreStats summarizes what Restore did with the replayed journal.
+type RestoreStats struct {
+	// Reenqueued jobs were queued or running at crash time and run
+	// again from scratch.
+	Reenqueued int `json:"reenqueued"`
+	// RecoveredTerminal jobs had durable finish records; their results
+	// are served without recomputation.
+	RecoveredTerminal int `json:"recoveredTerminal"`
+	// CancelledOnReplay jobs had a cancel request but no terminal
+	// record; they are restored directly to cancelled.
+	CancelledOnReplay int `json:"cancelledOnReplay"`
+	// FailedOnReplay jobs could not be re-enqueued or served (e.g.
+	// their netlist or result record was lost to corruption); they are
+	// failed with an explanatory reason rather than silently dropped.
+	FailedOnReplay int `json:"failedOnReplay"`
+	// Netlists recovered from the journal.
+	Netlists int `json:"netlists"`
+	// SpectrumHints handed to the cache prewarmer.
+	SpectrumHints int                 `json:"spectrumHints"`
+	Replay        journal.ReplayStats `json:"replay"`
+}
+
+// Restore rebuilds pool state from a journal replay. Call after NewPool
+// (and SetTracer) but before Start and before any Submit:
+//
+//   - terminal jobs are restored with their recorded results and served
+//     from memory exactly like jobs that finished in this process;
+//   - jobs that were queued or running at crash time are re-enqueued
+//     (the queue grows past QueueDepth if the backlog demands it) with
+//     their deadline, if any, re-anchored at restart;
+//   - jobs whose netlist or result cannot be recovered are failed with
+//     an explanatory error — never silently dropped;
+//   - spectrum hints prewarm the cache in the background once Start
+//     runs.
+//
+// It returns the recovered netlists so the serving layer can re-adopt
+// them. Restoring a journal-less pool is a no-op.
+func (p *Pool) Restore(rep *journal.ReplayResult) (RestoreStats, map[string]RestoredNetlist, error) {
+	stats := RestoreStats{Replay: rep.Stats}
+	nets := make(map[string]RestoredNetlist, len(rep.Netlists))
+	for _, nr := range rep.Netlists {
+		name, h, err := spectral.LoadNetlist(bytes.NewReader(nr.Body))
+		if err != nil || spectral.ValidateNetlist(h) != nil {
+			stats.Replay.CorruptRecords++
+			continue
+		}
+		if name == "" {
+			name = nr.Name
+		}
+		nets[nr.Hash] = RestoredNetlist{Name: name, Netlist: h}
+	}
+	stats.Netlists = len(nets)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return stats, nets, ErrShuttingDown
+	}
+
+	now := time.Now()
+	var backlog []*Job
+	for _, jr := range rep.Jobs {
+		if jr.ID == "" {
+			continue
+		}
+		if _, dup := p.jobs[jr.ID]; dup {
+			continue
+		}
+		var seq int
+		if _, err := fmt.Sscanf(jr.ID, "job-%d", &seq); err == nil && seq > p.seq {
+			p.seq = seq
+		}
+		j := &Job{
+			id:       jr.ID,
+			state:    Pending,
+			created:  now,
+			restored: true,
+			cancel:   func() {}, // replaced with a real cancel if re-enqueued
+			done:     make(chan struct{}),
+		}
+		if jr.SubmittedNS > 0 {
+			j.created = time.Unix(0, jr.SubmittedNS)
+		}
+		specErr := errors.New("jobs: spec not recovered from journal replay")
+		if jr.Spec != nil {
+			j.shedFromD = jr.Spec.ShedFromD
+			var err error
+			if j.req, err = requestOf(jr.Spec, jr.Hash); err != nil {
+				specErr = err
+				j.req = Request{Hash: jr.Hash, Kind: KindPartition}
+			} else {
+				specErr = nil
+			}
+		} else {
+			j.req = Request{Hash: jr.Hash, Kind: KindPartition}
+		}
+		rn, haveNet := nets[jr.Hash]
+		if haveNet {
+			j.req.Netlist = rn.Netlist
+		}
+
+		failReplay := func(reason error) {
+			j.state = Failed
+			j.err = reason
+			j.started = j.created
+			j.finished = now
+			close(j.done)
+			stats.FailedOnReplay++
+			p.journalReplayOutcomeLocked(j.id, Failed, nil, reason)
+		}
+
+		switch {
+		case jr.State == journal.StateDone:
+			var res *Result
+			if len(jr.Result) > 0 {
+				var r Result
+				if err := json.Unmarshal(jr.Result, &r); err == nil {
+					res = &r
+				}
+			}
+			if res == nil {
+				// A done record whose result payload was lost: re-run if we
+				// can, fail loudly if we cannot — never serve an empty result.
+				if haveNet && specErr == nil {
+					backlog = append(backlog, j)
+					stats.Reenqueued++
+					break
+				}
+				failReplay(errors.New("jobs: result lost in journal replay"))
+				break
+			}
+			j.state = Done
+			j.result = res
+			j.started = j.created
+			j.finished = finishedTime(jr.FinishedNS, now)
+			close(j.done)
+			stats.RecoveredTerminal++
+
+		case jr.Terminal():
+			j.state = State(jr.State)
+			j.started = j.created
+			j.finished = finishedTime(jr.FinishedNS, now)
+			if jr.Error != "" {
+				j.err = errors.New(jr.Error)
+			} else if j.state == Cancelled {
+				j.err = context.Canceled
+			} else {
+				j.err = errors.New("jobs: failed before restart (journal replay)")
+			}
+			close(j.done)
+			stats.RecoveredTerminal++
+
+		case jr.CancelRequested:
+			// Cancelled while queued or running, crash before the worker
+			// recorded the terminal state: honour the cancellation instead
+			// of re-running.
+			j.state = Cancelled
+			j.err = context.Canceled
+			j.started = j.created
+			j.finished = now
+			close(j.done)
+			stats.CancelledOnReplay++
+			p.journalReplayOutcomeLocked(j.id, Cancelled, nil, j.err)
+
+		default:
+			// Queued or running at crash time: run it (again). The pipeline
+			// is deterministic, so a re-run is byte-identical to the run
+			// the crash interrupted.
+			if !haveNet {
+				failReplay(fmt.Errorf("jobs: not recoverable from journal replay (netlist %s lost)", jr.Hash))
+				break
+			}
+			if specErr != nil {
+				failReplay(fmt.Errorf("jobs: not recoverable from journal replay: %w", specErr))
+				break
+			}
+			backlog = append(backlog, j)
+			stats.Reenqueued++
+		}
+		p.jobs[j.id] = j
+		p.order = append(p.order, j.id)
+	}
+
+	// Grow the queue if the replayed backlog would not fit alongside
+	// fresh submissions.
+	if need := len(p.queue) + len(backlog); need > cap(p.queue) {
+		grown := make(chan *Job, need+p.cfg.QueueDepth)
+	drain:
+		for {
+			select {
+			case q := <-p.queue:
+				grown <- q
+			default:
+				break drain
+			}
+		}
+		p.queue = grown
+	}
+	for _, j := range backlog {
+		// Deadlines re-anchor at restart: the queue wait the crash
+		// destroyed is not charged against the client's budget.
+		if j.req.Timeout > 0 {
+			j.created = now
+		}
+		j.ctx, j.cancel = p.jobContext(j.req)
+		p.queue <- j
+		p.submitted++
+	}
+
+	stats.SpectrumHints = len(rep.Hints)
+	p.restored = &stats
+	if p.tracer != nil {
+		p.tracer.Add("journal.replay.reenqueued", int64(stats.Reenqueued))
+		p.tracer.Add("journal.replay.recovered-terminal", int64(stats.RecoveredTerminal))
+		p.tracer.Add("journal.replay.cancelled", int64(stats.CancelledOnReplay))
+		p.tracer.Add("journal.replay.failed", int64(stats.FailedOnReplay))
+		p.tracer.Add("journal.replay.corrupt-records", int64(stats.Replay.CorruptRecords))
+		p.tracer.Add("journal.replay.truncated-bytes", stats.Replay.TruncatedBytes)
+	}
+
+	// Warm the spectrum cache from the replayed hints in the background:
+	// a d-sweep that was warm before the crash should be warm after it.
+	// Re-enqueued jobs needing the same decomposition singleflight-join
+	// the prewarm compute instead of racing it.
+	if len(rep.Hints) > 0 {
+		hints := append([]journal.SpectrumHint(nil), rep.Hints...)
+		if len(hints) > p.cfg.CacheEntries {
+			hints = hints[len(hints)-p.cfg.CacheEntries:]
+		}
+		go p.prewarm(hints, nets)
+	}
+	return stats, nets, nil
+}
+
+func finishedTime(unixNS int64, fallback time.Time) time.Time {
+	if unixNS > 0 {
+		return time.Unix(0, unixNS)
+	}
+	return fallback
+}
+
+// journalReplayOutcomeLocked journals a terminal state decided during
+// Restore (caller holds p.mu; uses the buffered path — the outcome is
+// deterministically re-derivable from the same journal, so durability
+// can wait for the next sync).
+func (p *Pool) journalReplayOutcomeLocked(id string, st State, res *Result, err error) {
+	if p.jnl == nil {
+		return
+	}
+	if aerr := p.jnl.Append(finishRecord(id, st, res, err, time.Now().UnixNano())); aerr != nil {
+		p.journalErrors++
+	}
+}
+
+// prewarm recomputes journal-hinted decompositions under the pool's
+// base context so the cache is warm before clients re-submit.
+func (p *Pool) prewarm(hints []journal.SpectrumHint, nets map[string]RestoredNetlist) {
+	for _, h := range hints {
+		rn, ok := nets[h.Hash]
+		if !ok || h.Pairs < 2 {
+			continue
+		}
+		model, err := spectral.ParseModel(h.Model)
+		if err != nil {
+			continue
+		}
+		if p.baseCtx.Err() != nil {
+			return
+		}
+		key := speccache.Key{Hash: h.Hash, Model: h.Model}
+		p.cache.MarkExpected(key)
+		pairs := h.Pairs
+		_, hit, err := p.cache.GetOrCompute(p.baseCtx, key, pairs, func(context.Context) (speccache.Entry, error) {
+			sp, err := spectral.DecomposeCtxPolicy(p.baseCtx, rn.Netlist, model, pairs-1, p.cfg.EigenPolicy)
+			if err != nil {
+				return speccache.Entry{}, err
+			}
+			return speccache.Entry{Value: sp, Pairs: sp.Pairs()}, nil
+		})
+		if p.tracer != nil && err == nil && !hit {
+			p.tracer.Add("speccache.prewarmed", 1)
+		}
+	}
+}
+
+// RestoreStatsSnapshot returns the stats of the Restore that rebuilt
+// this pool, or nil if the pool was not restored from a journal.
+func (p *Pool) RestoreStatsSnapshot() *RestoreStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.restored == nil {
+		return nil
+	}
+	c := *p.restored
+	return &c
+}
+
+// Journal exposes the pool's journal (nil when the pool is not
+// durable), for the serving layer's metrics.
+func (p *Pool) Journal() *journal.Journal { return p.jnl }
+
+// maybeCompact rewrites the journal once enough finish records have
+// accumulated since the last compaction: the log's useful content is
+// the live state, and an unbounded history only slows the next replay.
+func (p *Pool) maybeCompact() {
+	if p.jnl == nil {
+		return
+	}
+	p.mu.Lock()
+	p.finishSince++
+	due := p.finishSince >= p.cfg.CompactEvery && !p.compacting
+	if due {
+		p.compacting = true
+		p.finishSince = 0
+	}
+	p.mu.Unlock()
+	if !due {
+		return
+	}
+	defer func() {
+		p.mu.Lock()
+		p.compacting = false
+		p.mu.Unlock()
+	}()
+	_ = p.CompactJournal()
+}
+
+// CompactJournal folds the pool's live state (plus any extra records a
+// serving layer registered via SetSnapshotExtra) into a fresh journal
+// segment, dropping superseded history. Safe to call at any time; it is
+// also the recovery path after a journal write error.
+func (p *Pool) CompactJournal() error {
+	if p.jnl == nil {
+		return nil
+	}
+	var recs []journal.Record
+	seenNet := make(map[string]bool)
+	if p.snapshotExtra != nil {
+		for _, r := range p.snapshotExtra() {
+			if r.Type == journal.TypeNetlist {
+				if seenNet[r.Hash] {
+					continue
+				}
+				seenNet[r.Hash] = true
+			}
+			recs = append(recs, r)
+		}
+	}
+
+	p.mu.Lock()
+	ids := append([]string(nil), p.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := p.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	p.mu.Unlock()
+
+	for _, j := range jobs {
+		if j.req.Netlist == nil || seenNet[j.req.Hash] {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := spectral.SaveNetlist(&buf, "", j.req.Netlist); err == nil {
+			seenNet[j.req.Hash] = true
+			recs = append(recs, journal.Record{
+				Type: journal.TypeNetlist, Hash: j.req.Hash, Netlist: buf.Bytes(),
+			})
+		}
+	}
+	for _, j := range jobs {
+		recs = append(recs, journal.Record{
+			Type: journal.TypeSubmit, ID: j.id, Hash: j.req.Hash,
+			Spec: specOf(j.req, j.shedFromD), UnixNS: j.created.UnixNano(),
+		})
+		j.mu.Lock()
+		st, jerr, res, fin := j.state, j.err, j.result, j.finished
+		j.mu.Unlock()
+		if isTerminal(st) {
+			recs = append(recs, finishRecord(j.id, st, res, jerr, fin.UnixNano()))
+		}
+	}
+	if err := p.jnl.Rewrite(recs); err != nil {
+		p.noteJournalError()
+		return err
+	}
+	if p.tracer != nil {
+		p.tracer.Add("journal.compactions", 1)
+	}
+	return nil
+}
+
+// SetSnapshotExtra registers a provider of extra records (typically the
+// HTTP layer's stored netlists) included in every journal compaction.
+// Call before Start.
+func (p *Pool) SetSnapshotExtra(fn func() []journal.Record) { p.snapshotExtra = fn }

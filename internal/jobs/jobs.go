@@ -66,6 +66,12 @@ type Request struct {
 	// D and Scheme configure a KindOrder job (0 selects the façade
 	// defaults).
 	D, Scheme int
+	// Timeout, when positive, is the job's end-to-end deadline measured
+	// from submission — queue wait included. It propagates into the
+	// job's context, so the whole solver pipeline observes it; an
+	// expired deadline fails the job with context.DeadlineExceeded.
+	// After a crash/replay the deadline re-anchors at restart.
+	Timeout time.Duration
 }
 
 // Result is the output of a finished job.
@@ -102,7 +108,14 @@ type Status struct {
 	QueueSeconds    float64 `json:"queueSeconds"`
 	SpectrumSeconds float64 `json:"spectrumSeconds"`
 	SolveSeconds    float64 `json:"solveSeconds"`
-	Result          *Result `json:"result,omitempty"`
+	// TimeoutSeconds echoes the request deadline (0 = none).
+	TimeoutSeconds float64 `json:"timeoutSeconds,omitempty"`
+	// ShedFromD is the originally requested d when overload control
+	// degraded this job to a smaller decomposition.
+	ShedFromD int `json:"shedFromD,omitempty"`
+	// Restored marks a job recovered from the journal after a restart.
+	Restored bool    `json:"restored,omitempty"`
+	Result   *Result `json:"result,omitempty"`
 }
 
 // Job is one tracked unit of work. All methods are safe for concurrent
@@ -112,6 +125,13 @@ type Job struct {
 	req    Request
 	ctx    context.Context
 	cancel func()
+
+	// shedFromD is the d the client asked for before load shedding
+	// degraded the request (0 = not shed). restored marks a job rebuilt
+	// from the journal after a crash. Both are set before the job is
+	// published and immutable afterwards.
+	shedFromD int
+	restored  bool
 
 	mu                              sync.Mutex
 	state                           State
@@ -170,6 +190,9 @@ func (j *Job) Status() Status {
 		QueueSeconds:    j.queueDur.Seconds(),
 		SpectrumSeconds: j.spectrumDur.Seconds(),
 		SolveSeconds:    j.solveDur.Seconds(),
+		TimeoutSeconds:  j.req.Timeout.Seconds(),
+		ShedFromD:       j.shedFromD,
+		Restored:        j.restored,
 		Result:          j.result,
 	}
 	if j.req.Kind == KindOrder {

@@ -343,3 +343,60 @@ func TestJobRetention(t *testing.T) {
 		t.Error("newest job was dropped")
 	}
 }
+
+// The eigensolve is detached from the job that wins the spectrum
+// cache's singleflight (see Pool.spectrum): cancelling the winner
+// mid-flight must not starve a follower waiting on the same
+// decomposition — whichever job ends up computing, the follower
+// finishes Done.
+func TestCancelledWinnerStillFeedsFollower(t *testing.T) {
+	defer leakCheck(t)()
+	h, err := spectral.GenerateBenchmark("industry2", 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(Config{Workers: 2, QueueDepth: 8})
+	p.Start()
+	defer p.Shutdown(context.Background())
+
+	req := Request{
+		Netlist: h,
+		Kind:    KindPartition,
+		Opts:    spectral.Options{K: 2, Method: spectral.MELO, D: 30},
+	}
+	winner, err := p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel the winner once it has been picked up (mid-eigensolve on
+	// this netlist), or while still queued on a slow machine — in every
+	// interleaving the follower must complete.
+	deadline := time.Now().Add(30 * time.Second)
+	for winner.State() == Pending && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	p.Cancel(winner.ID())
+
+	select {
+	case <-follower.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatalf("follower starved after winner cancel (state %s)", follower.State())
+	}
+	if st := follower.Status(); st.State != Done {
+		t.Errorf("follower finished %s (%s), want done", st.State, st.Error)
+	}
+	select {
+	case <-winner.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatal("winner never reached a terminal state")
+	}
+	if st := winner.State(); st != Done && st != Cancelled {
+		t.Errorf("winner finished %s, want done or cancelled", st)
+	}
+}

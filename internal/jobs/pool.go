@@ -2,12 +2,15 @@ package jobs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	spectral "repro"
+	"repro/internal/journal"
 	"repro/internal/resilience"
 	"repro/internal/speccache"
 	"repro/internal/trace"
@@ -28,6 +31,26 @@ type Config struct {
 	// queries; the oldest finished jobs are forgotten first. Default
 	// 1024.
 	MaxJobs int
+	// MaxQueueWait, when positive, bounds how long a job may sit queued
+	// before a worker picks it up; a job exceeding it fails instead of
+	// running against a deadline it has already blown. Default 0 (no
+	// bound).
+	MaxQueueWait time.Duration
+	// ShedPolicy selects what admission control does under sustained
+	// queue pressure. Default ShedNone.
+	ShedPolicy ShedPolicy
+	// Journal, when set, makes the pool durable: accepted jobs and
+	// their terminal states are logged so a restarted daemon can replay
+	// them (see Restore). Default nil (no durability).
+	Journal *journal.Journal
+	// EigenPolicy configures the eigensolver resilience ladder for the
+	// pool's decompositions; the zero value selects the library
+	// defaults. The chaos harness injects deterministic fault plans
+	// through it.
+	EigenPolicy resilience.EigenPolicy
+	// CompactEvery is the number of journaled terminal transitions
+	// between automatic journal compactions. Default 1024.
+	CompactEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -46,6 +69,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
+	if c.CompactEvery <= 0 {
+		c.CompactEvery = 1024
+	}
 	return c
 }
 
@@ -62,6 +88,18 @@ type Stats struct {
 	QueueDepth, QueueCapacity, Workers        int
 	Cache                                     speccache.Stats
 	QueueWait, Spectrum, Solve                StageStats
+	// Shed reports the admission controller's state and counters.
+	Shed ShedStats
+	// JournalErrors counts journal appends that failed (durable or
+	// buffered); nonzero means the next compaction must succeed before
+	// new work is durable again.
+	JournalErrors uint64
+	// Panics counts jobs that crashed the pipeline and were isolated
+	// (the job failed; the worker survived).
+	Panics uint64
+	// RetryAfterSeconds is the current backoff hint quoted to rejected
+	// clients.
+	RetryAfterSeconds float64
 }
 
 // Pool runs jobs on a fixed set of workers fed by a bounded FIFO queue.
@@ -82,16 +120,28 @@ type Pool struct {
 	// wrapping the pipeline, whose own spans nest beneath it.
 	tracer *trace.Tracer
 
-	mu        sync.Mutex
-	jobs      map[string]*Job
-	order     []string // insertion order, for bounded retention
-	seq       int
-	closed    bool
-	submitted uint64
-	rejected  uint64
-	waitAgg   StageStats
-	specAgg   StageStats
-	solveAgg  StageStats
+	// jnl, when non-nil, receives lifecycle records (see durable.go);
+	// shed and lat feed admission control (see overload.go).
+	jnl  *journal.Journal
+	shed *shedder
+	lat  latRing
+
+	mu            sync.Mutex
+	jobs          map[string]*Job
+	order         []string // insertion order, for bounded retention
+	seq           int
+	closed        bool
+	submitted     uint64
+	rejected      uint64
+	panics        uint64
+	journalErrors uint64
+	finishSince   int  // terminal records since the last compaction
+	compacting    bool // a compaction is in flight
+	restored      *RestoreStats
+	snapshotExtra func() []journal.Record
+	waitAgg       StageStats
+	specAgg       StageStats
+	solveAgg      StageStats
 }
 
 // NewPool creates a stopped pool; call Start to launch the workers.
@@ -105,6 +155,8 @@ func NewPool(cfg Config) *Pool {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
+		jnl:        cfg.Journal,
+		shed:       newShedder(cfg.ShedPolicy, cfg.QueueDepth),
 	}
 	p.runFn = p.run
 	return p
@@ -126,7 +178,10 @@ func (p *Pool) Cache() *speccache.Cache { return p.cache }
 func (p *Pool) SetTracer(t *trace.Tracer) { p.tracer = t }
 
 // Submit validates and enqueues a request. It never blocks: a full
-// queue returns ErrQueueFull, a shut-down pool ErrShuttingDown.
+// queue returns ErrQueueFull, a shut-down pool ErrShuttingDown. On a
+// durable pool the job is journaled before Submit returns — an error
+// wrapping ErrJournal means the job was not durably accepted and the
+// caller must not acknowledge it.
 func (p *Pool) Submit(req Request) (*Job, error) {
 	if req.Netlist == nil {
 		return nil, fmt.Errorf("jobs: nil netlist")
@@ -158,20 +213,40 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 	}
 
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
+
+	// Admission control: under sustained pressure, degrade the job to a
+	// cheaper decomposition or reject it outright (see overload.go).
+	var shedFromD int
+	if p.shed.observe(len(p.queue)) {
+		switch p.cfg.ShedPolicy {
+		case ShedReject:
+			p.rejected++
+			p.mu.Unlock()
+			p.shed.noteRejected()
+			return nil, ErrQueueFull
+		case ShedDegrade:
+			req, shedFromD = degradeRequest(req)
+			if shedFromD != 0 {
+				p.shed.noteDegraded()
+			}
+		}
+	}
+
 	p.seq++
-	ctx, cancel := context.WithCancel(p.baseCtx)
+	ctx, cancel := p.jobContext(req)
 	j := &Job{
-		id:      fmt.Sprintf("job-%06d", p.seq),
-		req:     req,
-		ctx:     ctx,
-		cancel:  cancel,
-		state:   Pending,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		id:        fmt.Sprintf("job-%06d", p.seq),
+		req:       req,
+		ctx:       ctx,
+		cancel:    cancel,
+		shedFromD: shedFromD,
+		state:     Pending,
+		created:   time.Now(),
+		done:      make(chan struct{}),
 	}
 	select {
 	case p.queue <- j:
@@ -179,12 +254,66 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 		p.order = append(p.order, j.id)
 		p.submitted++
 		p.retainLocked()
-		return j, nil
 	default:
 		cancel()
 		p.rejected++
+		p.mu.Unlock()
 		return nil, ErrQueueFull
 	}
+	p.mu.Unlock()
+
+	// Journal outside the pool lock: the durable append fsyncs, and an
+	// fsync must never serialize submissions behind it. On failure the
+	// job is cancelled (a worker will retire it) and the client sees an
+	// error instead of an unackable acceptance.
+	if err := p.journalSubmit(j); err != nil {
+		j.cancel()
+		return nil, err
+	}
+	return j, nil
+}
+
+// jobContext derives a job's context from the pool's base context,
+// anchoring the request deadline (which covers queue wait) at
+// submission time.
+func (p *Pool) jobContext(req Request) (context.Context, context.CancelFunc) {
+	if req.Timeout > 0 {
+		return context.WithTimeout(p.baseCtx, req.Timeout)
+	}
+	return context.WithCancel(p.baseCtx)
+}
+
+// degradeRequest lowers the eigenvector count of a sheddable request,
+// returning the possibly-modified request and the original d (0 when
+// nothing changed). Requests whose method takes no spectrum pass
+// through untouched — there is no d to shed.
+func degradeRequest(req Request) (Request, int) {
+	switch req.Kind {
+	case KindOrder:
+		if nd, ok := degradeD(req.D); ok {
+			orig := req.D
+			req.D = nd
+			return req, effectiveD(orig)
+		}
+	case KindPartition:
+		if spec := req.Opts.SpectrumSpec(); spec.Needed {
+			if nd, ok := degradeD(req.Opts.D); ok {
+				orig := req.Opts.D
+				req.Opts.D = nd
+				return req, effectiveD(orig)
+			}
+		}
+	}
+	return req, 0
+}
+
+// effectiveD maps the "use the default" spelling d=0 to the default it
+// selects, so shedFromD records what the client would have gotten.
+func effectiveD(d int) int {
+	if d <= 0 {
+		return 10
+	}
+	return d
 }
 
 // retainLocked forgets the oldest finished jobs beyond MaxJobs. Pending
@@ -242,6 +371,9 @@ func (p *Pool) Cancel(id string) bool {
 	if !ok || isTerminal(j.State()) {
 		return false
 	}
+	// Buffered, not durable: losing a cancel record across a crash only
+	// re-runs a job the client no longer wants — wasteful, not wrong.
+	p.appendJournal(journal.Record{Type: journal.TypeCancel, ID: id, UnixNS: time.Now().UnixNano()})
 	j.cancel()
 	return true
 }
@@ -271,6 +403,17 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 		p.baseCancel() // cancel running and queued jobs
+		// Workers may be stuck in long solves that take time to observe
+		// the cancellation, leaving queued jobs no worker will retire
+		// before Shutdown must return. Drain them here: the queue channel
+		// is closed, so this range terminates, and channel semantics
+		// guarantee each job is retired exactly once (either by a worker
+		// or by this loop).
+		for j := range p.queue {
+			st := j.finish(nil, context.Canceled, true, time.Now())
+			j.cancel()
+			p.journalFinish(j, st, nil, context.Canceled)
+		}
 		<-drained
 	}
 	p.baseCancel()
@@ -281,14 +424,18 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	s := Stats{
-		Submitted:     p.submitted,
-		Rejected:      p.rejected,
-		QueueDepth:    len(p.queue),
-		QueueCapacity: p.cfg.QueueDepth,
-		Workers:       p.cfg.Workers,
-		QueueWait:     p.waitAgg,
-		Spectrum:      p.specAgg,
-		Solve:         p.solveAgg,
+		Submitted:         p.submitted,
+		Rejected:          p.rejected,
+		QueueDepth:        len(p.queue),
+		QueueCapacity:     p.cfg.QueueDepth,
+		Workers:           p.cfg.Workers,
+		QueueWait:         p.waitAgg,
+		Spectrum:          p.specAgg,
+		Solve:             p.solveAgg,
+		JournalErrors:     p.journalErrors,
+		Panics:            p.panics,
+		Shed:              p.shed.stats(),
+		RetryAfterSeconds: RetryAfter(len(p.queue), p.cfg.Workers, p.lat.p50()).Seconds(),
 	}
 	jobs := make([]*Job, 0, len(p.jobs))
 	for _, j := range p.jobs {
@@ -323,8 +470,22 @@ func (p *Pool) worker() {
 func (p *Pool) execute(j *Job) {
 	now := time.Now()
 	if err := j.ctx.Err(); err != nil {
-		// Cancelled (or the pool shut down) while queued.
-		j.finish(nil, err, true, now)
+		// Cancelled, deadline-expired, or the pool shut down while
+		// queued. A blown deadline is a failure, not a cancellation: the
+		// client asked for the work, the daemon ran out of time.
+		st := j.finish(nil, err, errors.Is(err, context.Canceled), now)
+		j.cancel() // release the deadline timer, if any
+		p.journalFinish(j, st, nil, err)
+		return
+	}
+	if w := p.cfg.MaxQueueWait; w > 0 && now.Sub(j.created) > w {
+		err := fmt.Errorf("jobs: queued %v, exceeding max queue wait %v", now.Sub(j.created).Round(time.Millisecond), w)
+		st := j.finish(nil, err, false, now)
+		j.cancel()
+		p.journalFinish(j, st, nil, err)
+		if p.tracer != nil {
+			p.tracer.Add("jobs.queue-wait-exceeded", 1)
+		}
 		return
 	}
 	ctx := j.ctx
@@ -338,15 +499,19 @@ func (p *Pool) execute(j *Job) {
 	_, qspan := trace.StartAt(ctx, "job.queue", j.created)
 	qspan.End()
 	j.markStarted(now)
+	p.appendJournal(journal.Record{Type: journal.TypeStart, ID: j.id, UnixNS: now.UnixNano()})
 	rctx, rspan := trace.Start(ctx, "job.run")
-	res, err := p.runFn(rctx, j)
+	res, err := p.runJobIsolated(rctx, j)
 	rspan.End()
-	cancelled := err != nil && resilience.IsContextError(err)
+	p.lat.add(time.Since(now))
+	cancelled := err != nil && resilience.IsContextError(err) && !errors.Is(err, context.DeadlineExceeded)
 	if err != nil {
 		jspan.Annotate(trace.Str("error", err.Error()))
 	}
 	jspan.End()
-	j.finish(res, err, cancelled, time.Now())
+	st := j.finish(res, err, cancelled, time.Now())
+	j.cancel()
+	p.journalFinish(j, st, res, err)
 	p.mu.Lock()
 	j.mu.Lock()
 	p.waitAgg.Count++
@@ -357,6 +522,25 @@ func (p *Pool) execute(j *Job) {
 	p.solveAgg.TotalSeconds += j.solveDur.Seconds()
 	j.mu.Unlock()
 	p.mu.Unlock()
+}
+
+// runJobIsolated runs the job's work with panic isolation: a panic that
+// escapes the pipeline (the façade recovers its own, but test seams and
+// future kinds may not) fails the job instead of killing the worker —
+// one poisoned job must not take down the daemon's capacity.
+func (p *Pool) runJobIsolated(ctx context.Context, j *Job) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("jobs: job %s panicked: %v\n%s", j.id, r, debug.Stack())
+			p.mu.Lock()
+			p.panics++
+			p.mu.Unlock()
+			if p.tracer != nil {
+				p.tracer.Add("jobs.panics", 1)
+			}
+		}
+	}()
+	return p.runFn(ctx, j)
 }
 
 // run executes one job through the façade with spectrum reuse.
@@ -420,7 +604,7 @@ func (p *Pool) spectrum(ctx context.Context, j *Job, spec spectral.SpectrumSpec)
 		// Detach from the job's cancellation but keep its trace: the
 		// decompose spans nest under this job's cache.lookup span even
 		// though the compute outlives the job on purpose.
-		sp, err := spectral.DecomposeCtx(trace.Adopt(p.baseCtx, cctx), j.req.Netlist, spec.Model, spec.D)
+		sp, err := spectral.DecomposeCtxPolicy(trace.Adopt(p.baseCtx, cctx), j.req.Netlist, spec.Model, spec.D, p.cfg.EigenPolicy)
 		if err != nil {
 			return speccache.Entry{}, err
 		}
@@ -428,6 +612,14 @@ func (p *Pool) spectrum(ctx context.Context, j *Job, spec spectral.SpectrumSpec)
 	})
 	if err != nil {
 		return nil, false, err
+	}
+	if !hit {
+		// Warm-restart hint: after a crash, replay prewarms this
+		// decomposition so the cache recovers along with the queue.
+		p.appendJournal(journal.Record{
+			Type: journal.TypeSpectrum, Hash: key.Hash, Model: key.Model,
+			Pairs: entry.Pairs, UnixNS: time.Now().UnixNano(),
+		})
 	}
 	return entry.Value.(*spectral.Spectrum), hit, nil
 }

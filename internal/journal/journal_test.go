@@ -1,0 +1,385 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, opts Options) (*Journal, *ReplayResult) {
+	t.Helper()
+	j, rep, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j, rep
+}
+
+func submitRec(id, hash string) Record {
+	return Record{Type: TypeSubmit, ID: id, Hash: hash, Spec: &JobSpec{Kind: "partition", Method: "melo", K: 2, D: 10}}
+}
+
+func finishRec(id, state string) Record {
+	return Record{Type: TypeFinish, ID: id, State: state, Result: json.RawMessage(`{"k":2}`)}
+}
+
+// Round trip: everything appended before a clean close replays, with
+// job records folded to their latest state.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rep := openT(t, dir, Options{})
+	if len(rep.Jobs) != 0 || len(rep.Netlists) != 0 {
+		t.Fatalf("fresh dir replayed state: %+v", rep)
+	}
+	if err := j.AppendNetlist("sha256:aa", "prim1", []byte("net n1 a b\n"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate netlist appends are deduplicated.
+	if err := j.AppendNetlist("sha256:aa", "prim1", []byte("net n1 a b\n"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendDurable(submitRec("job-000001", "sha256:aa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeStart, ID: "job-000001"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendDurable(finishRec("job-000001", StateDone)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendDurable(submitRec("job-000002", "sha256:aa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeCancel, ID: "job-000002"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeSpectrum, Hash: "sha256:aa", Model: "partitioning-specific", Pairs: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rep = openT(t, dir, Options{})
+	if got := len(rep.Netlists); got != 1 {
+		t.Fatalf("netlists = %d, want 1", got)
+	}
+	if len(rep.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(rep.Jobs))
+	}
+	j1, j2 := rep.Jobs[0], rep.Jobs[1]
+	if j1.ID != "job-000001" || j1.State != StateDone || string(j1.Result) != `{"k":2}` {
+		t.Errorf("job 1 replay: %+v", j1)
+	}
+	if j1.Spec == nil || j1.Spec.Method != "melo" || j1.Spec.D != 10 {
+		t.Errorf("job 1 spec: %+v", j1.Spec)
+	}
+	if j2.State != StatePending || !j2.CancelRequested {
+		t.Errorf("job 2 replay: state=%s cancelRequested=%v", j2.State, j2.CancelRequested)
+	}
+	if len(rep.Hints) != 1 || rep.Hints[0].Pairs != 11 {
+		t.Errorf("hints: %+v", rep.Hints)
+	}
+	if rep.Stats.CorruptRecords != 0 || rep.Stats.TornSegments != 0 {
+		t.Errorf("clean journal reported damage: %+v", rep.Stats)
+	}
+}
+
+// A torn tail (crash mid-write) truncates, warns, and keeps every
+// record before the tear. Boot is never refused.
+func TestTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{})
+	if err := j.AppendDurable(submitRec("job-000001", "h")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendDurable(submitRec("job-000002", "h")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, drop := range []int{1, 5, 9} { // torn payload, torn payload, torn header
+		t.Run(fmt.Sprintf("drop%d", drop), func(t *testing.T) {
+			dir2 := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir2, segName(1)), data[:len(data)-drop], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, rep := openT(t, dir2, Options{})
+			if len(rep.Jobs) != 1 || rep.Jobs[0].ID != "job-000001" {
+				t.Fatalf("replayed jobs: %+v", rep.Jobs)
+			}
+			if rep.Stats.TornSegments != 1 || rep.Stats.TruncatedBytes == 0 {
+				t.Errorf("stats: %+v", rep.Stats)
+			}
+			if len(rep.Stats.Warnings) == 0 {
+				t.Error("no warning recorded for torn tail")
+			}
+		})
+	}
+}
+
+// A corrupt record (bit flip under the CRC) truncates that segment at
+// the damage point and continues with later segments.
+func TestCorruptRecordTruncatesSegmentOnly(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{SegmentBytes: 1}) // rotate after every record
+	if err := j.AppendDurable(submitRec("job-000001", "h")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendDurable(submitRec("job-000002", "h")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendDurable(finishRec("job-000002", StateFailed)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte in the second record's segment.
+	seg := filepath.Join(dir, segName(2))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(segMagic)+12] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rep := openT(t, dir, Options{})
+	if rep.Stats.CorruptRecords == 0 {
+		t.Fatalf("corruption not detected: %+v", rep.Stats)
+	}
+	// Job 1 (earlier segment) and job 2's finish (later segment) survive;
+	// job 2's submit is the sacrificed record, so it appears
+	// finish-only.
+	var ids []string
+	for _, jr := range rep.Jobs {
+		ids = append(ids, jr.ID+":"+jr.State)
+	}
+	want := map[string]string{"job-000001": StatePending, "job-000002": StateFailed}
+	if len(rep.Jobs) != 2 {
+		t.Fatalf("jobs after corruption: %v", ids)
+	}
+	for _, jr := range rep.Jobs {
+		if want[jr.ID] != jr.State {
+			t.Errorf("job %s state %s, want %s", jr.ID, jr.State, want[jr.ID])
+		}
+	}
+	if rep.Jobs[1].Spec != nil {
+		t.Errorf("job 2 spec should be lost to corruption, got %+v", rep.Jobs[1].Spec)
+	}
+}
+
+// Segments rotate at the size threshold and replay across generations.
+func TestRotationAndReplayAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{SegmentBytes: 256})
+	for i := 1; i <= 20; i++ {
+		if err := j.AppendDurable(submitRec(fmt.Sprintf("job-%06d", i), "h")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := j.Stats()
+	if st.Rotations == 0 || st.Segments < 2 {
+		t.Fatalf("expected rotations, got %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := openT(t, dir, Options{})
+	if len(rep.Jobs) != 20 {
+		t.Fatalf("replayed %d jobs, want 20", len(rep.Jobs))
+	}
+	// First-seen order is submission order.
+	for i, jr := range rep.Jobs {
+		if want := fmt.Sprintf("job-%06d", i+1); jr.ID != want {
+			t.Fatalf("jobs[%d] = %s, want %s", i, jr.ID, want)
+		}
+	}
+}
+
+// Rewrite folds live state into one segment and deletes the old
+// generation; a subsequent replay sees exactly the rewritten records.
+func TestRewriteCompacts(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{SegmentBytes: 256})
+	for i := 1; i <= 12; i++ {
+		id := fmt.Sprintf("job-%06d", i)
+		if err := j.AppendDurable(submitRec(id, "h")); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.AppendDurable(finishRec(id, StateDone)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Rewrite([]Record{
+		{Type: TypeNetlist, Hash: "h", Netlist: []byte("net n a b\n")},
+		submitRec("job-000012", "h"),
+		finishRec("job-000012", StateDone),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Compactions != 1 || st.Segments != 1 {
+		t.Fatalf("stats after rewrite: %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 { // Rewrite folds everything into exactly one segment
+		t.Fatalf("segments on disk: %v", names)
+	}
+	_, rep := openT(t, dir, Options{})
+	if len(rep.Jobs) != 1 || rep.Jobs[0].ID != "job-000012" || rep.Jobs[0].State != StateDone {
+		t.Fatalf("replay after compaction: %+v", rep.Jobs)
+	}
+	if _, ok := rep.Netlist("h"); !ok {
+		t.Error("netlist lost in compaction")
+	}
+}
+
+// failFile injects a write error on the nth Write call.
+type failFile struct {
+	f      File
+	writes int
+	failAt int
+}
+
+func (f *failFile) Write(p []byte) (int, error) {
+	f.writes++
+	if f.failAt > 0 && f.writes >= f.failAt {
+		return 0, errors.New("injected write error")
+	}
+	return f.f.Write(p)
+}
+func (f *failFile) Sync() error  { return f.f.Sync() }
+func (f *failFile) Close() error { return f.f.Close() }
+
+// A failed write leaves the journal sticky-failed — durable appends
+// refuse to lie — until a Rewrite recovers it onto a fresh segment.
+func TestWriteErrorIsStickyUntilRewrite(t *testing.T) {
+	dir := t.TempDir()
+	var ff *failFile
+	opts := Options{OpenFile: func(path string) (File, error) {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		ff = &failFile{f: f}
+		return ff, nil
+	}}
+	j, _ := openT(t, dir, opts)
+	if err := j.AppendDurable(submitRec("job-000001", "h")); err != nil {
+		t.Fatal(err)
+	}
+	ff.failAt = ff.writes + 1
+	if err := j.AppendDurable(submitRec("job-000002", "h")); err == nil {
+		t.Fatal("append through failing file succeeded")
+	}
+	ff.failAt = 0
+	if err := j.AppendDurable(submitRec("job-000003", "h")); err == nil {
+		t.Fatal("sticky error cleared without Rewrite")
+	}
+	if j.Err() == nil {
+		t.Fatal("Err() nil after failure")
+	}
+	if err := j.Rewrite([]Record{submitRec("job-000001", "h")}); err != nil {
+		t.Fatalf("Rewrite recovery: %v", err)
+	}
+	if err := j.AppendDurable(submitRec("job-000004", "h")); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if st := j.Stats(); st.WriteErrors == 0 {
+		t.Error("write error not counted")
+	}
+}
+
+// Group commit: concurrent durable appends all land, and the fsync
+// count stays well below one per append.
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{})
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = j.AppendDurable(submitRec(fmt.Sprintf("job-%06d", i+1), "h"))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	st := j.Stats()
+	if st.Appends != n {
+		t.Fatalf("appends = %d, want %d", st.Appends, n)
+	}
+	t.Logf("group commit: %d appends, %d fsyncs", st.Appends, st.Syncs)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := openT(t, dir, Options{})
+	if len(rep.Jobs) != n {
+		t.Fatalf("replayed %d jobs, want %d", len(rep.Jobs), n)
+	}
+}
+
+// A finish record arriving before its submit (the buffered/durable
+// write race around a crash) still folds into a terminal job.
+func TestFoldOrderTolerance(t *testing.T) {
+	res := newReplayResult()
+	res.fold(finishRec("job-000007", StateDone))
+	res.fold(Record{Type: TypeStart, ID: "job-000007"})
+	res.fold(submitRec("job-000007", "h"))
+	if len(res.Jobs) != 1 {
+		t.Fatalf("jobs: %+v", res.Jobs)
+	}
+	jr := res.Jobs[0]
+	if jr.State != StateDone || jr.Spec == nil || jr.Hash != "h" {
+		t.Fatalf("folded job: %+v", jr)
+	}
+	// A second terminal record is counted, not applied.
+	res.fold(finishRec("job-000007", StateFailed))
+	if jr.State != StateDone || res.Stats.DuplicateTerm != 1 {
+		t.Fatalf("duplicate terminal handling: state=%s stats=%+v", jr.State, res.Stats)
+	}
+}
+
+// Implausible record lengths are treated as corruption, not allocated.
+func TestImplausibleLengthIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	data := []byte(segMagic)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(maxRecordBytes+1))
+	data = append(data, hdr[:]...)
+	data = append(data, []byte("xxxxxxxxxxxxxxxx")...)
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := openT(t, dir, Options{})
+	if rep.Stats.CorruptRecords == 0 {
+		t.Fatalf("implausible length not flagged: %+v", rep.Stats)
+	}
+}

@@ -50,7 +50,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("spectrald_spectrum_cache_hits_total", "Jobs served by a cached eigendecomposition.", st.Cache.Hits)
 	counter("spectrald_spectrum_cache_misses_total", "Eigendecompositions computed (cache misses).", st.Cache.Misses)
 	counter("spectrald_spectrum_cache_evictions_total", "Cached decompositions evicted by the LRU bound.", st.Cache.Evictions)
+	counter("spectrald_spectrum_cache_warm_hints_total", "Decompositions prewarmed from journal replay hints.", st.Cache.WarmHints)
 	gauge("spectrald_spectrum_cache_entries", "Decompositions currently cached.", st.Cache.Entries)
+
+	// Overload control and crash safety.
+	gauge("spectrald_retry_after_seconds", "Current backoff hint quoted to rejected submissions.", st.RetryAfterSeconds)
+	boolGauge := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(&b, "# HELP spectrald_shedding Whether admission control is actively shedding (policy %q).\n# TYPE spectrald_shedding gauge\nspectrald_shedding %d\n",
+		st.Shed.Policy, boolGauge(st.Shed.Active))
+	counter("spectrald_shed_degraded_total", "Jobs admitted with a degraded eigenvector count.", st.Shed.Degraded)
+	counter("spectrald_shed_rejected_total", "Jobs rejected by load shedding before the queue filled.", st.Shed.Rejected)
+	counter("spectrald_shed_trips_total", "Transitions of the shedder into the active state.", st.Shed.Trips)
+	counter("spectrald_job_panics_total", "Jobs that panicked and were isolated.", st.Panics)
+	counter("spectrald_journal_append_errors_total", "Journal appends that failed.", st.JournalErrors)
+
+	if jnl := s.pool.Journal(); jnl != nil {
+		js := jnl.Stats()
+		counter("spectrald_journal_appends_total", "Records appended to the job journal.", js.Appends)
+		counter("spectrald_journal_syncs_total", "fsync batches flushed by the journal.", js.Syncs)
+		counter("spectrald_journal_rotations_total", "Journal segment rotations.", js.Rotations)
+		counter("spectrald_journal_compactions_total", "Journal compactions (rewrites).", js.Compactions)
+		counter("spectrald_journal_bytes_appended_total", "Bytes appended to the journal.", js.BytesAppended)
+		gauge("spectrald_journal_segments", "Journal segments currently on disk.", js.Segments)
+	}
+	if rs := s.pool.RestoreStatsSnapshot(); rs != nil {
+		gauge("spectrald_replay_jobs_reenqueued", "Jobs re-enqueued by the last journal replay.", rs.Reenqueued)
+		gauge("spectrald_replay_jobs_recovered_terminal", "Terminal jobs recovered by the last journal replay.", rs.RecoveredTerminal)
+		gauge("spectrald_replay_jobs_cancelled", "Jobs cancelled on replay (pre-crash cancel honoured).", rs.CancelledOnReplay)
+		gauge("spectrald_replay_jobs_failed", "Jobs failed on replay (unrecoverable).", rs.FailedOnReplay)
+		gauge("spectrald_replay_corrupt_records", "Corrupt journal records skipped by the last replay.", rs.Replay.CorruptRecords)
+		gauge("spectrald_replay_torn_segments", "Journal segments with torn tails truncated by the last replay.", rs.Replay.TornSegments)
+		gauge("spectrald_replay_truncated_bytes", "Journal bytes dropped as damaged by the last replay.", rs.Replay.TruncatedBytes)
+	}
 
 	fmt.Fprintf(&b, "# HELP spectrald_stage_seconds Cumulative per-stage latency of finished jobs.\n# TYPE spectrald_stage_seconds summary\n")
 	for _, sc := range []struct {

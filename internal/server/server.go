@@ -21,10 +21,13 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,6 +35,7 @@ import (
 
 	spectral "repro"
 	"repro/internal/jobs"
+	"repro/internal/journal"
 	"repro/internal/speccache"
 	"repro/internal/trace"
 )
@@ -84,7 +88,9 @@ type Server struct {
 	netOrder []string // insertion order for eviction
 }
 
-// New wires a server over a started pool.
+// New wires a server over a pool (started, or about to be). When the
+// pool is durable, uploaded netlists are journaled and included in
+// journal compactions so a restarted daemon can serve the same hashes.
 func New(pool *jobs.Pool, cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg.withDefaults(),
@@ -92,6 +98,9 @@ func New(pool *jobs.Pool, cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		netlists: make(map[string]*storedNetlist),
+	}
+	if pool.Journal() != nil {
+		pool.SetSnapshotExtra(s.snapshotNetlists)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -189,6 +198,17 @@ func (s *Server) handlePostNetlist(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.store(name, h)
+	// Journal the upload before acknowledging it: a client that got a
+	// 201 must find the hash usable after a daemon restart.
+	if jnl := s.pool.Journal(); jnl != nil {
+		var buf bytes.Buffer
+		if err := spectral.SaveNetlist(&buf, name, h); err == nil {
+			if err := jnl.AppendNetlist(st.Hash, name, buf.Bytes(), time.Now().UnixNano()); err != nil {
+				writeError(w, http.StatusServiceUnavailable, "journal unavailable: %v", err)
+				return
+			}
+		}
+	}
 	writeJSON(w, http.StatusCreated, st)
 }
 
@@ -219,6 +239,42 @@ func (s *Server) store(name string, h *spectral.Netlist) *storedNetlist {
 		delete(s.netlists, oldest)
 	}
 	return st
+}
+
+// AdoptNetlists installs netlists recovered by a journal replay (see
+// jobs.Pool.Restore) into the content-addressed store, so clients can
+// reference pre-crash hashes immediately after a restart. Call before
+// serving.
+func (s *Server) AdoptNetlists(nets map[string]jobs.RestoredNetlist) {
+	for _, rn := range nets {
+		s.store(rn.Name, rn.Netlist)
+	}
+}
+
+// snapshotNetlists contributes the store's contents to journal
+// compactions: a stored netlist must survive a compaction even when no
+// live job references it.
+func (s *Server) snapshotNetlists() []journal.Record {
+	s.mu.Lock()
+	stored := make([]*storedNetlist, 0, len(s.netOrder))
+	for _, hash := range s.netOrder {
+		if st, ok := s.netlists[hash]; ok {
+			stored = append(stored, st)
+		}
+	}
+	s.mu.Unlock()
+	recs := make([]journal.Record, 0, len(stored))
+	for _, st := range stored {
+		var buf bytes.Buffer
+		if err := spectral.SaveNetlist(&buf, st.Name, st.h); err != nil {
+			continue
+		}
+		recs = append(recs, journal.Record{
+			Type: journal.TypeNetlist, Hash: st.Hash, Name: st.Name,
+			Netlist: buf.Bytes(), UnixNS: st.Stored.UnixNano(),
+		})
+	}
+	return recs
 }
 
 func (s *Server) lookup(hash string) (*storedNetlist, bool) {
@@ -265,6 +321,31 @@ type jobRequest struct {
 	Scheme  int     `json:"scheme"`
 	MinFrac float64 `json:"minFrac"`
 	Refine  bool    `json:"refine"`
+	// Timeout is the job's end-to-end deadline (queue wait included) as
+	// a Go duration string, e.g. "30s". The Spectrald-Timeout request
+	// header is an alternative spelling; the body field wins when both
+	// are set. Empty means no deadline.
+	Timeout string `json:"timeout"`
+}
+
+// parseTimeout resolves the request deadline from the body field or the
+// Spectrald-Timeout header.
+func parseTimeout(req jobRequest, r *http.Request) (time.Duration, error) {
+	raw := req.Timeout
+	if raw == "" {
+		raw = r.Header.Get("Spectrald-Timeout")
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad timeout %q: %v", raw, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("bad timeout %q: must be positive", raw)
+	}
+	return d, nil
 }
 
 func (s *Server) handlePostJob(w http.ResponseWriter, r *http.Request) {
@@ -282,7 +363,12 @@ func (s *Server) handlePostJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown netlist %q (upload it via POST /v1/netlists first)", req.Netlist)
 		return
 	}
-	jr := jobs.Request{Netlist: st.h, Hash: st.Hash}
+	timeout, err := parseTimeout(req, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	jr := jobs.Request{Netlist: st.h, Hash: st.Hash, Timeout: timeout}
 	switch req.Kind {
 	case "", "partition":
 		jr.Kind = jobs.KindPartition
@@ -314,11 +400,24 @@ func (s *Server) handlePostJob(w http.ResponseWriter, r *http.Request) {
 	j, err := s.pool.Submit(jr)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "queue full, retry later")
+		// Derived backoff: queued work ahead of the client in
+		// worker-widths times the median recent job duration (see
+		// jobs.RetryAfter), instead of a hard-coded constant.
+		retry := s.pool.RetryAfter()
+		secs := int(math.Ceil(retry.Seconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":             "queue full, retry later",
+			"retryAfterSeconds": secs,
+		})
 		return
 	case errors.Is(err, jobs.ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	case errors.Is(err, jobs.ErrJournal):
+		// The job could not be made durable, so it was not accepted;
+		// the client must not treat it as submitted.
+		writeError(w, http.StatusServiceUnavailable, "journal unavailable: %v", err)
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, "%v", err)

@@ -97,20 +97,24 @@ type Entry struct {
 // Stats reports cache effectiveness counters.
 type Stats struct {
 	Hits, Misses, Evictions uint64
-	Entries                 int
+	// WarmHints counts keys announced via MarkExpected — decompositions
+	// a journal replay said were cached before a restart.
+	WarmHints uint64
+	Entries   int
 }
 
 // Cache is a bounded content-addressed LRU of eigendecompositions.
 // Safe for concurrent use.
 type Cache struct {
-	mu       sync.Mutex
-	max      int
-	ll       *list.List // MRU at front; values are *slot
-	items    map[Key]*list.Element
-	inflight map[Key]*call
-	hits     uint64
-	misses   uint64
-	evicted  uint64
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // MRU at front; values are *slot
+	items     map[Key]*list.Element
+	inflight  map[Key]*call
+	hits      uint64
+	misses    uint64
+	evicted   uint64
+	warmHints uint64
 }
 
 type slot struct {
@@ -251,6 +255,17 @@ func (c *Cache) store(key Key, e Entry) {
 	}
 }
 
+// MarkExpected announces that key is about to be recomputed as part of
+// a warm restart (the journal recorded it as cached before a crash).
+// It only counts the hint — the caller still runs GetOrCompute, whose
+// singleflight coalesces the prewarm with any re-enqueued job needing
+// the same decomposition.
+func (c *Cache) MarkExpected(key Key) {
+	c.mu.Lock()
+	c.warmHints++
+	c.mu.Unlock()
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()
@@ -262,5 +277,5 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evicted, Entries: c.ll.Len()}
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evicted, WarmHints: c.warmHints, Entries: c.ll.Len()}
 }

@@ -196,6 +196,134 @@ func TestWaiterCancellation(t *testing.T) {
 	close(release)
 }
 
+// TestWinnerCancelledMidFlight pins the singleflight contract the jobs
+// pool relies on when the job that won the compute is cancelled while
+// followers wait on it. Two computes exist in practice:
+//
+//   - a cooperative compute aborts with the winner's ctx error, which
+//     is shared with every follower and never cached (a later request
+//     recomputes), and
+//   - the pool's detached compute (see jobs.Pool.spectrum) ignores the
+//     winner's cancellation, so the cancelled winner still delivers
+//     the decomposition to its followers and to the cache.
+func TestWinnerCancelledMidFlight(t *testing.T) {
+	t.Run("cooperative-compute-shares-the-cancellation", func(t *testing.T) {
+		c := New(4)
+		key := Key{Hash: "sha256:winner-coop", Model: "standard"}
+		winnerCtx, cancelWinner := context.WithCancel(context.Background())
+		inCompute := make(chan struct{})
+		winnerCompute := func(cctx context.Context) (Entry, error) {
+			close(inCompute)
+			<-cctx.Done() // the winning job's cancellation reaches the compute
+			return Entry{}, cctx.Err()
+		}
+
+		winnerErr := make(chan error, 1)
+		go func() {
+			_, _, err := c.GetOrCompute(winnerCtx, key, 3, winnerCompute)
+			winnerErr <- err
+		}()
+		<-inCompute
+
+		// Followers pile on. A follower that joins the cohort shares the
+		// winner's error; one that arrives after the cohort dissolved
+		// becomes a new winner and computes for itself — both are legal,
+		// neither may hang or observe a cached error.
+		var computes atomic.Int64
+		followerCompute := func(context.Context) (Entry, error) {
+			computes.Add(1)
+			return Entry{Value: "fresh", Pairs: 3}, nil
+		}
+		const followers = 4
+		errs := make([]error, followers)
+		var wg sync.WaitGroup
+		for i := 0; i < followers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, _, errs[i] = c.GetOrCompute(context.Background(), key, 3, followerCompute)
+			}(i)
+		}
+		time.Sleep(5 * time.Millisecond) // let followers reach the in-flight wait
+		cancelWinner()
+		wg.Wait()
+		if err := <-winnerErr; err != context.Canceled {
+			t.Errorf("winner err = %v, want context.Canceled", err)
+		}
+		for i, err := range errs {
+			if err != nil && err != context.Canceled {
+				t.Errorf("follower %d: err = %v, want nil or context.Canceled", i, err)
+			}
+		}
+		// The cancellation must not be cached: the next request computes
+		// (or hits a follower's fresh entry), never sees the stale error.
+		entry, _, err := c.GetOrCompute(context.Background(), key, 3, followerCompute)
+		if err != nil || entry.Pairs != 3 {
+			t.Errorf("post-cancel request: entry=%+v err=%v", entry, err)
+		}
+	})
+
+	t.Run("detached-compute-still-feeds-followers", func(t *testing.T) {
+		c := New(4)
+		key := Key{Hash: "sha256:winner-detached", Model: "standard"}
+		winnerCtx, cancelWinner := context.WithCancel(context.Background())
+		inCompute := make(chan struct{})
+		release := make(chan struct{})
+		var computes atomic.Int64
+		// The pool's compute: detached from the job's cancellation, it
+		// runs to completion no matter what happens to the winner.
+		detached := func(context.Context) (Entry, error) {
+			computes.Add(1)
+			close(inCompute)
+			<-release
+			return Entry{Value: "spectrum", Pairs: 5}, nil
+		}
+
+		type res struct {
+			entry Entry
+			err   error
+		}
+		winnerRes := make(chan res, 1)
+		go func() {
+			entry, _, err := c.GetOrCompute(winnerCtx, key, 5, detached)
+			winnerRes <- res{entry, err}
+		}()
+		<-inCompute
+
+		const followers = 4
+		results := make([]res, followers)
+		var wg sync.WaitGroup
+		for i := 0; i < followers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				entry, _, err := c.GetOrCompute(context.Background(), key, 5, detached)
+				results[i] = res{entry, err}
+			}(i)
+		}
+
+		cancelWinner() // the winning job dies mid-flight...
+		close(release) // ...and the detached compute finishes anyway
+		wg.Wait()
+		w := <-winnerRes
+		if w.err != nil || w.entry.Pairs != 5 {
+			t.Errorf("winner: entry=%+v err=%v, want the computed entry", w.entry, w.err)
+		}
+		for i, r := range results {
+			if r.err != nil || r.entry.Pairs != 5 {
+				t.Errorf("follower %d: entry=%+v err=%v", i, r.entry, r.err)
+			}
+		}
+		if got := computes.Load(); got != 1 {
+			t.Errorf("computes = %d, want 1 (singleflight held through the cancel)", got)
+		}
+		// And the cancelled winner's work is cached for the future.
+		if _, hit, err := c.GetOrCompute(context.Background(), key, 5, detached); !hit || err != nil {
+			t.Errorf("post-cancel lookup: hit=%v err=%v, want a cache hit", hit, err)
+		}
+	})
+}
+
 // TestPrefixReuseEdgeCases drives GetOrCompute through the boundary
 // sizes of the prefix-reuse rule (a cached entry serves any request for
 // at most Entry.Pairs eigenpairs): pairs = 0, equality, one-past, and a

@@ -171,6 +171,26 @@ func DecomposeCtx(ctx context.Context, h *Netlist, model Model, d int) (*Spectru
 	return decomposeCtxWithPolicy(ctx, h, model, d, resilience.EigenPolicy{})
 }
 
+// DecomposeCtxPolicy is DecomposeCtx with an explicit resilience
+// policy. The spectrald daemon routes its eigensolves through it so a
+// deterministic fault plan (chaos testing) or tuned retry ladder can be
+// injected into an otherwise production pipeline; the zero policy is
+// exactly DecomposeCtx.
+func DecomposeCtxPolicy(ctx context.Context, h *Netlist, model Model, d int, pol resilience.EigenPolicy) (*Spectrum, error) {
+	return decomposeCtxWithPolicy(ctx, h, model, d, pol)
+}
+
+// ParseModel maps a clique-model name (as produced by Model.String) to
+// its Model.
+func ParseModel(s string) (Model, error) {
+	for _, m := range []Model{ModelPartitioningSpecific, ModelStandard, ModelFrankle} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("spectral: unknown model %q", s)
+}
+
 func decomposeCtxWithPolicy(ctx context.Context, h *Netlist, model Model, d int, pol resilience.EigenPolicy) (_ *Spectrum, retErr error) {
 	if err := ValidateNetlist(h); err != nil {
 		return nil, &PipelineError{Stage: string(resilience.StageValidate), Method: MELO, Err: err}
