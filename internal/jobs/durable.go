@@ -186,7 +186,8 @@ type RestoreStats struct {
 //     from memory exactly like jobs that finished in this process;
 //   - jobs that were queued or running at crash time are re-enqueued
 //     (the queue grows past QueueDepth if the backlog demands it) with
-//     their deadline, if any, re-anchored at restart;
+//     their deadline, if any, and their MaxQueueWait clock re-anchored
+//     at restart — downtime is not charged against either budget;
 //   - jobs whose netlist or result cannot be recovered are failed with
 //     an explanatory error — never silently dropped;
 //   - spectrum hints prewarm the cache in the background once Start
@@ -211,13 +212,18 @@ func (p *Pool) Restore(rep *journal.ReplayResult) (RestoreStats, map[string]Rest
 	stats.Netlists = len(nets)
 
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return stats, nets, ErrShuttingDown
 	}
 
 	now := time.Now()
 	var backlog []*Job
+	// Terminal states decided during replay are journaled only after
+	// p.mu is released: a compaction holds the journal's append gate
+	// while it snapshots pool state under p.mu, so appending while
+	// holding p.mu could deadlock against it.
+	var outcomes []journal.Record
 	for _, jr := range rep.Jobs {
 		if jr.ID == "" {
 			continue
@@ -265,7 +271,7 @@ func (p *Pool) Restore(rep *journal.ReplayResult) (RestoreStats, map[string]Rest
 			j.finished = now
 			close(j.done)
 			stats.FailedOnReplay++
-			p.journalReplayOutcomeLocked(j.id, Failed, nil, reason)
+			outcomes = append(outcomes, finishRecord(j.id, Failed, nil, reason, now.UnixNano()))
 		}
 
 		switch {
@@ -319,7 +325,7 @@ func (p *Pool) Restore(rep *journal.ReplayResult) (RestoreStats, map[string]Rest
 			j.finished = now
 			close(j.done)
 			stats.CancelledOnReplay++
-			p.journalReplayOutcomeLocked(j.id, Cancelled, nil, j.err)
+			outcomes = append(outcomes, finishRecord(j.id, Cancelled, nil, j.err, now.UnixNano()))
 
 		default:
 			// Queued or running at crash time: run it (again). The pipeline
@@ -356,8 +362,10 @@ func (p *Pool) Restore(rep *journal.ReplayResult) (RestoreStats, map[string]Rest
 		p.queue = grown
 	}
 	for _, j := range backlog {
-		// Deadlines re-anchor at restart: the queue wait the crash
-		// destroyed is not charged against the client's budget.
+		// Deadlines — and the MaxQueueWait clock, for every re-enqueued
+		// job — re-anchor at restart: the queue wait the crash destroyed
+		// is not charged against the client's budget.
+		j.enqueued = now
 		if j.req.Timeout > 0 {
 			j.created = now
 		}
@@ -368,6 +376,18 @@ func (p *Pool) Restore(rep *journal.ReplayResult) (RestoreStats, map[string]Rest
 
 	stats.SpectrumHints = len(rep.Hints)
 	p.restored = &stats
+	p.mu.Unlock()
+
+	// Buffered, not durable: each outcome is deterministically
+	// re-derivable from the same journal, so durability can wait for the
+	// next sync.
+	if p.jnl != nil {
+		for _, rec := range outcomes {
+			if err := p.jnl.Append(rec); err != nil {
+				p.noteJournalError()
+			}
+		}
+	}
 	if p.tracer != nil {
 		p.tracer.Add("journal.replay.reenqueued", int64(stats.Reenqueued))
 		p.tracer.Add("journal.replay.recovered-terminal", int64(stats.RecoveredTerminal))
@@ -396,19 +416,6 @@ func finishedTime(unixNS int64, fallback time.Time) time.Time {
 		return time.Unix(0, unixNS)
 	}
 	return fallback
-}
-
-// journalReplayOutcomeLocked journals a terminal state decided during
-// Restore (caller holds p.mu; uses the buffered path — the outcome is
-// deterministically re-derivable from the same journal, so durability
-// can wait for the next sync).
-func (p *Pool) journalReplayOutcomeLocked(id string, st State, res *Result, err error) {
-	if p.jnl == nil {
-		return
-	}
-	if aerr := p.jnl.Append(finishRecord(id, st, res, err, time.Now().UnixNano())); aerr != nil {
-		p.journalErrors++
-	}
 }
 
 // prewarm recomputes journal-hinted decompositions under the pool's
@@ -487,11 +494,32 @@ func (p *Pool) maybeCompact() {
 // CompactJournal folds the pool's live state (plus any extra records a
 // serving layer registered via SetSnapshotExtra) into a fresh journal
 // segment, dropping superseded history. Safe to call at any time; it is
-// also the recovery path after a journal write error.
+// also the recovery path after a journal write error. The snapshot is
+// taken by the journal with appends excluded, so a submission or finish
+// acknowledged while the compaction runs cannot be deleted with the old
+// segments.
 func (p *Pool) CompactJournal() error {
 	if p.jnl == nil {
 		return nil
 	}
+	if err := p.jnl.CompactWith(p.snapshotRecords); err != nil {
+		p.noteJournalError()
+		return err
+	}
+	if p.tracer != nil {
+		p.tracer.Add("journal.compactions", 1)
+	}
+	return nil
+}
+
+// snapshotRecords builds the compaction snapshot: every stored netlist,
+// one submit per tracked job, and a finish for each terminal one. The
+// journal calls it from CompactWith with appends gated; every journal
+// write happens after the state it records is published (jobs enter
+// p.jobs before journalSubmit, terminal states are set before
+// journalFinish), so an append that completed before the gate closed is
+// always visible here.
+func (p *Pool) snapshotRecords() []journal.Record {
 	var recs []journal.Record
 	seenNet := make(map[string]bool)
 	if p.snapshotExtra != nil {
@@ -540,14 +568,7 @@ func (p *Pool) CompactJournal() error {
 			recs = append(recs, finishRecord(j.id, st, res, jerr, fin.UnixNano()))
 		}
 	}
-	if err := p.jnl.Rewrite(recs); err != nil {
-		p.noteJournalError()
-		return err
-	}
-	if p.tracer != nil {
-		p.tracer.Add("journal.compactions", 1)
-	}
-	return nil
+	return recs
 }
 
 // SetSnapshotExtra registers a provider of extra records (typically the

@@ -1,15 +1,18 @@
 package jobs
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	spectral "repro"
 	"repro/internal/journal"
+	"repro/internal/speccache"
 )
 
 // openJournal opens (or reopens) a journal in dir and fails the test on
@@ -245,6 +248,130 @@ func TestRestoreHonoursPendingCancel(t *testing.T) {
 	if err := p2.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// Replay must not charge pre-crash queue wait against MaxQueueWait: a
+// re-enqueued job without a request deadline (whose created time keeps
+// its original submission timestamp) still gets a fresh queue-wait
+// clock, so downtime longer than the bound does not fail every
+// replayed job at pickup.
+func TestRestoreReanchorsQueueWaitClock(t *testing.T) {
+	defer leakCheck(t)()
+	h := testNetlist(t)
+	dir := t.TempDir()
+	jnl, _ := openJournal(t, dir)
+
+	// Journal a no-deadline job as a daemon that crashed an hour ago
+	// would have left it: netlist body plus a submit record, no finish.
+	var buf bytes.Buffer
+	if err := spectral.SaveNetlist(&buf, "", h); err != nil {
+		t.Fatal(err)
+	}
+	hash := speccache.Fingerprint(h)
+	old := time.Now().Add(-time.Hour)
+	if err := jnl.AppendNetlist(hash, "", buf.Bytes(), old.UnixNano()); err != nil {
+		t.Fatal(err)
+	}
+	err := jnl.AppendDurable(journal.Record{
+		Type: journal.TypeSubmit, ID: "job-000001", Hash: hash,
+		Spec: &journal.JobSpec{Kind: string(KindOrder), D: 3}, UnixNS: old.UnixNano(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jnl2, rep := openJournal(t, dir)
+	defer jnl2.Close()
+	p := NewPool(Config{Workers: 1, QueueDepth: 8, Journal: jnl2, MaxQueueWait: time.Minute})
+	p.runFn = func(ctx context.Context, j *Job) (*Result, error) { return &Result{}, nil }
+	stats, _, err := p.Restore(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reenqueued != 1 {
+		t.Fatalf("restore stats = %+v, want 1 re-enqueued", stats)
+	}
+	p.Start()
+	j, ok := p.Job("job-000001")
+	if !ok {
+		t.Fatal("replayed job lost")
+	}
+	waitDone(t, j)
+	if st := j.State(); st != Done {
+		t.Fatalf("replayed no-deadline job state = %s, want done (max-queue-wait must not charge downtime)", st)
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// deniableFile fails writes while armed, letting a test fail the
+// journal at a precise moment.
+type deniableFile struct {
+	f    journal.File
+	deny *atomic.Bool
+}
+
+func (f *deniableFile) Write(p []byte) (int, error) {
+	if f.deny.Load() {
+		return 0, errors.New("injected write error")
+	}
+	return f.f.Write(p)
+}
+func (f *deniableFile) Sync() error  { return f.f.Sync() }
+func (f *deniableFile) Close() error { return f.f.Close() }
+
+// A submission whose journal append fails must be retracted completely:
+// the client gets an error, and the job the client was told failed is
+// neither listed by the jobs API nor carried into compaction snapshots.
+func TestSubmitJournalFailureRetractsJob(t *testing.T) {
+	defer leakCheck(t)()
+	h := testNetlist(t)
+	dir := t.TempDir()
+	var deny atomic.Bool
+	jnl, _, err := journal.Open(dir, journal.Options{
+		OpenFile: func(path string) (journal.File, error) {
+			f, err := journal.DefaultOpenFile(path)
+			if err != nil {
+				return nil, err
+			}
+			return &deniableFile{f: f, deny: &deny}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl.Close()
+	p := NewPool(Config{Workers: 1, QueueDepth: 8, Journal: jnl})
+	p.runFn = func(ctx context.Context, j *Job) (*Result, error) { return &Result{}, nil }
+	p.Start()
+	defer p.Shutdown(context.Background())
+
+	deny.Store(true)
+	if _, err := p.Submit(Request{Netlist: h, Kind: KindOrder}); !errors.Is(err, ErrJournal) {
+		t.Fatalf("submit with failing journal: err = %v, want ErrJournal", err)
+	}
+	if jobs := p.Jobs(); len(jobs) != 0 {
+		t.Fatalf("unacknowledged job still listed: %+v", jobs)
+	}
+	if st := p.Stats(); st.Submitted != 0 {
+		t.Errorf("stats count a retracted submission: %+v", st)
+	}
+
+	// Recovery: compaction rewrites the journal from live state (which no
+	// longer includes the retracted job) and clears the sticky failure.
+	deny.Store(false)
+	if err := p.CompactJournal(); err != nil {
+		t.Fatalf("compaction recovery: %v", err)
+	}
+	j, err := p.Submit(Request{Netlist: h, Kind: KindOrder})
+	if err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+	waitDone(t, j)
 }
 
 // Satellite: Shutdown must drain the queue even when its context is

@@ -128,10 +128,14 @@ type Job struct {
 
 	// shedFromD is the d the client asked for before load shedding
 	// degraded the request (0 = not shed). restored marks a job rebuilt
-	// from the journal after a crash. Both are set before the job is
-	// published and immutable afterwards.
+	// from the journal after a crash. enqueued is when the job last
+	// entered the queue — it matches created for fresh submissions but
+	// re-anchors at restart for replayed jobs, so MaxQueueWait never
+	// charges queue wait a crash already destroyed. All three are set
+	// before the job is published and immutable afterwards.
 	shedFromD int
 	restored  bool
+	enqueued  time.Time
 
 	mu                              sync.Mutex
 	state                           State

@@ -238,6 +238,7 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 
 	p.seq++
 	ctx, cancel := p.jobContext(req)
+	now := time.Now()
 	j := &Job{
 		id:        fmt.Sprintf("job-%06d", p.seq),
 		req:       req,
@@ -245,7 +246,8 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 		cancel:    cancel,
 		shedFromD: shedFromD,
 		state:     Pending,
-		created:   time.Now(),
+		created:   now,
+		enqueued:  now,
 		done:      make(chan struct{}),
 	}
 	select {
@@ -264,10 +266,22 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 
 	// Journal outside the pool lock: the durable append fsyncs, and an
 	// fsync must never serialize submissions behind it. On failure the
-	// job is cancelled (a worker will retire it) and the client sees an
-	// error instead of an unackable acceptance.
+	// job was not durably accepted, so retract it entirely: the cancel
+	// makes whichever worker dequeues it retire it immediately, and
+	// removing it from the maps keeps a job the client was told failed
+	// out of the jobs API and out of compaction snapshots.
 	if err := p.journalSubmit(j); err != nil {
 		j.cancel()
+		p.mu.Lock()
+		delete(p.jobs, j.id)
+		for i := len(p.order) - 1; i >= 0; i-- {
+			if p.order[i] == j.id {
+				p.order = append(p.order[:i], p.order[i+1:]...)
+				break
+			}
+		}
+		p.submitted--
+		p.mu.Unlock()
 		return nil, err
 	}
 	return j, nil
@@ -478,8 +492,8 @@ func (p *Pool) execute(j *Job) {
 		p.journalFinish(j, st, nil, err)
 		return
 	}
-	if w := p.cfg.MaxQueueWait; w > 0 && now.Sub(j.created) > w {
-		err := fmt.Errorf("jobs: queued %v, exceeding max queue wait %v", now.Sub(j.created).Round(time.Millisecond), w)
+	if w := p.cfg.MaxQueueWait; w > 0 && now.Sub(j.enqueued) > w {
+		err := fmt.Errorf("jobs: queued %v, exceeding max queue wait %v", now.Sub(j.enqueued).Round(time.Millisecond), w)
 		st := j.finish(nil, err, false, now)
 		j.cancel()
 		p.journalFinish(j, st, nil, err)

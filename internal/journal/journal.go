@@ -13,8 +13,11 @@
 //
 // where the payload is one JSON-encoded Record. Appends go to the
 // newest segment; when it exceeds Options.SegmentBytes the journal
-// rotates to a fresh one. Compaction (Rewrite) folds the live state
-// into a single new segment and deletes the old generation.
+// rotates to a fresh one. Compaction (Rewrite / CompactWith) folds the
+// live state into a single new segment and deletes the old generation;
+// CompactWith takes its snapshot with appends excluded, so a record
+// acknowledged before the snapshot can never be deleted with the old
+// segments.
 //
 // Durability is tiered. Append buffers the record; it becomes durable
 // at the next sync. AppendDurable returns only after an fsync covers
@@ -179,6 +182,13 @@ type Journal struct {
 	dir  string
 	opts Options
 
+	// gate serializes appends against compaction: appends hold it
+	// shared, Rewrite/CompactWith hold it exclusively. Without it a
+	// record durably appended between a compaction snapshot and the
+	// segment swap would land in the old generation and be deleted with
+	// it — losing acknowledged state.
+	gate sync.RWMutex
+
 	mu      sync.Mutex
 	file    File
 	w       *bufio
@@ -335,6 +345,8 @@ func frame(rec Record) ([]byte, error) {
 // Append buffers rec into the active segment. The record becomes
 // durable at the next sync (an AppendDurable, a rotation, or Close).
 func (j *Journal) Append(rec Record) error {
+	j.gate.RLock()
+	defer j.gate.RUnlock()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.appendLocked(rec)
@@ -375,6 +387,14 @@ func (j *Journal) fail(err error) error {
 // AppendDurable appends rec and returns once an fsync covers it.
 // Concurrent calls share one fsync (group commit).
 func (j *Journal) AppendDurable(rec Record) error {
+	j.gate.RLock()
+	defer j.gate.RUnlock()
+	return j.appendDurableGated(rec)
+}
+
+// appendDurableGated is AppendDurable minus the compaction gate, for
+// callers (AppendNetlist) that already hold it shared.
+func (j *Journal) appendDurableGated(rec Record) error {
 	j.mu.Lock()
 	if err := j.appendLocked(rec); err != nil {
 		j.mu.Unlock()
@@ -392,28 +412,34 @@ func (j *Journal) AppendDurable(rec Record) error {
 		<-c.done
 		return c.err
 	}
-	// Leader: detach the cohort, then flush+sync. Everyone who appended
-	// while the cohort was attached wrote before this flush (appends and
-	// cohort membership share j.mu), so one fsync covers them all.
+	// Leader: detach the cohort, then flush+fsync while still holding
+	// j.mu, so a concurrent append cannot rotate the segment — flushing,
+	// syncing and closing the very file this sync targets — out from
+	// under it. Everyone who appended while the cohort was attached wrote
+	// before this flush (appends and cohort membership share j.mu), so
+	// one fsync covers them all; records a rotation already carried to
+	// disk are simply covered twice. Appends arriving after the detach
+	// form the next cohort and wait their turn behind this sync.
 	j.mu.Lock()
+	var err error
 	j.pending = nil
-	err := j.w.Flush()
-	f := j.file
-	if err != nil {
-		err = j.fail(err)
-	}
-	j.mu.Unlock()
-	if err == nil {
-		if err = f.Sync(); err != nil {
-			j.mu.Lock()
+	switch {
+	case j.failed != nil:
+		// A concurrent append already failed the journal; this cohort's
+		// records may never have reached the file. Report, don't lie.
+		err = j.failed
+	case j.file == nil:
+		err = fmt.Errorf("journal: closed")
+	default:
+		if err = j.w.Flush(); err != nil {
 			err = j.fail(err)
-			j.mu.Unlock()
+		} else if err = j.file.Sync(); err != nil {
+			err = j.fail(err)
 		} else {
-			j.mu.Lock()
 			j.stats.Syncs++
-			j.mu.Unlock()
 		}
 	}
+	j.mu.Unlock()
 	c.err = err
 	close(c.done)
 	return err
@@ -423,6 +449,8 @@ func (j *Journal) AppendDurable(rec Record) error {
 // re-journaling a hash already recorded in this journal's lifetime is a
 // no-op, so every submission can call it unconditionally.
 func (j *Journal) AppendNetlist(hash, name string, body []byte, unixNS int64) error {
+	j.gate.RLock()
+	defer j.gate.RUnlock()
 	j.mu.Lock()
 	if j.failed != nil {
 		err := j.failed
@@ -435,7 +463,7 @@ func (j *Journal) AppendNetlist(hash, name string, body []byte, unixNS int64) er
 	}
 	j.seen[hash] = struct{}{}
 	j.mu.Unlock()
-	err := j.AppendDurable(Record{Type: TypeNetlist, Hash: hash, Name: name, Netlist: body, UnixNS: unixNS})
+	err := j.appendDurableGated(Record{Type: TypeNetlist, Hash: hash, Name: name, Netlist: body, UnixNS: unixNS})
 	if err != nil {
 		// Not durable: allow a retry on the next submission.
 		j.mu.Lock()
@@ -451,7 +479,31 @@ func (j *Journal) AppendNetlist(hash, name string, body []byte, unixNS int64) er
 // deletes every older segment. It also clears a sticky write error,
 // giving the daemon a recovery path that does not lose acknowledged
 // state that still lives in memory.
+//
+// Rewrite excludes concurrent appends for its whole duration, but the
+// caller's snapshot was necessarily taken earlier: a record appended
+// between the two lands in the old generation and is deleted with it.
+// Callers whose snapshot source may be appended to concurrently must
+// use CompactWith instead.
 func (j *Journal) Rewrite(recs []Record) error {
+	j.gate.Lock()
+	defer j.gate.Unlock()
+	return j.rewriteGated(recs)
+}
+
+// CompactWith compacts the journal onto the records snapshot returns,
+// calling it with all appends excluded: every append either completes
+// before the snapshot is taken (so the caller's state — and hence the
+// snapshot — reflects it) or starts after the segment swap (landing in
+// the new generation). Either way no acknowledged record is deleted
+// with the old segments.
+func (j *Journal) CompactWith(snapshot func() []Record) error {
+	j.gate.Lock()
+	defer j.gate.Unlock()
+	return j.rewriteGated(snapshot())
+}
+
+func (j *Journal) rewriteGated(recs []Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 

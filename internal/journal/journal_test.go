@@ -346,6 +346,120 @@ func TestGroupCommitBatchesFsyncs(t *testing.T) {
 	}
 }
 
+// Rotation under concurrent durable appends: the group-commit leader's
+// fsync must target the live segment even when another append rotates
+// (flushes, syncs and closes the previous file) between the leader's
+// append and its sync. With SegmentBytes=1 every record rotates, so any
+// sync aimed at a stale file handle errors and sticky-fails the
+// journal.
+func TestDurableAppendsSurviveConcurrentRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{SegmentBytes: 1})
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = j.AppendDurable(submitRec(fmt.Sprintf("job-%06d", i+1), "h"))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("journal sticky-failed under rotation pressure: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := openT(t, dir, Options{})
+	if len(rep.Jobs) != n {
+		t.Fatalf("replayed %d jobs, want %d", len(rep.Jobs), n)
+	}
+}
+
+// Compaction racing durable appends must not lose acknowledged records:
+// every append either completes before CompactWith takes its snapshot
+// (and the snapshot source, written to before the append, reflects it)
+// or lands in the post-compaction generation. Appenders here mirror the
+// pool's publish-then-journal ordering.
+func TestCompactWithDoesNotLoseConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{SegmentBytes: 512}) // rotate often
+	var (
+		mu    sync.Mutex
+		acked = make(map[string]bool) // published before append; true once durable
+	)
+	const workers, each = 4, 32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				id := fmt.Sprintf("job-%03d%03d", w, i)
+				mu.Lock()
+				acked[id] = false
+				mu.Unlock()
+				if err := j.AppendDurable(submitRec(id, "h")); err != nil {
+					t.Errorf("append %s: %v", id, err)
+					return
+				}
+				mu.Lock()
+				acked[id] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	compactions := 0
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+		if err := j.CompactWith(func() []Record {
+			mu.Lock()
+			defer mu.Unlock()
+			recs := make([]Record, 0, len(acked))
+			for id := range acked {
+				recs = append(recs, submitRec(id, "h"))
+			}
+			return recs
+		}); err != nil {
+			t.Fatalf("compaction %d: %v", compactions, err)
+		}
+		compactions++
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := openT(t, dir, Options{})
+	replayed := make(map[string]bool, len(rep.Jobs))
+	for _, jr := range rep.Jobs {
+		replayed[jr.ID] = true
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	lost := 0
+	for id, ok := range acked {
+		if ok && !replayed[id] {
+			lost++
+			t.Errorf("durably acknowledged record %s lost across %d compactions", id, compactions)
+		}
+	}
+	if lost == 0 && len(replayed) < workers*each {
+		t.Fatalf("replayed only %d of %d records", len(replayed), workers*each)
+	}
+}
+
 // A finish record arriving before its submit (the buffered/durable
 // write race around a crash) still folds into a terminal job.
 func TestFoldOrderTolerance(t *testing.T) {

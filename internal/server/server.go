@@ -199,14 +199,18 @@ func (s *Server) handlePostNetlist(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.store(name, h)
 	// Journal the upload before acknowledging it: a client that got a
-	// 201 must find the hash usable after a daemon restart.
+	// 201 must find the hash usable after a daemon restart, so a netlist
+	// that cannot be journaled — whether serialization or the append
+	// failed — must not be acknowledged as durable.
 	if jnl := s.pool.Journal(); jnl != nil {
 		var buf bytes.Buffer
-		if err := spectral.SaveNetlist(&buf, name, h); err == nil {
-			if err := jnl.AppendNetlist(st.Hash, name, buf.Bytes(), time.Now().UnixNano()); err != nil {
-				writeError(w, http.StatusServiceUnavailable, "journal unavailable: %v", err)
-				return
-			}
+		if err := spectral.SaveNetlist(&buf, name, h); err != nil {
+			writeError(w, http.StatusInternalServerError, "journal netlist: %v", err)
+			return
+		}
+		if err := jnl.AppendNetlist(st.Hash, name, buf.Bytes(), time.Now().UnixNano()); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "journal unavailable: %v", err)
+			return
 		}
 	}
 	writeJSON(w, http.StatusCreated, st)
