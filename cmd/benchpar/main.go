@@ -37,6 +37,7 @@ import (
 	"runtime"
 	"time"
 
+	spectral "repro"
 	"repro/internal/eigen"
 	"repro/internal/graph"
 	"repro/internal/hypergraph"
@@ -132,6 +133,35 @@ func main() {
 		meloPar,
 	))
 
+	// Multilevel-vs-flat rows: the serial column times the flat MELO
+	// pipeline end to end, the parallel column the multilevel V-cycle on
+	// the same netlist, so "speedup" is the algorithmic win of
+	// coarsen→solve→uncoarsen over the O(d·n²) flat path. At n = 10⁵ the
+	// flat path is impractical on CI budgets, so that row compares the
+	// V-cycle against itself at workers=1 (the scaling column).
+	mlNote := "serial column = flat MELO, parallel column = MultilevelMELO; speedup = algorithmic win"
+	for _, mn := range []int{1000, 10000} {
+		hn := buildNetlist(mn)
+		flat := func() { mustPartition(hn, spectral.MELO, w) }
+		ml := func() { mustPartition(hn, spectral.MultilevelMELO, w) }
+		mlReps := *reps
+		if mn >= 10000 && mlReps > 2 {
+			mlReps = 2 // the flat column alone is seconds per rep
+		}
+		k := measure(fmt.Sprintf("ml-vs-flat-n%d", mn), mlReps, flat, ml)
+		k.Note = mlNote
+		rep.Kernels = append(rep.Kernels, k)
+	}
+	{
+		hn := buildNetlist(100000)
+		k := measure("multilevel-n100000", 2,
+			func() { mustPartition(hn, spectral.MultilevelMELO, 1) },
+			func() { mustPartition(hn, spectral.MultilevelMELO, w) },
+		)
+		k.Note = "both columns = MultilevelMELO (flat MELO is impractical at this n); serial = workers 1"
+		rep.Kernels = append(rep.Kernels, k)
+	}
+
 	// Tracer-overhead rows: same kernel, untraced vs traced, in one
 	// process. trace-off rows must stay within the <= 2% no-op budget.
 	for _, k := range []struct {
@@ -215,7 +245,7 @@ func bestOf(reps int, fn func()) float64 {
 	return b.Seconds()
 }
 
-func buildGraph(n int) *graph.Graph {
+func buildNetlist(n int) *hypergraph.Hypergraph {
 	b := hypergraph.NewBuilder()
 	b.AddModules(n)
 	for i := 0; i+1 < n; i++ {
@@ -240,11 +270,21 @@ func buildGraph(n int) *graph.Graph {
 			fatal(err)
 		}
 	}
-	g, err := graph.FromHypergraph(b.Build(), graph.PartitioningSpecific, 0)
+	return b.Build()
+}
+
+func buildGraph(n int) *graph.Graph {
+	g, err := graph.FromHypergraph(buildNetlist(n), graph.PartitioningSpecific, 0)
 	if err != nil {
 		fatal(err)
 	}
 	return g
+}
+
+func mustPartition(h *hypergraph.Hypergraph, m spectral.Method, workers int) {
+	if _, err := spectral.Partition(h, spectral.Options{K: 2, Method: m, Parallelism: workers}); err != nil {
+		fatal(err)
+	}
 }
 
 func mustSolve(q interface {

@@ -26,6 +26,7 @@ import (
 	"os"
 	"strings"
 
+	spectral "repro"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 	"repro/internal/trace"
@@ -48,9 +49,18 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		traceOut = flag.String("trace", "", "append finished spans as JSON lines to this file")
 		traceRep = flag.Bool("trace-report", false, "print the trace summary to stderr at exit")
+		listM    = flag.Bool("methods", false, "list the partitioning methods the facade accepts and exit")
 	)
 	flag.Parse()
 	parallel.SetLimit(*par)
+
+	if *listM {
+		for _, name := range spectral.MethodNames() {
+			m, _ := spectral.ParseMethod(name)
+			fmt.Printf("%-10s %s\n", name, spectral.MethodSummary(m))
+		}
+		return
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {

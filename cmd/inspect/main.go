@@ -24,14 +24,23 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "netlist file (default stdin)")
-		format = flag.String("format", "text", "input format: text|hmetis")
-		benchN = flag.String("bench", "", "use a built-in benchmark instead of -in")
-		scale  = flag.Float64("scale", 1.0, "benchmark scale")
-		model  = flag.String("model", "partitioning-specific", "clique model: standard|partitioning-specific|frankle")
-		d      = flag.Int("d", 10, "eigenvalues to report")
+		in          = flag.String("in", "", "netlist file (default stdin)")
+		format      = flag.String("format", "text", "input format: text|hmetis")
+		benchN      = flag.String("bench", "", "use a built-in benchmark instead of -in")
+		scale       = flag.Float64("scale", 1.0, "benchmark scale")
+		model       = flag.String("model", "partitioning-specific", "clique model: standard|partitioning-specific|frankle")
+		d           = flag.Int("d", 10, "eigenvalues to report")
+		listMethods = flag.Bool("methods", false, "list the partitioning methods the facade accepts and exit")
 	)
 	flag.Parse()
+
+	if *listMethods {
+		for _, name := range spectral.MethodNames() {
+			m, _ := spectral.ParseMethod(name)
+			fmt.Printf("%-10s %s\n", name, spectral.MethodSummary(m))
+		}
+		return
+	}
 
 	h, err := load(*in, *benchN, *scale, *format)
 	if err != nil {

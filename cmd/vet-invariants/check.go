@@ -19,14 +19,19 @@ var defaultPackages = []string{
 	"internal/melo",
 	"internal/dprp",
 	"internal/parallel",
+	"internal/coarsen",
+	"internal/multilevel",
 }
 
-// defaultDaemonPackages are the long-running daemon layers; see the
-// package comment for why they may not call os.Exit or log.Fatal.
+// defaultDaemonPackages are the long-running daemon layers plus the
+// multilevel kernel packages; see the package comment for why they may
+// not call os.Exit or log.Fatal.
 var defaultDaemonPackages = []string{
 	"internal/jobs",
 	"internal/server",
 	"internal/journal",
+	"internal/coarsen",
+	"internal/multilevel",
 }
 
 // checkTimeImports parses every non-test .go file directly inside the

@@ -112,11 +112,17 @@ func validateOptions(h *hypergraph.Hypergraph, raw, o Options) error {
 	if math.IsNaN(o.MinFrac) || o.MinFrac <= 0 || o.MinFrac > 0.5 {
 		return fmt.Errorf("spectral: MinFrac = %v, want in (0, 0.5]", o.MinFrac)
 	}
-	if o.Method < MELO || o.Method > HL {
+	if methodInfoOf(o.Method) == nil {
 		return fmt.Errorf("spectral: unknown method %v", o.Method)
 	}
 	if o.Parallelism < 0 {
 		return fmt.Errorf("spectral: Parallelism = %d, want >= 1 (or 0 for the process default)", o.Parallelism)
+	}
+	if o.CoarsenThreshold < 0 {
+		return fmt.Errorf("spectral: CoarsenThreshold = %d, want >= 0 (0 for the default)", o.CoarsenThreshold)
+	}
+	if o.MaxLevels < 0 {
+		return fmt.Errorf("spectral: MaxLevels = %d, want >= 0 (0 for the default)", o.MaxLevels)
 	}
 	return nil
 }

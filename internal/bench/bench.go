@@ -56,11 +56,13 @@ func Lookup(name string) (Circuit, error) {
 	return Circuit{}, fmt.Errorf("bench: unknown benchmark %q", name)
 }
 
-// Scaled returns a copy of the circuit with statistics scaled by f
-// (0 < f <= 1), preserving the pins/net and nets/module ratios. Useful
-// for fast test runs; f = 1 reproduces the published sizes.
+// Scaled returns a copy of the circuit with statistics scaled by f,
+// preserving the pins/net and nets/module ratios. f = 1 reproduces the
+// published sizes; f < 1 gives fast test runs, and f > 1 synthesizes
+// larger instances of the same shape (the multilevel smoke tests scale
+// industry2 to n ≈ 10⁵).
 func (c Circuit) Scaled(f float64) Circuit {
-	if f >= 1 {
+	if f == 1 {
 		return c
 	}
 	s := Circuit{Name: c.Name}

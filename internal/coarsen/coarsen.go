@@ -1,0 +1,406 @@
+// Package coarsen implements heavy-edge-matching coarsening of a
+// netlist for the multilevel V-cycle (internal/multilevel): a matching
+// is computed on the clique-model graph, matched module pairs are
+// contracted into coarse modules with accumulated areas, and the coarse
+// netlist keeps exactly the nets that still span more than one coarse
+// module. The contraction is exact in the sense the V-cycle relies on:
+// projecting any coarse partitioning back to the fine netlist preserves
+// its net cut identically (see Level.Project).
+//
+// Matching uses deterministic handshake rounds so it can shard across
+// workers (internal/parallel) while producing the same matching at
+// every worker count: each round computes, per vertex, the heaviest
+// eligible neighbour from the fixed adjacency order, then matches
+// exactly the mutual ("handshake") pairs. Both phases write disjoint
+// per-vertex state, so the worker count never changes the result.
+package coarsen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+)
+
+// MatchOptions configures Match.
+type MatchOptions struct {
+	// MaxArea caps the combined area of a matched pair; a merge that
+	// would exceed it is skipped so no coarse module can grow heavy
+	// enough to make downstream balance windows infeasible. <= 0
+	// disables the cap.
+	MaxArea float64
+	// Workers bounds the goroutines used for the per-vertex scans
+	// (0 = process default). The matching is identical at every value.
+	Workers int
+	// Rounds caps the handshake rounds (default 8). More rounds match
+	// more vertices; unmatched vertices stay singletons.
+	Rounds int
+}
+
+// Match computes a heavy-edge matching of g. areas[i] is module i's
+// area (nil = unit areas). The result maps each vertex to its partner,
+// or to itself if unmatched; it is an involution (match[match[i]] == i).
+func Match(g *graph.Graph, areas []float64, o MatchOptions) []int {
+	n := g.N()
+	rounds := o.Rounds
+	if rounds <= 0 {
+		rounds = 8
+	}
+	workers := parallel.Workers(o.Workers)
+	area := func(i int) float64 {
+		if areas == nil {
+			return 1
+		}
+		return areas[i]
+	}
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	best := make([]int, n)
+	for r := 0; r < rounds; r++ {
+		// Phase 1: per-vertex heaviest eligible unmatched neighbour.
+		// Weight ties break on a fixed hash of the edge, not on vertex
+		// index: an index tie-break makes every vertex of a uniform
+		// chain point at its smaller neighbour, which collapses the
+		// handshake phase to one match per round. The hash decorrelates
+		// pointing directions so a constant fraction of vertices pair
+		// up each round, and it is a pure function of the edge, so the
+		// scan stays deterministic and worker-invariant.
+		parallel.For(workers, n, 64, func(_, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				best[u] = -1
+				if match[u] >= 0 {
+					continue
+				}
+				bw := 0.0
+				var bh uint64
+				for _, hv := range g.Adj(u) {
+					v := hv.To
+					if v == u || match[v] >= 0 {
+						continue
+					}
+					if o.MaxArea > 0 && area(u)+area(v) > o.MaxArea {
+						continue
+					}
+					if hv.W > bw || (hv.W == bw && best[u] >= 0 && edgeHash(u, v) > bh) {
+						bw = hv.W
+						best[u] = v
+						bh = edgeHash(u, v)
+					}
+				}
+			}
+		})
+		if !handshake(match, best, workers) {
+			break
+		}
+	}
+	for i := range match {
+		if match[i] < 0 {
+			match[i] = i
+		}
+	}
+	return match
+}
+
+// handshake is phase 2 of a matching round: mutual choices in best
+// become matches. Only the smaller endpoint of a pair writes (best[v]
+// has a unique value, so no other vertex writes match[v]); which pairs
+// match is a pure function of best[], so the phase is worker-invariant.
+// It reports whether any new pair matched.
+func handshake(match, best []int, workers int) bool {
+	var progress atomic.Bool
+	parallel.For(workers, len(best), 64, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			v := best[u]
+			if v <= u {
+				continue
+			}
+			if best[v] == u {
+				match[u] = v
+				match[v] = u
+				progress.Store(true)
+			}
+		}
+	})
+	return progress.Load()
+}
+
+// nbrScratch is the per-goroutine workspace MatchNetlist uses to
+// accumulate one vertex's neighbour weights: a dense array kept zeroed
+// between vertices via the touched list.
+type nbrScratch struct {
+	w       []float64
+	touched []int
+}
+
+// MatchNetlist computes a heavy-edge matching directly on the netlist:
+// neighbour weights are the clique-model expansion's edge weights,
+// accumulated on the fly from net incidence, so the clique graph is
+// never materialized. It applies the same heaviest-eligible-neighbour
+// handshake rounds as Match; it exists because on large V-cycle levels
+// building the expansion costs more than the whole matching.
+func MatchNetlist(h *hypergraph.Hypergraph, model graph.CliqueModel, areas []float64, o MatchOptions) []int {
+	n := h.NumModules()
+	rounds := o.Rounds
+	if rounds <= 0 {
+		rounds = 8
+	}
+	workers := parallel.Workers(o.Workers)
+	area := func(i int) float64 {
+		if areas == nil {
+			return 1
+		}
+		return areas[i]
+	}
+	cost := make([]float64, h.NumNets())
+	for e, net := range h.Nets {
+		cost[e] = model.EdgeCost(len(net))
+	}
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	best := make([]int, n)
+	// Chunk indices are not goroutine identities, so the dense scratch
+	// is pooled. Results never depend on which scratch a chunk draws:
+	// every vertex leaves w zeroed again, and the weight sum for a
+	// vertex runs in NetsOf order — a fixed order, so the scan is
+	// deterministic and worker-invariant exactly like Match's.
+	pool := sync.Pool{New: func() any {
+		return &nbrScratch{w: make([]float64, n), touched: make([]int, 0, 64)}
+	}}
+	for r := 0; r < rounds; r++ {
+		parallel.For(workers, n, 64, func(_, lo, hi int) {
+			sc := pool.Get().(*nbrScratch)
+			for u := lo; u < hi; u++ {
+				if match[u] >= 0 {
+					best[u] = -1
+					continue
+				}
+				best[u] = heaviestNeighbor(h, cost, sc, u, match, area, o.MaxArea)
+			}
+			pool.Put(sc)
+		})
+		if !handshake(match, best, workers) {
+			break
+		}
+	}
+	// Greedy serial fallback: on dense levels the weight profile is
+	// hub-shaped — many vertices choose the same heaviest neighbour, so
+	// mutual choices are rare and the handshake rounds leave most of the
+	// level unmatched, which used to stretch V-cycles to dozens of
+	// near-stalled levels. A sweep in index order matches each remaining
+	// vertex to its heaviest still-unmatched neighbour; serial by design,
+	// so it is trivially worker-invariant, and it makes the matching
+	// maximal under the area cap.
+	sc := pool.Get().(*nbrScratch)
+	for u := 0; u < n; u++ {
+		if match[u] >= 0 {
+			continue
+		}
+		if v := heaviestNeighbor(h, cost, sc, u, match, area, o.MaxArea); v >= 0 {
+			match[u] = v
+			match[v] = u
+		}
+	}
+	pool.Put(sc)
+	for i := range match {
+		if match[i] < 0 {
+			match[i] = i
+		}
+	}
+	return match
+}
+
+// heaviestNeighbor returns u's heaviest unmatched eligible neighbour
+// under the clique-model net costs, or -1. Weights accumulate in NetsOf
+// order and ties break on edgeHash, mirroring the handshake scan.
+func heaviestNeighbor(h *hypergraph.Hypergraph, cost []float64, sc *nbrScratch, u int, match []int, area func(int) float64, maxArea float64) int {
+	touched := sc.touched[:0]
+	for _, e := range h.NetsOf(u) {
+		c := cost[e]
+		for _, v := range h.Nets[e] {
+			if v == u {
+				continue
+			}
+			if sc.w[v] == 0 {
+				touched = append(touched, v)
+			}
+			sc.w[v] += c
+		}
+	}
+	best, bw := -1, 0.0
+	var bh uint64
+	for _, v := range touched {
+		wv := sc.w[v]
+		sc.w[v] = 0
+		if match[v] >= 0 {
+			continue
+		}
+		if maxArea > 0 && area(u)+area(v) > maxArea {
+			continue
+		}
+		if wv > bw || (wv == bw && best >= 0 && edgeHash(u, v) > bh) {
+			bw = wv
+			best = v
+			bh = edgeHash(u, v)
+		}
+	}
+	sc.touched = touched
+	return best
+}
+
+// edgeHash is a fixed avalanche mix of an edge's endpoints, used only
+// to break weight ties in Match.
+func edgeHash(u, v int) uint64 {
+	x := uint64(u)*0x9e3779b97f4a7c15 ^ uint64(v)*0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	x ^= x >> 29
+	return x
+}
+
+// Level records one contraction step of the V-cycle: the fine netlist,
+// the coarse netlist built from it, and the projection map between them.
+type Level struct {
+	// Fine is the netlist that was contracted.
+	Fine *hypergraph.Hypergraph
+	// Coarse is the contracted netlist. Its module areas are the sums
+	// of the merged fine areas (unit fine areas become multiplicities).
+	Coarse *hypergraph.Hypergraph
+	// Map sends each fine module to its coarse module.
+	Map []int
+	// Merged counts the matched pairs that were contracted;
+	// Coarse.NumModules() == Fine.NumModules() - Merged.
+	Merged int
+	// DroppedNets counts fine nets whose pins all collapsed into one
+	// coarse module. Such nets can never be cut by a projected
+	// partitioning, which is why dropping them preserves cuts exactly.
+	DroppedNets int
+}
+
+// Contract builds the coarse netlist induced by a matching (as produced
+// by Match: an involution over the fine modules). Matched pairs become
+// one coarse module each, unmatched modules carry over; a net keeps the
+// distinct coarse images of its pins, and is dropped when fewer than two
+// remain. Parallel coarse nets (distinct fine nets with identical coarse
+// pins) are kept distinct, so coarse net cuts count exactly the fine
+// nets a projected partitioning cuts.
+func Contract(h *hypergraph.Hypergraph, match []int) (*Level, error) {
+	n := h.NumModules()
+	if len(match) != n {
+		return nil, fmt.Errorf("coarsen: matching covers %d modules, netlist has %d", len(match), n)
+	}
+	for i, j := range match {
+		if j < 0 || j >= n || match[j] != i {
+			return nil, fmt.Errorf("coarsen: matching is not an involution at module %d", i)
+		}
+	}
+	cmap := make([]int, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	nc, merged := 0, 0
+	for i := 0; i < n; i++ {
+		if cmap[i] >= 0 {
+			continue
+		}
+		cmap[i] = nc
+		if j := match[i]; j != i {
+			cmap[j] = nc
+			merged++
+		}
+		nc++
+	}
+	// The coarse netlist is assembled without the Builder: pins are
+	// already valid indices, so name indexing and per-net re-dedup would
+	// only burn time on the V-cycle's hottest allocation path. One arena
+	// backs every coarse net (NumPins bounds the total, dedup only
+	// shrinks it, so the arena never reallocates).
+	names := make([]string, nc)
+	for i := range names {
+		names[i] = "m" + strconv.Itoa(i)
+	}
+	nets := make([][]int, 0, len(h.Nets))
+	netNames := make([]string, 0, len(h.Nets))
+	arena := make([]int, 0, h.NumPins())
+	dropped := 0
+	buf := make([]int, 0, 16)
+	for e, net := range h.Nets {
+		buf = buf[:0]
+		for _, m := range net {
+			buf = append(buf, cmap[m])
+		}
+		sortSmall(buf)
+		w := 1
+		for r := 1; r < len(buf); r++ {
+			if buf[r] != buf[w-1] {
+				buf[w] = buf[r]
+				w++
+			}
+		}
+		if w < 2 {
+			dropped++
+			continue
+		}
+		start := len(arena)
+		arena = append(arena, buf[:w]...)
+		nets = append(nets, arena[start:len(arena):len(arena)])
+		netNames = append(netNames, h.NetNames[e])
+	}
+	ch, err := hypergraph.FromParts(names, nets, netNames)
+	if err != nil {
+		return nil, fmt.Errorf("coarsen: coarse netlist: %w", err)
+	}
+	areas := make([]float64, nc)
+	for i := 0; i < n; i++ {
+		areas[cmap[i]] += h.Area(i)
+	}
+	if err := ch.SetAreas(areas); err != nil {
+		return nil, fmt.Errorf("coarsen: coarse areas: %w", err)
+	}
+	return &Level{Fine: h, Coarse: ch, Map: cmap, Merged: merged, DroppedNets: dropped}, nil
+}
+
+// sortSmall sorts an int slice in place; coarse nets are almost always a
+// handful of pins, where insertion sort beats sort.Ints' overhead.
+func sortSmall(a []int) {
+	if len(a) > 16 {
+		sort.Ints(a)
+		return
+	}
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// Project lifts a partitioning of the coarse netlist to the fine one:
+// every fine module inherits its coarse module's cluster. The projection
+// preserves the net cut exactly — a kept net spans the same clusters
+// before and after, and a dropped net lies inside one coarse module, so
+// it is uncut on both sides.
+func (l *Level) Project(p *partition.Partition, workers int) (*partition.Partition, error) {
+	if p.N() != l.Coarse.NumModules() {
+		return nil, fmt.Errorf("coarsen: partitioning covers %d modules, coarse netlist has %d", p.N(), l.Coarse.NumModules())
+	}
+	assign := make([]int, len(l.Map))
+	parallel.For(parallel.Workers(workers), len(assign), 1024, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			assign[i] = p.Assign[l.Map[i]]
+		}
+	})
+	return partition.New(assign, p.K)
+}

@@ -212,6 +212,12 @@ func (st *state) onePass(lo float64) bool {
 
 	moves := make([]int, 0, n)
 	bestPrefix, bestDelta, delta := 0, 0, 0
+	// Abort the pass once it has wandered stall moves past the best
+	// prefix: the tail of a converged pass moves every remaining module
+	// at negative gain only to be rolled back, doubling the cost of every
+	// pass for nothing. The bound is generous enough to carry the pass
+	// across the negative-gain valleys hill-climbing relies on.
+	stall := n/8 + 64
 
 	for len(moves) < n {
 		m := st.pickMove(lo)
@@ -229,6 +235,9 @@ func (st *state) onePass(lo float64) bool {
 			bestDelta = delta
 			bestPrefix = len(moves)
 		}
+		if len(moves)-bestPrefix >= stall {
+			break
+		}
 	}
 
 	// Roll back past the best prefix.
@@ -240,10 +249,26 @@ func (st *state) onePass(lo float64) bool {
 
 // pickMove returns the highest-gain unlocked module whose move keeps the
 // donor side's area within one largest-module of the bound (the classic
-// FM transient tolerance), or -1 if none exists.
+// FM transient tolerance), or -1 if none exists. The scan starts at the
+// maxGain hint — an upper bound on the highest occupied bucket, since
+// every insert raises it — and lowers the hint to the first occupied
+// bucket it finds, so repeated picks do not rescan the empty top.
 func (st *state) pickMove(lo float64) int {
-	for b := len(st.buckets) - 1; b >= 0; b-- {
-		for m := st.buckets[b]; m != -1; m = st.next[m] {
+	b := st.maxGain
+	if top := len(st.buckets) - 1; b > top {
+		b = top
+	}
+	lowered := false
+	for ; b >= 0; b-- {
+		m := st.buckets[b]
+		if m == -1 {
+			continue
+		}
+		if !lowered {
+			st.maxGain = b
+			lowered = true
+		}
+		for ; m != -1; m = st.next[m] {
 			from := st.side[m]
 			if st.areas[from]-st.h.Area(m) >= lo-st.maxArea-1e-9 {
 				return m

@@ -148,8 +148,40 @@ func (b *Builder) Build() *Hypergraph {
 	return h
 }
 
+// FromParts builds a hypergraph directly from ready-made components,
+// skipping the Builder's name indexing and per-net deduplication. Every
+// net must already satisfy Validate's invariants (sorted, duplicate-free,
+// in range, >= 2 modules); the slices are retained, not copied. It exists
+// for bulk construction on hot paths (multilevel contraction builds one
+// netlist per V-cycle level).
+func FromParts(names []string, nets [][]int, netNames []string) (*Hypergraph, error) {
+	h := &Hypergraph{Names: names, Nets: nets, NetNames: netNames}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	h.buildPins()
+	return h, nil
+}
+
 func (h *Hypergraph) buildPins() {
-	h.pins = make([][]int, len(h.Names))
+	n := len(h.Names)
+	counts := make([]int, n)
+	total := 0
+	for _, net := range h.Nets {
+		total += len(net)
+		for _, m := range net {
+			counts[m]++
+		}
+	}
+	// One backing array for every incidence list; appending nets in
+	// index order leaves each list sorted, as NetsOf documents.
+	flat := make([]int, total)
+	h.pins = make([][]int, n)
+	off := 0
+	for m := 0; m < n; m++ {
+		h.pins[m] = flat[off : off : off+counts[m]]
+		off += counts[m]
+	}
 	for e, net := range h.Nets {
 		for _, m := range net {
 			h.pins[m] = append(h.pins[m], e)

@@ -41,6 +41,9 @@ func specOf(req Request, shedFromD int) *journal.JobSpec {
 		s.MinFrac = o.MinFrac
 		s.Refine = o.Refine
 		s.Parallelism = o.Parallelism
+		s.CoarsenThreshold = o.CoarsenThreshold
+		s.MaxLevels = o.MaxLevels
+		s.RefinePasses = o.RefinePasses
 	}
 	return s
 }
@@ -59,13 +62,16 @@ func requestOf(spec *journal.JobSpec, hash string) (Request, error) {
 			return Request{}, err
 		}
 		req.Opts = spectral.Options{
-			Method:      method,
-			K:           spec.K,
-			D:           spec.D,
-			Scheme:      spec.Scheme,
-			MinFrac:     spec.MinFrac,
-			Refine:      spec.Refine,
-			Parallelism: spec.Parallelism,
+			Method:           method,
+			K:                spec.K,
+			D:                spec.D,
+			Scheme:           spec.Scheme,
+			MinFrac:          spec.MinFrac,
+			Refine:           spec.Refine,
+			Parallelism:      spec.Parallelism,
+			CoarsenThreshold: spec.CoarsenThreshold,
+			MaxLevels:        spec.MaxLevels,
+			RefinePasses:     spec.RefinePasses,
 		}
 	default:
 		return Request{}, fmt.Errorf("jobs: replayed spec has unknown kind %q", spec.Kind)

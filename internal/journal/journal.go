@@ -87,6 +87,12 @@ type JobSpec struct {
 	MinFrac     float64 `json:"minFrac,omitempty"`
 	Refine      bool    `json:"refine,omitempty"`
 	Parallelism int     `json:"parallelism,omitempty"`
+	// CoarsenThreshold, MaxLevels and RefinePasses configure the
+	// multilevel V-cycle (method "mlmelo"); zero values select the
+	// façade defaults and flat methods ignore them.
+	CoarsenThreshold int `json:"coarsenThreshold,omitempty"`
+	MaxLevels        int `json:"maxLevels,omitempty"`
+	RefinePasses     int `json:"refinePasses,omitempty"`
 	// TimeoutNS is the per-request deadline in nanoseconds (0 = none).
 	// Replay re-anchors it at restart time.
 	TimeoutNS int64 `json:"timeoutNS,omitempty"`

@@ -1,0 +1,295 @@
+// Package multilevel implements the multilevel V-cycle that lifts every
+// flat spectral method past the eigensolve ceiling: the netlist is
+// coarsened by heavy-edge matching (internal/coarsen) until it is small
+// enough to eigensolve comfortably, the injected solver partitions the
+// coarsest netlist, and the solution is projected back level by level
+// with Fiduccia–Mattheyses refinement after each projection.
+//
+// The driver is deterministic and worker-invariant end to end: matching
+// and projection shard across workers without changing their results,
+// refinement is serial, and the coarsest solve is whatever the injected
+// Solve produces — the façade passes its worker-invariant MELO pipeline.
+// Consequently the final partitioning is bitwise identical at every
+// parallelism level.
+package multilevel
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/coarsen"
+	"repro/internal/fm"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// Defaults used when the corresponding Options fields are zero.
+const (
+	// DefaultThreshold is the coarsening stop: levels are added until
+	// the netlist has at most this many modules.
+	DefaultThreshold = 128
+	// DefaultMaxLevels caps the V-cycle depth.
+	DefaultMaxLevels = 32
+	// DefaultRefinePasses is the FM pass budget per level. Two passes
+	// capture almost all of a level's improvement — later passes trade
+	// a fraction of a percent of cut for a linear rescan of every level
+	// — and keep the whole uncoarsening phase O(pins · levels).
+	DefaultRefinePasses = 2
+)
+
+// Solve partitions the coarsest netlist. The façade injects its
+// resilient MELO pipeline here; tests inject cheap stand-ins. The
+// returned partitioning must be a complete K-way assignment with no
+// empty cluster.
+type Solve func(ctx context.Context, h *hypergraph.Hypergraph) (*partition.Partition, error)
+
+// Options configures a V-cycle run.
+type Options struct {
+	// K is the number of clusters (>= 2).
+	K int
+	// Threshold stops coarsening once the netlist has at most this
+	// many modules (default DefaultThreshold; never below 2·K so the
+	// coarsest solve stays feasible).
+	Threshold int
+	// MaxLevels caps the number of coarsening levels (default
+	// DefaultMaxLevels).
+	MaxLevels int
+	// RefinePasses is the FM pass budget per level (default
+	// DefaultRefinePasses; < 0 disables refinement).
+	RefinePasses int
+	// MinFrac is the bipartition balance bound refinement maintains,
+	// in area (default 0.45). A projected partitioning below the bound
+	// is refined under its own (weaker) balance instead — refinement
+	// never fails a feasible projection.
+	MinFrac float64
+	// Model is the clique expansion used for matching weights and the
+	// KL polish.
+	Model graph.CliqueModel
+	// Workers bounds the goroutines for matching and projection
+	// (0 = process default). Results are identical at every value.
+	Workers int
+}
+
+// LevelStat records one uncoarsening step, coarsest-first.
+type LevelStat struct {
+	// FineN and CoarseN are the module counts on the two sides of the
+	// level.
+	FineN, CoarseN int
+	// DroppedNets counts fine nets internal to one coarse module.
+	DroppedNets int
+	// ProjectedCut is the fine net cut right after projection (equal
+	// to the coarse cut by construction); RefinedCut is the cut after
+	// the level's refinement.
+	ProjectedCut, RefinedCut int
+}
+
+// Stats reports what a V-cycle run did.
+type Stats struct {
+	// CoarsestN is the module count the solver saw; CoarsestCut its
+	// net cut on the coarsest netlist.
+	CoarsestN, CoarsestCut int
+	// Levels holds one entry per uncoarsening step, coarsest-first.
+	Levels []LevelStat
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold == 0 {
+		o.Threshold = DefaultThreshold
+	}
+	if o.MaxLevels == 0 {
+		o.MaxLevels = DefaultMaxLevels
+	}
+	if o.RefinePasses == 0 {
+		o.RefinePasses = DefaultRefinePasses
+	}
+	if o.MinFrac == 0 {
+		o.MinFrac = 0.45
+	}
+	return o
+}
+
+// PartitionCtx runs the V-cycle: coarsen h until it has at most
+// Threshold modules, partition the coarsest netlist with solve, then
+// project back level by level, refining after each projection. The
+// returned Stats describe the cycle; they are valid whenever the error
+// is nil.
+func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options, solve Solve) (*partition.Partition, *Stats, error) {
+	o := opts.withDefaults()
+	if solve == nil {
+		return nil, nil, fmt.Errorf("multilevel: nil solver")
+	}
+	if o.K < 2 {
+		return nil, nil, fmt.Errorf("multilevel: K = %d, want >= 2", o.K)
+	}
+	if math.IsNaN(o.MinFrac) || o.MinFrac <= 0 || o.MinFrac > 0.5 {
+		return nil, nil, fmt.Errorf("multilevel: MinFrac = %v, want in (0, 0.5]", o.MinFrac)
+	}
+	if o.Threshold < 0 || o.MaxLevels < 0 {
+		return nil, nil, fmt.Errorf("multilevel: Threshold/MaxLevels must be >= 0")
+	}
+	workers := parallel.Workers(o.Workers)
+	stop := o.Threshold
+	if stop < 2*o.K {
+		stop = 2 * o.K
+	}
+	acap := areaCap(h.TotalArea(), o.K, o.MinFrac)
+
+	// Coarsening phase: heavy-edge match on the clique-model graph,
+	// contract, repeat until the netlist is small or matching stalls.
+	var levels []*coarsen.Level
+	cur := h
+	for cur.NumModules() > stop && len(levels) < o.MaxLevels {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		_, span := trace.Start(ctx, "multilevel.coarsen",
+			trace.Int("level", len(levels)), trace.Int("n", cur.NumModules()))
+		lvl, err := coarsenOnce(cur, o.Model, acap, workers)
+		if err != nil {
+			span.End()
+			return nil, nil, err
+		}
+		span.Annotate(trace.Int("coarse_n", lvl.Coarse.NumModules()),
+			trace.Int("dropped_nets", lvl.DroppedNets))
+		span.End()
+		if lvl.Merged == 0 {
+			break // matching stalled (area cap or isolated vertices)
+		}
+		levels = append(levels, lvl)
+		cur = lvl.Coarse
+		if lvl.Merged*50 < lvl.Fine.NumModules() {
+			break // < 2% contraction: further levels won't pay for themselves
+		}
+	}
+
+	// Coarsest solve.
+	sctx, span := trace.Start(ctx, "multilevel.solve",
+		trace.Int("n", cur.NumModules()), trace.Int("levels", len(levels)))
+	p, err := solve(sctx, cur)
+	span.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	if p == nil || p.N() != cur.NumModules() || p.K != o.K {
+		return nil, nil, fmt.Errorf("multilevel: solver returned an invalid partitioning")
+	}
+	stats := &Stats{CoarsestN: cur.NumModules(), CoarsestCut: partition.NetCut(cur, p)}
+
+	// Uncoarsening phase: project and refine, coarsest level first.
+	for i := len(levels) - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		lvl := levels[i]
+		_, span := trace.Start(ctx, "multilevel.refine",
+			trace.Int("level", i), trace.Int("n", lvl.Fine.NumModules()))
+		p, err = lvl.Project(p, workers)
+		if err != nil {
+			span.End()
+			return nil, nil, err
+		}
+		st := LevelStat{
+			FineN:        lvl.Fine.NumModules(),
+			CoarseN:      lvl.Coarse.NumModules(),
+			DroppedNets:  lvl.DroppedNets,
+			ProjectedCut: partition.NetCut(lvl.Fine, p),
+		}
+		p, err = refineLevel(lvl.Fine, p, o)
+		if err != nil {
+			span.End()
+			return nil, nil, err
+		}
+		st.RefinedCut = partition.NetCut(lvl.Fine, p)
+		span.Annotate(trace.Int("projected_cut", st.ProjectedCut),
+			trace.Int("refined_cut", st.RefinedCut))
+		span.End()
+		stats.Levels = append(stats.Levels, st)
+	}
+	return p, stats, nil
+}
+
+// areaCap bounds the area a coarse module may accumulate so the
+// downstream balance windows stay reachable: for bipartitions the window
+// [MinFrac·A, (1−MinFrac)·A] must be hittable by whole modules, for
+// k-way the DP windows [A/2k, 2A/k] must each fit a combination of
+// modules. The cap keeps every module at most one window-width heavy.
+func areaCap(total float64, k int, minFrac float64) float64 {
+	if k == 2 {
+		w := (1 - 2*minFrac) * total
+		if floor := total / 16; w < floor {
+			w = floor
+		}
+		return w
+	}
+	return total / float64(2*k)
+}
+
+// coarsenOnce matches on the netlist's clique-model weights and
+// contracts. Matching runs directly on net incidence
+// (coarsen.MatchNetlist) — materializing the clique expansion per level
+// used to dominate the whole V-cycle.
+func coarsenOnce(h *hypergraph.Hypergraph, model graph.CliqueModel, acap float64, workers int) (*coarsen.Level, error) {
+	var areas []float64
+	if h.HasAreas() {
+		areas = make([]float64, h.NumModules())
+		for i := range areas {
+			areas[i] = h.Area(i)
+		}
+	}
+	// Two handshake rounds harvest the easy mutual pairs in parallel;
+	// MatchNetlist's greedy fallback makes the matching maximal anyway,
+	// so more rounds only rescan the level for vanishing returns.
+	m := coarsen.MatchNetlist(h, model, areas, coarsen.MatchOptions{MaxArea: acap, Workers: workers, Rounds: 2})
+	return coarsen.Contract(h, m)
+}
+
+// refineLevel post-processes one projected partitioning with FM under
+// an achievable balance bound. FM works on the hypergraph's true net
+// cut; a KL polish on the clique expansion was tried here and removed —
+// it optimizes a proxy objective at O(n²) per level, which dominated
+// the whole V-cycle on dense coarse levels.
+func refineLevel(h *hypergraph.Hypergraph, p *partition.Partition, o Options) (*partition.Partition, error) {
+	if o.RefinePasses < 0 {
+		return p, nil
+	}
+	if o.K == 2 {
+		eff := effectiveMinFrac(h, p, o.MinFrac)
+		if eff > 0 {
+			res, err := fm.Refine(h, p, fm.Options{MinFrac: eff, MaxPasses: o.RefinePasses})
+			if err != nil {
+				return nil, fmt.Errorf("multilevel: fm refine: %w", err)
+			}
+			p = res.Partition
+		}
+		return p, nil
+	}
+	res, err := fm.RefineKWay(h, p, fm.KWayOptions{PassesPerPair: o.RefinePasses})
+	if err != nil {
+		return nil, fmt.Errorf("multilevel: fm k-way refine: %w", err)
+	}
+	return res.Partition, nil
+}
+
+// effectiveMinFrac relaxes the configured bound to one the projected
+// partitioning already satisfies: FM rejects inputs below its bound, and
+// a projection of a balanced coarse solution can legitimately sit
+// slightly outside the configured window (coarse modules are chunky).
+// The cluster-area sum here matches fm.Refine's summation order, so the
+// derived bound is feasible by construction. Returns 0 when refinement
+// must be skipped (a degenerate empty side).
+func effectiveMinFrac(h *hypergraph.Hypergraph, p *partition.Partition, minFrac float64) float64 {
+	areas := partition.ClusterAreas(h, p)
+	minSide := math.Min(areas[0], areas[1])
+	total := h.TotalArea()
+	if !(minSide > 0) || !(total > 0) {
+		return 0
+	}
+	if frac := minSide / total; frac < minFrac {
+		return frac
+	}
+	return minFrac
+}

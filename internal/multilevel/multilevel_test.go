@@ -1,0 +1,194 @@
+package multilevel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partest"
+	"repro/internal/partition"
+)
+
+// chunkSolve is a deterministic stand-in for the façade's coarsest
+// solver: contiguous index ranges of nearly equal module count.
+func chunkSolve(k int) Solve {
+	return func(_ context.Context, h *hypergraph.Hypergraph) (*partition.Partition, error) {
+		n := h.NumModules()
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = i * k / n
+		}
+		return partition.New(assign, k)
+	}
+}
+
+func TestVCycleProducesValidPartition(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		for seed := int64(1); seed <= 5; seed++ {
+			h := partest.RandomNetlist(400, 600, 5, seed)
+			p, stats, err := PartitionCtx(context.Background(), h, Options{K: k, Threshold: 32}, chunkSolve(k))
+			if err != nil {
+				t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+			}
+			if p.N() != h.NumModules() || p.K != k {
+				t.Fatalf("k=%d seed=%d: got %d modules / %d clusters", k, seed, p.N(), p.K)
+			}
+			sizes := p.Sizes()
+			for c, s := range sizes {
+				if s == 0 {
+					t.Fatalf("k=%d seed=%d: cluster %d empty", k, seed, c)
+				}
+			}
+			if len(stats.Levels) == 0 {
+				t.Fatalf("k=%d seed=%d: no coarsening levels on a 400-module netlist", k, seed)
+			}
+			if stats.CoarsestN > 400 {
+				t.Fatalf("coarsest has %d modules", stats.CoarsestN)
+			}
+			// The first projection's cut equals the coarsest cut
+			// (exact cut preservation) and refinement never worsens.
+			if got := stats.Levels[0].ProjectedCut; got != stats.CoarsestCut {
+				t.Fatalf("k=%d seed=%d: first projected cut %d != coarsest cut %d", k, seed, got, stats.CoarsestCut)
+			}
+			prev := stats.CoarsestCut
+			for li, st := range stats.Levels {
+				if st.ProjectedCut > prev && li > 0 {
+					t.Fatalf("level %d: projected cut %d above previous refined %d", li, st.ProjectedCut, prev)
+				}
+				if st.RefinedCut > st.ProjectedCut {
+					t.Fatalf("level %d: refinement worsened cut %d -> %d", li, st.ProjectedCut, st.RefinedCut)
+				}
+				prev = st.RefinedCut
+			}
+		}
+	}
+}
+
+func TestVCycleWorkerInvariant(t *testing.T) {
+	h := partest.RandomNetlist(300, 450, 6, 11)
+	base, _, err := PartitionCtx(context.Background(), h, Options{K: 2, Threshold: 24, Workers: 1}, chunkSolve(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 4, 8} {
+		p, _, err := PartitionCtx(context.Background(), h, Options{K: 2, Threshold: 24, Workers: w}, chunkSolve(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base.Assign, p.Assign) {
+			t.Fatalf("partition differs at workers=%d", w)
+		}
+	}
+}
+
+func TestVCycleHeterogeneousAreas(t *testing.T) {
+	h := partest.RandomNetlist(300, 400, 5, 5)
+	areas := make([]float64, h.NumModules())
+	for i := range areas {
+		areas[i] = 0.5 + float64(i%13)
+	}
+	if err := h.SetAreas(areas); err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := PartitionCtx(context.Background(), h, Options{K: 2, Threshold: 32}, chunkSolve(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := partition.ClusterAreas(h, p)
+	if ca[0] == 0 || ca[1] == 0 {
+		t.Fatalf("empty side: %v", ca)
+	}
+}
+
+func TestVCycleSmallNetlistSkipsCoarsening(t *testing.T) {
+	h := partest.RandomNetlist(20, 20, 4, 2)
+	p, stats, err := PartitionCtx(context.Background(), h, Options{K: 2}, chunkSolve(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Levels) != 0 {
+		t.Fatalf("expected no levels under the threshold, got %d", len(stats.Levels))
+	}
+	if stats.CoarsestN != h.NumModules() || p.N() != h.NumModules() {
+		t.Fatalf("coarsest n %d, partition n %d, want %d", stats.CoarsestN, p.N(), h.NumModules())
+	}
+}
+
+func TestVCycleSolverErrorPropagates(t *testing.T) {
+	h := partest.RandomNetlist(300, 300, 4, 3)
+	boom := errors.New("boom")
+	_, _, err := PartitionCtx(context.Background(), h, Options{K: 2},
+		func(context.Context, *hypergraph.Hypergraph) (*partition.Partition, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	_, _, err = PartitionCtx(context.Background(), h, Options{K: 2},
+		func(_ context.Context, ch *hypergraph.Hypergraph) (*partition.Partition, error) {
+			return partition.MustNew(make([]int, ch.NumModules()+1), 2), nil
+		})
+	if err == nil {
+		t.Fatal("invalid solver output accepted")
+	}
+}
+
+func TestVCycleCancellation(t *testing.T) {
+	h := partest.RandomNetlist(500, 700, 5, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := PartitionCtx(ctx, h, Options{K: 2, Threshold: 16}, chunkSolve(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestVCycleValidation(t *testing.T) {
+	h := partest.RandomNetlist(10, 10, 3, 1)
+	cases := []struct {
+		o    Options
+		s    Solve
+		want string
+	}{
+		{Options{K: 1}, chunkSolve(1), "K ="},
+		{Options{K: 2, MinFrac: 0.7}, chunkSolve(2), "MinFrac"},
+		{Options{K: 2, Threshold: -1}, chunkSolve(2), "Threshold"},
+		{Options{K: 2}, nil, "nil solver"},
+	}
+	for i, c := range cases {
+		if _, _, err := PartitionCtx(context.Background(), h, c.o, c.s); err == nil {
+			t.Fatalf("case %d: invalid options accepted", i)
+		}
+	}
+}
+
+func TestVCycleDeterministicAcrossRuns(t *testing.T) {
+	h := partest.RandomNetlist(350, 500, 5, 21)
+	var first []int
+	for run := 0; run < 3; run++ {
+		p, _, err := PartitionCtx(context.Background(), h, Options{K: 3, Threshold: 32}, chunkSolve(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			first = p.Assign
+			continue
+		}
+		if !reflect.DeepEqual(first, p.Assign) {
+			t.Fatalf("run %d differs", run)
+		}
+	}
+}
+
+func TestVCycleDeepCoarseningReachesThreshold(t *testing.T) {
+	h := partest.RandomNetlist(2000, 3000, 4, 77)
+	_, stats, err := PartitionCtx(context.Background(), h, Options{K: 2, Threshold: 64}, chunkSolve(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CoarsestN > 200 {
+		t.Fatalf("coarsest still has %d modules (threshold 64); levels: %v",
+			stats.CoarsestN, fmt.Sprint(stats.Levels))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	spectral "repro"
 	"repro/internal/barnes"
 	"repro/internal/dprp"
 	"repro/internal/eigen"
@@ -16,9 +17,11 @@ import (
 	"repro/internal/melo"
 	"repro/internal/paraboli"
 	"repro/internal/partition"
+	"repro/internal/recbis"
 	"repro/internal/rsb"
 	"repro/internal/sb"
 	"repro/internal/sfc"
+	"repro/internal/trivec"
 	"repro/internal/vecpart"
 	"repro/internal/vkp"
 )
@@ -272,6 +275,62 @@ func runners() []runner {
 		{name: "hl-d2", run: hlRunner(2)},
 		{name: "vkp-k2", run: vkpRunner(2)},
 		{name: "vkp-k3", run: vkpRunner(3)},
+		{name: "mlmelo-k2", run: mlmeloRunner(2)},
+		{name: "mlmelo-k3", run: mlmeloRunner(3)},
+		{name: "recbis-k2", run: recbisRunner(2)},
+		{name: "recbis-k4", run: recbisRunner(4)},
+		{name: "trivec-k3", run: trivecRunner()},
+	}
+}
+
+// mlmeloRunner exercises the full multilevel V-cycle through the façade.
+// The corpus netlists are tiny, so the coarsening threshold is forced
+// down to 4 to guarantee real coarsen/project/refine levels rather than
+// a degenerate flat solve. No balance window is claimed: projection plus
+// FM guarantees feasibility (complete assignment, no empty cluster) but
+// only a relaxed balance on chunky coarse modules.
+func mlmeloRunner(k int) func(e *caseEnv) (*runResult, error) {
+	return func(e *caseEnv) (*runResult, error) {
+		if k > e.h.NumModules() {
+			return nil, nil
+		}
+		p, err := spectral.Partition(e.h, spectral.Options{
+			K: k, Method: spectral.MultilevelMELO, CoarsenThreshold: 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &runResult{p: p, k: k, bal: Balance{}}, nil
+	}
+}
+
+// recbisRunner checks shared-decomposition recursive bisection against
+// the exact optimum using the case's dense d = n decomposition.
+func recbisRunner(k int) func(e *caseEnv) (*runResult, error) {
+	return func(e *caseEnv) (*runResult, error) {
+		if k > e.h.NumModules() {
+			return nil, nil
+		}
+		p, err := recbis.Partition(e.dec, k)
+		if err != nil {
+			return nil, err
+		}
+		return &runResult{p: p, k: k, bal: Balance{}}, nil
+	}
+}
+
+// trivecRunner checks the two-eigenvector 120°-sector tripartition; it
+// needs n >= 3 and at least three eigenpairs (v1, v2, v3).
+func trivecRunner() func(e *caseEnv) (*runResult, error) {
+	return func(e *caseEnv) (*runResult, error) {
+		if e.h.NumModules() < 3 || e.dec.D() < 3 {
+			return nil, nil
+		}
+		p, err := trivec.Partition(e.h, e.dec, trivec.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &runResult{p: p, k: 3, bal: Balance{}}, nil
 	}
 }
 

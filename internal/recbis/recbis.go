@@ -1,0 +1,106 @@
+// Package recbis implements recursive spectral bisection from one
+// shared eigendecomposition, in the style of NetworKit's spectral
+// partitioner: the Laplacian spectrum is computed once for the whole
+// graph, and each recursion level splits its subregion at a quantile of
+// the next eigenvector, restricted to the subregion's vertices. This is
+// the cheap cousin of internal/rsb (which re-eigensolves every induced
+// sub-hypergraph): one solve, arbitrary K, and — run on the coarsest
+// level of the multilevel engine — arbitrary n.
+package recbis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eigen"
+	"repro/internal/partition"
+)
+
+// Partition splits the decomposition's n vertices into k clusters by
+// per-subregion recursion: a region responsible for k clusters is split
+// into halves responsible for ⌊k/2⌋ and ⌈k/2⌉ clusters at the matching
+// quantile of eigenvector (depth+1), ordered within the region. The
+// eigenvector index is clamped to the decomposition, so deep recursions
+// reuse the last available vector. Every cluster receives at least one
+// vertex; ties order by vertex index, and each eigenvector's global sign
+// is canonicalized, so the result is deterministic.
+func Partition(dec *eigen.Decomposition, k int) (*partition.Partition, error) {
+	if dec == nil || dec.D() == 0 {
+		return nil, fmt.Errorf("recbis: empty decomposition")
+	}
+	n := dec.Vectors.Rows
+	if k < 1 {
+		return nil, fmt.Errorf("recbis: k = %d, want >= 1", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("recbis: k = %d exceeds %d vertices", k, n)
+	}
+	assign := make([]int, n)
+	if k == 1 {
+		return partition.New(assign, 1)
+	}
+	if dec.D() < 2 {
+		return nil, fmt.Errorf("recbis: need >= 2 eigenpairs for k = %d, have %d", k, dec.D())
+	}
+	// Extract and sign-canonicalize the non-trivial eigenvectors once.
+	vecs := make([][]float64, dec.D())
+	for j := 1; j < dec.D(); j++ {
+		v := dec.Vector(j)
+		canonSign(v)
+		vecs[j] = v
+	}
+	region := make([]int, n)
+	for i := range region {
+		region[i] = i
+	}
+	var rec func(vs []int, k, base, depth int)
+	rec = func(vs []int, k, base, depth int) {
+		if k == 1 {
+			for _, v := range vs {
+				assign[v] = base
+			}
+			return
+		}
+		j := 1 + depth
+		if j > dec.D()-1 {
+			j = dec.D() - 1
+		}
+		vec := vecs[j]
+		sort.Slice(vs, func(a, b int) bool {
+			va, vb := vec[vs[a]], vec[vs[b]]
+			if va != vb {
+				return va < vb
+			}
+			return vs[a] < vs[b]
+		})
+		k1 := k / 2
+		k2 := k - k1
+		m := (len(vs)*k1 + k/2) / k
+		if m < k1 {
+			m = k1
+		}
+		if m > len(vs)-k2 {
+			m = len(vs) - k2
+		}
+		rec(vs[:m], k1, base, depth+1)
+		rec(vs[m:], k2, base+k1, depth+1)
+	}
+	rec(region, k, 0, 0)
+	return partition.New(assign, k)
+}
+
+// canonSign flips v in place so its first entry of magnitude > 1e-12 is
+// positive, resolving the ±v ambiguity of a unit eigenvector.
+func canonSign(v []float64) {
+	for _, x := range v {
+		if x > 1e-12 {
+			return
+		}
+		if x < -1e-12 {
+			for i := range v {
+				v[i] = -v[i]
+			}
+			return
+		}
+	}
+}

@@ -37,6 +37,10 @@ const (
 	StageSplit Stage = "split"
 	// StageRefine covers FM post-refinement.
 	StageRefine Stage = "refine"
+	// StageMultilevel covers the multilevel V-cycle (coarsening,
+	// per-level projection and refinement); the coarsest solve inside
+	// it re-enters the regular stages.
+	StageMultilevel Stage = "multilevel"
 )
 
 // StageError attributes a failure — an error return or a recovered

@@ -325,6 +325,12 @@ type jobRequest struct {
 	Scheme  int     `json:"scheme"`
 	MinFrac float64 `json:"minFrac"`
 	Refine  bool    `json:"refine"`
+	// CoarsenThreshold, MaxLevels and RefinePasses mirror the multilevel
+	// fields of spectral.Options (method "mlmelo"); zero values select
+	// the façade defaults, and the flat methods ignore them.
+	CoarsenThreshold int `json:"coarsenThreshold"`
+	MaxLevels        int `json:"maxLevels"`
+	RefinePasses     int `json:"refinePasses"`
 	// Timeout is the job's end-to-end deadline (queue wait included) as
 	// a Go duration string, e.g. "30s". The Spectrald-Timeout request
 	// header is an alternative spelling; the body field wins when both
@@ -386,12 +392,15 @@ func (s *Server) handlePostJob(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		jr.Opts = spectral.Options{
-			K:       req.K,
-			Method:  method,
-			D:       req.D,
-			Scheme:  req.Scheme,
-			MinFrac: req.MinFrac,
-			Refine:  req.Refine,
+			K:                req.K,
+			Method:           method,
+			D:                req.D,
+			Scheme:           req.Scheme,
+			MinFrac:          req.MinFrac,
+			Refine:           req.Refine,
+			CoarsenThreshold: req.CoarsenThreshold,
+			MaxLevels:        req.MaxLevels,
+			RefinePasses:     req.RefinePasses,
 		}
 	case "order":
 		jr.Kind = jobs.KindOrder

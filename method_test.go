@@ -6,7 +6,7 @@ import (
 )
 
 func TestMethodStringParseRoundTrip(t *testing.T) {
-	for m := MELO; m <= HL; m++ {
+	for m := MELO; m <= TwoVectorTripartition; m++ {
 		name := m.String()
 		if name == "" || strings.HasPrefix(name, "Method(") {
 			t.Fatalf("method %d has no name", int(m))

@@ -79,42 +79,40 @@ const (
 	// HL is Hendrickson-Leland median splitting [29]; K must be a power
 	// of two.
 	HL
+	// MultilevelMELO runs MELO through the multilevel V-cycle
+	// (internal/multilevel): heavy-edge-matching coarsening until the
+	// netlist fits under Options.CoarsenThreshold, a flat MELO solve on
+	// the coarsest netlist, then level-by-level projection with FM/KL
+	// refinement. Same objective as MELO at a fraction of the cost —
+	// the only method practical at n ≈ 10⁵–10⁶.
+	MultilevelMELO
+	// RecursiveBisection recursively splits subregions at quantiles of
+	// successive eigenvectors of ONE shared decomposition (NetworKit
+	// style; contrast RSB, which re-eigensolves every subregion).
+	// Arbitrary K.
+	RecursiveBisection
+	// TwoVectorTripartition divides the (v2, v3) spectral embedding
+	// into three 120° sectors with a grid-searched orientation
+	// (Richardson–Mucha–Porter); K must be 3.
+	TwoVectorTripartition
 )
 
 // String returns the method name.
 func (m Method) String() string {
-	switch m {
-	case MELO:
-		return "melo"
-	case SB:
-		return "sb"
-	case RSB:
-		return "rsb"
-	case KP:
-		return "kp"
-	case SFC:
-		return "sfc"
-	case Placement:
-		return "placement"
-	case VKP:
-		return "vkp"
-	case Barnes:
-		return "barnes"
-	case HL:
-		return "hl"
-	default:
-		return fmt.Sprintf("Method(%d)", int(m))
+	if info := methodInfoOf(m); info != nil {
+		return info.name
 	}
+	return fmt.Sprintf("Method(%d)", int(m))
 }
 
 // ParseMethod converts a method name to a Method.
 func ParseMethod(s string) (Method, error) {
-	for m := MELO; m <= HL; m++ {
-		if m.String() == s {
-			return m, nil
+	for _, info := range methodTable {
+		if info.name == s {
+			return info.method, nil
 		}
 	}
-	return 0, fmt.Errorf("spectral: unknown method %q (want melo|sb|rsb|kp|sfc|placement|vkp|barnes|hl)", s)
+	return 0, fmt.Errorf("spectral: unknown method %q (want %s)", s, methodHelp())
 }
 
 // Options configures Partition.
@@ -137,6 +135,15 @@ type Options struct {
 	// passes (the paper's iterative-improvement extension): direct FM
 	// for k = 2, pairwise FM sweeps for k > 2.
 	Refine bool
+	// CoarsenThreshold stops MultilevelMELO's coarsening once the
+	// netlist has at most this many modules (default 128; never below
+	// 2·K). Ignored by the flat methods.
+	CoarsenThreshold int
+	// MaxLevels caps MultilevelMELO's coarsening depth (default 32).
+	MaxLevels int
+	// RefinePasses is MultilevelMELO's FM pass budget per uncoarsening
+	// level (default 4; < 0 disables per-level refinement).
+	RefinePasses int
 	// Parallelism bounds the worker goroutines the numerical kernels
 	// (row-sharded MatVec, block Gram–Schmidt reorthogonalization,
 	// MELO's candidate scans, per-component eigensolves) may use for
@@ -332,30 +339,20 @@ func (pl *pipeline) run(h *Netlist) (*Partitioning, error) {
 	return p, nil
 }
 
+// dispatch routes the run to its method's pipeline via the method
+// registry (methods.go) — the single dispatch point shared by the flat
+// and multilevel paths.
 func (pl *pipeline) dispatch(h *Netlist) (*Partitioning, error) {
-	switch pl.o.Method {
-	case MELO:
-		return pl.partitionMELO(h)
-	case SB:
-		return pl.partitionSB(h)
-	case RSB:
-		pl.enter(resilience.StageSplit)
-		return rsb.PartitionCtx(pl.ctx, h, rsb.Options{K: pl.o.K, Model: graph.PartitioningSpecific})
-	case KP:
-		return pl.partitionKP(h)
-	case SFC:
-		return pl.partitionSFC(h)
-	case Placement:
-		return pl.partitionPlacement(h)
-	case VKP:
-		return pl.partitionVKP(h)
-	case Barnes:
-		return pl.partitionBarnes(h)
-	case HL:
-		return pl.partitionHL(h)
-	default:
+	info := methodInfoOf(pl.o.Method)
+	if info == nil {
 		return nil, fmt.Errorf("spectral: unknown method %v", pl.o.Method)
 	}
+	return info.run(pl, h)
+}
+
+func (pl *pipeline) partitionRSB(h *Netlist) (*Partitioning, error) {
+	pl.enter(resilience.StageSplit)
+	return rsb.PartitionCtx(pl.ctx, h, rsb.Options{K: pl.o.K, Model: graph.PartitioningSpecific})
 }
 
 // decompose is the context-free decomposition used by the extension

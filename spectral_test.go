@@ -122,7 +122,7 @@ func TestHLRejectsNonPowerOfTwo(t *testing.T) {
 }
 
 func TestMethodStringRoundTrip(t *testing.T) {
-	for m := MELO; m <= HL; m++ {
+	for m := MELO; m <= TwoVectorTripartition; m++ {
 		got, err := ParseMethod(m.String())
 		if err != nil || got != m {
 			t.Errorf("round trip failed for %v", m)

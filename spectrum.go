@@ -123,27 +123,15 @@ type SpectrumSpec struct {
 }
 
 // SpectrumSpec returns the decomposition requirement of a Partition run
-// with these options (after defaulting).
+// with these options (after defaulting), from the method registry
+// (methods.go). Methods that run their own internal solves — RSB,
+// Placement, Barnes, MultilevelMELO — report Needed: false.
 func (o Options) SpectrumSpec() SpectrumSpec {
 	d := o.withDefaults()
-	switch d.Method {
-	case MELO, VKP:
-		return SpectrumSpec{Needed: true, Model: ModelPartitioningSpecific, D: d.D}
-	case SB:
-		return SpectrumSpec{Needed: true, Model: ModelPartitioningSpecific, D: 1}
-	case SFC:
-		return SpectrumSpec{Needed: true, Model: ModelPartitioningSpecific, D: 2}
-	case KP:
-		return SpectrumSpec{Needed: true, Model: ModelFrankle, D: d.K}
-	case HL:
-		bits := 0
-		for 1<<uint(bits) < d.K {
-			bits++
-		}
-		return SpectrumSpec{Needed: true, Model: ModelPartitioningSpecific, D: bits}
-	default: // RSB, Placement, Barnes
-		return SpectrumSpec{Needed: false}
+	if info := methodInfoOf(d.Method); info != nil {
+		return info.spec(d)
 	}
+	return SpectrumSpec{Needed: false}
 }
 
 // OrderSpectrumSpec returns the decomposition requirement of an
