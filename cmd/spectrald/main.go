@@ -13,6 +13,8 @@
 //	          [-max-netlists N] [-parallelism N] [-grace 30s]
 //	          [-journal-dir DIR] [-max-queue-wait D]
 //	          [-shed-policy none|degrade|reject]
+//	          [-store-dir DIR] [-batch-window D] [-batch-max N]
+//	          [-peer-self URL] [-peers URL,URL,...]
 //	          [-debug-addr 127.0.0.1:8091] [-trace out.jsonl]
 //	          [-trace-ring N] [-trace-chunks N]
 //
@@ -32,6 +34,24 @@
 // -max-queue-wait fails jobs that sat queued longer than the bound;
 // -shed-policy selects what sustained queue pressure does to new jobs
 // (degrade them to a cheaper eigenvector count, or reject early).
+//
+// -store-dir adds a persistent spectrum tier behind the in-memory LRU:
+// computed eigendecompositions are written to CRC-framed files in that
+// directory, LRU evictions spill there instead of being lost, and a
+// restarted daemon serves warm requests by decoding instead of
+// recomputing. Corrupt entries are quarantined on read, never served.
+//
+// -batch-window coalesces concurrent spectrum requests: jobs needing a
+// decomposition of the same netlist and model within the window share
+// one eigensolve sized to the largest request; -batch-max fires a batch
+// early once it holds that many jobs. 0 disables batching.
+//
+// -peers joins a static shard of spectrald instances (comma-separated
+// base URLs) with -peer-self naming this instance's own base URL as the
+// peers spell it. Spectrum lookups route to the instance owning the
+// netlist fingerprint (rendezvous hashing); a dead peer degrades to
+// local compute, never to an error. See DESIGN.md, "Spectrum
+// persistence, batching and sharding".
 //
 // Every job execution is traced (per-stage spans, kernel counters; see
 // internal/trace): /metrics exposes the aggregates. -debug-addr opens a
@@ -55,6 +75,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,6 +83,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/parallel"
 	"repro/internal/server"
+	"repro/internal/specstore"
 	"repro/internal/trace"
 )
 
@@ -77,6 +99,11 @@ func main() {
 		journalDir   = flag.String("journal-dir", "", "durable job journal directory; empty = no crash safety")
 		maxQueueWait = flag.Duration("max-queue-wait", 0, "fail jobs queued longer than this (0 = unbounded)")
 		shedPolicy   = flag.String("shed-policy", "none", "overload response: none|degrade|reject")
+		storeDir     = flag.String("store-dir", "", "persistent spectrum store directory; empty = in-memory cache only")
+		batchWindow  = flag.Duration("batch-window", 0, "coalesce same-netlist spectrum requests for this long (0 = off)")
+		batchMax     = flag.Int("batch-max", 0, "fire a spectrum batch early at this many jobs (0 = 16)")
+		peerSelf     = flag.String("peer-self", "", "this instance's base URL as shard peers spell it (required with -peers)")
+		peers        = flag.String("peers", "", "comma-separated shard peer base URLs; empty = no sharding")
 		debugAddr    = flag.String("debug-addr", "", "diagnostics listen address (pprof, /debug/trace, /debug/report); empty = disabled")
 		traceOut     = flag.String("trace", "", "append finished spans as JSON lines to this file")
 		traceRing    = flag.Int("trace-ring", 4096, "recent spans retained for /debug/trace")
@@ -89,6 +116,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spectrald: unknown -shed-policy %q (want none|degrade|reject)\n", *shedPolicy)
 		os.Exit(2)
 	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	if len(peerList) > 0 && *peerSelf == "" {
+		fmt.Fprintln(os.Stderr, "spectrald: -peers requires -peer-self")
+		os.Exit(2)
+	}
 	if err := run(config{
 		addr:         *addr,
 		workers:      *workers,
@@ -99,6 +138,11 @@ func main() {
 		journalDir:   *journalDir,
 		maxQueueWait: *maxQueueWait,
 		shedPolicy:   policy,
+		storeDir:     *storeDir,
+		batchWindow:  *batchWindow,
+		batchMax:     *batchMax,
+		peerSelf:     *peerSelf,
+		peers:        peerList,
 		debugAddr:    *debugAddr,
 		traceOut:     *traceOut,
 		traceRing:    *traceRing,
@@ -117,6 +161,11 @@ type config struct {
 	journalDir                     string
 	maxQueueWait                   time.Duration
 	shedPolicy                     jobs.ShedPolicy
+	storeDir                       string
+	batchWindow                    time.Duration
+	batchMax                       int
+	peerSelf                       string
+	peers                          []string
 	debugAddr, traceOut            string
 	traceRing, traceChunks         int
 }
@@ -150,6 +199,20 @@ func run(cfg config) error {
 		}
 	}
 
+	var store specstore.Store
+	if cfg.storeDir != "" {
+		disk, err := specstore.OpenDisk(cfg.storeDir)
+		if err != nil {
+			return fmt.Errorf("open spectrum store: %w", err)
+		}
+		defer disk.Close()
+		if q := disk.Stats().Quarantined; q > 0 {
+			log.Printf("spectrum store: quarantined %d corrupt entries in %s", q, cfg.storeDir)
+		}
+		log.Printf("spectrum store: %d entries in %s", disk.Len(), cfg.storeDir)
+		store = disk
+	}
+
 	pool := jobs.NewPool(jobs.Config{
 		Workers:      cfg.workers,
 		QueueDepth:   cfg.queueDepth,
@@ -157,9 +220,18 @@ func run(cfg config) error {
 		MaxQueueWait: cfg.maxQueueWait,
 		ShedPolicy:   cfg.shedPolicy,
 		Journal:      jnl,
+		Store:        store,
+		BatchWindow:  cfg.batchWindow,
+		BatchMax:     cfg.batchMax,
 	})
 	pool.SetTracer(tracer)
 	srv := server.New(pool, server.Config{MaxNetlists: cfg.maxNetlists, Tracer: tracer})
+	if len(cfg.peers) > 0 {
+		if err := srv.ConfigureSharding(cfg.peerSelf, cfg.peers); err != nil {
+			return fmt.Errorf("configure sharding: %w", err)
+		}
+		log.Printf("shard ring: %s", srv.Ring())
+	}
 	if jnl != nil {
 		stats, nets, err := pool.Restore(replay)
 		if err != nil {

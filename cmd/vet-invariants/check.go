@@ -30,6 +30,8 @@ var defaultDaemonPackages = []string{
 	"internal/jobs",
 	"internal/server",
 	"internal/journal",
+	"internal/specstore",
+	"internal/shard",
 	"internal/coarsen",
 	"internal/multilevel",
 }

@@ -22,6 +22,9 @@ func (h *Hypergraph) SetAreas(areas []float64) error {
 	}
 	h.areas = make([]float64, len(areas))
 	copy(h.areas, areas)
+	// Areas are part of the canonical content hash; drop any memoized
+	// fingerprint computed before this mutation.
+	h.canonHash.Store(nil)
 	return nil
 }
 

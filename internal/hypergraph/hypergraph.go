@@ -10,6 +10,7 @@ package hypergraph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Hypergraph is an immutable netlist. Build one with a Builder or a
@@ -27,6 +28,32 @@ type Hypergraph struct {
 	pins [][]int
 	// areas holds per-module areas; nil means unit areas (see areas.go).
 	areas []float64
+
+	// canonHash memoizes the canonical content fingerprint (computed by
+	// internal/speccache.Fingerprint). A Hypergraph is immutable after
+	// construction, so the O(pins) canonicalization need run only once
+	// per netlist no matter how many jobs are submitted against it. nil
+	// means "not yet computed".
+	canonHash atomic.Pointer[string]
+}
+
+// CanonicalHash returns the memoized content fingerprint, or "" if none
+// has been recorded yet.
+func (h *Hypergraph) CanonicalHash() string {
+	if p := h.canonHash.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// SetCanonicalHash records the content fingerprint for reuse. The first
+// recorded value wins; later calls are no-ops, so concurrent recorders
+// cannot flap the memo.
+func (h *Hypergraph) SetCanonicalHash(hash string) {
+	if hash == "" {
+		return
+	}
+	h.canonHash.CompareAndSwap(nil, &hash)
 }
 
 // NumModules returns the number of modules.

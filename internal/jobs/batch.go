@@ -1,0 +1,128 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	spectral "repro"
+	"repro/internal/speccache"
+	"repro/internal/trace"
+)
+
+// batcher coalesces spectrum requests: jobs needing a decomposition of
+// the same (netlist fingerprint, clique model) within one batch window
+// share a single fetch sized to the batch's largest request — the
+// prefix-maximal pair count, generalizing the cache's singleflight
+// (which only coalesces requests arriving while a compute is already in
+// flight, and only at the first request's size).
+//
+// A batch fires when its window elapses or when it reaches max members,
+// whichever comes first. Each member gets its own delivery: a cancelled
+// member abandons its (buffered) slot without holding up the rest.
+type batcher struct {
+	p      *Pool
+	window time.Duration
+	max    int
+
+	mu      sync.Mutex
+	pending map[speccache.Key]*specBatch
+}
+
+// specBatch is one open batch window. members and pairs grow under
+// batcher.mu until fired flips, after which the batch is immutable.
+type specBatch struct {
+	key     speccache.Key
+	model   spectral.Model
+	h       *spectral.Netlist
+	pairs   int // prefix-maximal over members
+	opened  time.Time
+	timer   *time.Timer
+	fired   bool
+	members []chan batchResult
+}
+
+// batchResult is what a fired batch delivers to each member.
+type batchResult struct {
+	sp      *spectral.Spectrum
+	hit     bool
+	size    int       // members in the batch
+	firedAt time.Time // when the window closed (wait accounting)
+	err     error
+}
+
+func newBatcher(p *Pool, window time.Duration, max int) *batcher {
+	return &batcher{p: p, window: window, max: max, pending: make(map[speccache.Key]*specBatch)}
+}
+
+// fetch joins (or opens) the batch for key and waits for it to fire.
+// The caller's context only governs its own wait: a member cancelled
+// mid-window stops waiting, but the batch still fires for the others.
+func (b *batcher) fetch(ctx context.Context, j *Job, key speccache.Key, model spectral.Model, pairs int) (*spectral.Spectrum, bool, error) {
+	joined := time.Now()
+	ch := make(chan batchResult, 1) // buffered: delivery never blocks on a gone member
+	b.mu.Lock()
+	sb, ok := b.pending[key]
+	if !ok {
+		sb = &specBatch{key: key, model: model, h: j.req.Netlist, opened: joined}
+		sb.timer = time.AfterFunc(b.window, func() { b.fire(sb) })
+		b.pending[key] = sb
+	}
+	if pairs > sb.pairs {
+		sb.pairs = pairs
+	}
+	sb.members = append(sb.members, ch)
+	full := len(sb.members) >= b.max
+	b.mu.Unlock()
+
+	if full {
+		b.fire(sb) // size trigger; fire is idempotent vs the timer
+	}
+	select {
+	case r := <-ch:
+		j.recordBatch(r.firedAt.Sub(joined), r.size)
+		return r.sp, r.hit, r.err
+	case <-ctx.Done():
+		j.recordBatch(time.Since(joined), 0)
+		return nil, false, ctx.Err()
+	}
+}
+
+// fire closes the batch (idempotently), runs one tiered fetch at the
+// prefix-maximal size under the pool's base context, and delivers the
+// result to every member. It runs on the timer goroutine (deadline
+// trigger) or the member that filled the batch (size trigger).
+func (b *batcher) fire(sb *specBatch) {
+	b.mu.Lock()
+	if sb.fired {
+		b.mu.Unlock()
+		return
+	}
+	sb.fired = true
+	delete(b.pending, sb.key)
+	sb.timer.Stop()
+	members := sb.members
+	pairs := sb.pairs
+	b.mu.Unlock()
+
+	firedAt := time.Now()
+	b.p.batchesFired.Add(1)
+	b.p.batchedJobs.Add(uint64(len(members)))
+
+	ctx := b.p.baseCtx
+	if b.p.tracer != nil {
+		ctx = trace.WithTracer(ctx, b.p.tracer)
+	}
+	ctx, span := trace.Start(ctx, "batch.fire",
+		trace.Int("members", len(members)), trace.Int("pairs", pairs),
+		trace.Str("model", sb.key.Model))
+	sp, hit, err := b.p.fetchSpectrum(ctx, sb.h, sb.key, sb.model, pairs, true)
+	if span != nil {
+		span.Annotate(trace.Bool("hit", hit))
+		span.End()
+		trace.FromContext(ctx).Add("jobs.batched", int64(len(members)))
+	}
+	for _, ch := range members {
+		ch <- batchResult{sp: sp, hit: hit, size: len(members), firedAt: firedAt, err: err}
+	}
+}

@@ -1,0 +1,271 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	spectral "repro"
+)
+
+// equivalenceRequests is the method/kind matrix the batched≡unbatched
+// guarantee is checked against: every clique model, several K values,
+// and an ordering job.
+func equivalenceRequests(h *spectral.Netlist) []Request {
+	return []Request{
+		{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.MELO}},
+		{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 4, Method: spectral.MELO}},
+		{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.SFC}},
+		{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.SB}},
+		{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.KP}},
+		{Netlist: h, Kind: KindOrder, D: 5},
+	}
+}
+
+func runAll(t *testing.T, p *Pool, reqs []Request) []*Result {
+	t.Helper()
+	jobsOut := make([]*Job, len(reqs))
+	for i, req := range reqs {
+		j, err := p.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobsOut[i] = j
+	}
+	results := make([]*Result, len(reqs))
+	for i, j := range jobsOut {
+		results[i] = waitDone(t, j)
+	}
+	return results
+}
+
+func assertSameResults(t *testing.T, want, got []*Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("result count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.K != g.K || w.NetCut != g.NetCut || w.ScaledCost != g.ScaledCost {
+			t.Errorf("request %d: cut (%d, %g, k=%d) != (%d, %g, k=%d)",
+				i, g.NetCut, g.ScaledCost, g.K, w.NetCut, w.ScaledCost, w.K)
+		}
+		if len(w.Assign) != len(g.Assign) {
+			t.Fatalf("request %d: assign length differs", i)
+		}
+		for m := range w.Assign {
+			if w.Assign[m] != g.Assign[m] {
+				t.Fatalf("request %d: module %d assigned %d batched, %d unbatched", i, m, g.Assign[m], w.Assign[m])
+			}
+		}
+		if len(w.Order) != len(g.Order) {
+			t.Fatalf("request %d: order length differs", i)
+		}
+		for m := range w.Order {
+			if w.Order[m] != g.Order[m] {
+				t.Fatalf("request %d: order[%d] = %d batched, %d unbatched", i, m, g.Order[m], w.Order[m])
+			}
+		}
+	}
+}
+
+// Batching must be invisible in the answers: every method and kind
+// produces bit-identical partitions/orderings whether its spectrum came
+// from a coalesced batch fetch (sized to the batch's largest request)
+// or a dedicated unbatched one.
+func TestBatchedEqualsUnbatched(t *testing.T) {
+	defer leakCheck(t)()
+	h := testNetlist(t)
+	reqs := equivalenceRequests(h)
+
+	ref := NewPool(Config{Workers: 1, QueueDepth: 16})
+	ref.Start()
+	want := runAll(t, ref, reqs)
+	if err := ref.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Enough workers that every job reaches the batcher inside the
+	// window; the deadline trigger then fires one fetch per clique model.
+	batched := NewPool(Config{Workers: len(reqs), QueueDepth: 16, BatchWindow: 500 * time.Millisecond})
+	batched.Start()
+	defer batched.Shutdown(context.Background())
+	got := runAll(t, batched, reqs)
+	assertSameResults(t, want, got)
+
+	st := batched.Stats()
+	if st.BatchedJobs != uint64(len(reqs)) {
+		t.Errorf("batched jobs = %d, want %d (every job routes through the batcher)", st.BatchedJobs, len(reqs))
+	}
+	if st.Batches == 0 {
+		t.Error("no batches fired")
+	}
+	// All partitioning-specific jobs coalesced into one decomposition
+	// and KP's Frankle model into a second: exactly two eigensolves.
+	if st.Computed != 2 {
+		t.Errorf("computed %d decompositions, want 2 (one per clique model)", st.Computed)
+	}
+}
+
+// A batch reaching BatchMax fires immediately — well before a long
+// window would expire — and reports its membership on job status.
+func TestBatchSizeTrigger(t *testing.T) {
+	defer leakCheck(t)()
+	h := testNetlist(t)
+	p := NewPool(Config{Workers: 2, QueueDepth: 8, BatchWindow: time.Minute, BatchMax: 2})
+	p.Start()
+	defer p.Shutdown(context.Background())
+
+	req := Request{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.MELO}}
+	j1, err := p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := p.Submit(Request{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 4, Method: spectral.MELO}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		<-j1.Done()
+		<-j2.Done()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("size trigger did not fire; jobs stuck waiting for a one-minute window")
+	}
+	for _, j := range []*Job{j1, j2} {
+		if _, err := j.Result(); err != nil {
+			t.Fatal(err)
+		}
+		if st := j.Status(); st.BatchMembers != 2 {
+			t.Errorf("job %s batch members = %d, want 2", j.ID(), st.BatchMembers)
+		}
+	}
+	st := p.Stats()
+	if st.Batches != 1 || st.BatchedJobs != 2 {
+		t.Errorf("batches = %d, batched jobs = %d; want 1 and 2", st.Batches, st.BatchedJobs)
+	}
+	if st.Computed != 1 {
+		t.Errorf("computed = %d, want 1 shared eigensolve", st.Computed)
+	}
+}
+
+// A lone job must not wait forever: the window deadline fires a batch
+// of one, and the job's status records the wait.
+func TestBatchDeadlineTrigger(t *testing.T) {
+	defer leakCheck(t)()
+	h := testNetlist(t)
+	p := NewPool(Config{Workers: 1, QueueDepth: 4, BatchWindow: 50 * time.Millisecond})
+	p.Start()
+	defer p.Shutdown(context.Background())
+
+	j, err := p.Submit(Request{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.MELO}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	st := j.Status()
+	if st.BatchMembers != 1 {
+		t.Errorf("batch members = %d, want 1", st.BatchMembers)
+	}
+	if st.BatchSeconds < 0.02 {
+		t.Errorf("batch wait %.3fs, want >= the ~50ms window", st.BatchSeconds)
+	}
+	if ps := p.Stats(); ps.Batches != 1 {
+		t.Errorf("batches = %d, want 1 (deadline trigger)", ps.Batches)
+	}
+}
+
+// A member cancelled mid-window abandons its slot without wedging the
+// batch: the survivors still get their decomposition, and the
+// cancelled job reports context.Canceled.
+func TestBatchCancelledMemberDoesNotBlockOthers(t *testing.T) {
+	defer leakCheck(t)()
+	h := testNetlist(t)
+	p := NewPool(Config{Workers: 3, QueueDepth: 8, BatchWindow: time.Minute, BatchMax: 3})
+	p.Start()
+	defer p.Shutdown(context.Background())
+
+	req := Request{Netlist: h, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.MELO}}
+	j1, err := p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let both reach the batcher, then cancel one member mid-window.
+	waitForMembers(t, p, 2)
+	if !p.Cancel(victim.ID()) {
+		t.Fatal("cancel returned false")
+	}
+	<-victim.Done()
+	if _, err := victim.Result(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("victim result err = %v, want context.Canceled", err)
+	}
+
+	// The third member fills the batch (the abandoned slot still
+	// counts) and fires it; the survivors complete.
+	j3, err := p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	waitDone(t, j3)
+	if st := p.Stats(); st.Batches != 1 {
+		t.Errorf("batches = %d, want 1", st.Batches)
+	}
+}
+
+// waitForMembers polls until the batcher holds n waiting members.
+func waitForMembers(t *testing.T, p *Pool, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		p.batcher.mu.Lock()
+		total := 0
+		for _, sb := range p.batcher.pending {
+			total += len(sb.members)
+		}
+		p.batcher.mu.Unlock()
+		if total >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("batcher never reached %d members", n)
+}
+
+// Jobs over different netlists or clique models must not coalesce:
+// each (fingerprint, model) pair gets its own batch and eigensolve.
+func TestBatchIncompatibleJobsDoNotCoalesce(t *testing.T) {
+	defer leakCheck(t)()
+	hA := testNetlist(t)
+	hB, err := spectral.GenerateBenchmark("prim1", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(Config{Workers: 4, QueueDepth: 8, BatchWindow: 100 * time.Millisecond})
+	p.Start()
+	defer p.Shutdown(context.Background())
+
+	reqs := []Request{
+		{Netlist: hA, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.MELO}},
+		{Netlist: hA, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.KP}},
+		{Netlist: hB, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.MELO}},
+		{Netlist: hB, Kind: KindPartition, Opts: spectral.Options{K: 2, Method: spectral.KP}},
+	}
+	runAll(t, p, reqs)
+	st := p.Stats()
+	if st.Batches != 4 {
+		t.Errorf("batches = %d, want 4 (no cross-key coalescing)", st.Batches)
+	}
+	if st.Computed != 4 {
+		t.Errorf("computed = %d, want 4 distinct eigensolves", st.Computed)
+	}
+}

@@ -213,6 +213,11 @@ func (p *Pool) Restore(rep *journal.ReplayResult) (RestoreStats, map[string]Rest
 		if name == "" {
 			name = nr.Name
 		}
+		// The journal recorded this netlist's fingerprint when it was
+		// first uploaded (and the record's CRC protected it since); seed
+		// the memo so re-adoption and re-enqueued submits don't pay a
+		// fresh O(pins) canonicalization per netlist on every restart.
+		h.SetCanonicalHash(nr.Hash)
 		nets[nr.Hash] = RestoredNetlist{Name: name, Netlist: h}
 	}
 	stats.Netlists = len(nets)
@@ -441,14 +446,11 @@ func (p *Pool) prewarm(hints []journal.SpectrumHint, nets map[string]RestoredNet
 		}
 		key := speccache.Key{Hash: h.Hash, Model: h.Model}
 		p.cache.MarkExpected(key)
-		pairs := h.Pairs
-		_, hit, err := p.cache.GetOrCompute(p.baseCtx, key, pairs, func(context.Context) (speccache.Entry, error) {
-			sp, err := spectral.DecomposeCtxPolicy(p.baseCtx, rn.Netlist, model, pairs-1, p.cfg.EigenPolicy)
-			if err != nil {
-				return speccache.Entry{}, err
-			}
-			return speccache.Entry{Value: sp, Pairs: sp.Pairs()}, nil
-		})
+		// The tiered fetch means a prewarm against a populated persistent
+		// store repopulates the LRU by decoding, not recomputing — the
+		// zero-recompute warm restart. Remote is excluded: a restart
+		// should not hammer shard peers for work it can do itself.
+		_, hit, err := p.fetchSpectrum(p.baseCtx, rn.Netlist, key, model, h.Pairs, false)
 		if p.tracer != nil && err == nil && !hit {
 			p.tracer.Add("speccache.prewarmed", 1)
 		}

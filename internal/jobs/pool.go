@@ -7,12 +7,14 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	spectral "repro"
 	"repro/internal/journal"
 	"repro/internal/resilience"
 	"repro/internal/speccache"
+	"repro/internal/specstore"
 	"repro/internal/trace"
 )
 
@@ -51,6 +53,22 @@ type Config struct {
 	// CompactEvery is the number of journaled terminal transitions
 	// between automatic journal compactions. Default 1024.
 	CompactEvery int
+	// Store, when set, is the persistent spectrum tier behind the
+	// in-memory LRU: cache misses consult it before computing, computed
+	// entries are written through to it, and LRU evictions spill into
+	// it. The pool does not close it. Default nil (no persistence).
+	Store specstore.Store
+	// BatchWindow, when positive, coalesces concurrent spectrum
+	// requests: a job needing a decomposition waits up to BatchWindow
+	// for other jobs with the same (netlist fingerprint, model) to
+	// arrive, then one decomposition sized to the batch's largest
+	// request (prefix-maximal pairs) serves every member. Default 0
+	// (batching disabled; the cache's singleflight still coalesces
+	// exactly-concurrent computes).
+	BatchWindow time.Duration
+	// BatchMax fires a batch early once it holds this many members.
+	// Default 16 (only meaningful when BatchWindow > 0).
+	BatchMax int
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +90,9 @@ func (c Config) withDefaults() Config {
 	if c.CompactEvery <= 0 {
 		c.CompactEvery = 1024
 	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
 	return c
 }
 
@@ -88,6 +109,17 @@ type Stats struct {
 	QueueDepth, QueueCapacity, Workers        int
 	Cache                                     speccache.Stats
 	QueueWait, Spectrum, Solve                StageStats
+	// Batch aggregates the window wait of jobs that went through a
+	// spectrum batch (zero when batching is disabled).
+	Batch StageStats
+	// Batches counts fired batch windows; BatchedJobs the members they
+	// delivered a decomposition to.
+	Batches, BatchedJobs uint64
+	// Computed counts eigendecompositions this process actually solved
+	// — as opposed to serving from the LRU, the persistent store
+	// (StoreHits) or a shard peer (RemoteHits). A warm restart against
+	// a populated store should leave Computed at zero.
+	Computed, StoreHits, RemoteHits uint64
 	// Shed reports the admission controller's state and counters.
 	Shed ShedStats
 	// JournalErrors counts journal appends that failed (durable or
@@ -126,6 +158,21 @@ type Pool struct {
 	shed *shedder
 	lat  latRing
 
+	// batcher coalesces spectrum requests (nil when BatchWindow is 0);
+	// remote, when set via SetRemote before Start, proxies spectrum
+	// lookups to the shard peer owning the fingerprint.
+	batcher *batcher
+	remote  RemoteSpectrum
+
+	// Spectrum tier counters (see Stats). Atomic because they are
+	// updated from compute closures and batch fires that run outside
+	// the pool lock.
+	computed     atomic.Uint64
+	storeHits    atomic.Uint64
+	remoteHits   atomic.Uint64
+	batchesFired atomic.Uint64
+	batchedJobs  atomic.Uint64
+
 	mu            sync.Mutex
 	jobs          map[string]*Job
 	order         []string // insertion order, for bounded retention
@@ -142,6 +189,7 @@ type Pool struct {
 	waitAgg       StageStats
 	specAgg       StageStats
 	solveAgg      StageStats
+	batchWaitAgg  StageStats
 }
 
 // NewPool creates a stopped pool; call Start to launch the workers.
@@ -159,6 +207,26 @@ func NewPool(cfg Config) *Pool {
 		shed:       newShedder(cfg.ShedPolicy, cfg.QueueDepth),
 	}
 	p.runFn = p.run
+	if cfg.Store != nil {
+		// Spill LRU evictions to the persistent tier so capacity pressure
+		// demotes decompositions instead of destroying them.
+		p.cache.SetOnEvict(func(key speccache.Key, e speccache.Entry) {
+			sp, ok := e.Value.(*spectral.Spectrum)
+			if !ok {
+				return
+			}
+			sk := specstore.Key{Hash: key.Hash, Model: key.Model}
+			if cfg.Store.Has(sk, e.Pairs) {
+				return
+			}
+			if data, err := spectral.EncodeSpectrum(sp); err == nil {
+				_ = cfg.Store.Put(sk, specstore.Entry{Pairs: e.Pairs, Data: data})
+			}
+		})
+	}
+	if cfg.BatchWindow > 0 {
+		p.batcher = newBatcher(p, cfg.BatchWindow, cfg.BatchMax)
+	}
 	return p
 }
 
@@ -172,6 +240,28 @@ func (p *Pool) Start() {
 
 // Cache exposes the spectrum cache (for metrics).
 func (p *Pool) Cache() *speccache.Cache { return p.cache }
+
+// Store exposes the persistent spectrum tier (nil when unconfigured),
+// for metrics.
+func (p *Pool) Store() specstore.Store { return p.cfg.Store }
+
+// SetRemote attaches a shard-peer spectrum fetcher. Call before Start;
+// a nil remote (the default) keeps all spectrum work local.
+func (p *Pool) SetRemote(r RemoteSpectrum) { p.remote = r }
+
+// RemoteSpectrum proxies spectrum traffic to the shard peer owning a
+// fingerprint. Implementations return ok == false (not an error) when
+// the key is owned locally, the peer misses, or the peer is down — the
+// pool then computes locally, so a dead peer degrades throughput, never
+// availability.
+type RemoteSpectrum interface {
+	// Fetch retrieves an encoded spectrum (EncodeSpectrum format) with
+	// capacity >= pairs for (hash, model) from the owning peer.
+	Fetch(ctx context.Context, hash, model string, pairs int) (data []byte, ok bool, err error)
+	// Offer pushes a locally computed spectrum toward the owning peer,
+	// best-effort, so the shard's owner converges on holding its keys.
+	Offer(hash, model string, pairs int, data []byte)
+}
 
 // SetTracer attaches a tracer to the pool's job executions. Call before
 // Start; a nil tracer (the default) leaves jobs untraced.
@@ -446,6 +536,12 @@ func (p *Pool) Stats() Stats {
 		QueueWait:         p.waitAgg,
 		Spectrum:          p.specAgg,
 		Solve:             p.solveAgg,
+		Batch:             p.batchWaitAgg,
+		Batches:           p.batchesFired.Load(),
+		BatchedJobs:       p.batchedJobs.Load(),
+		Computed:          p.computed.Load(),
+		StoreHits:         p.storeHits.Load(),
+		RemoteHits:        p.remoteHits.Load(),
 		JournalErrors:     p.journalErrors,
 		Panics:            p.panics,
 		Shed:              p.shed.stats(),
@@ -534,6 +630,10 @@ func (p *Pool) execute(j *Job) {
 	p.specAgg.TotalSeconds += j.spectrumDur.Seconds()
 	p.solveAgg.Count++
 	p.solveAgg.TotalSeconds += j.solveDur.Seconds()
+	if j.batchMembers > 0 {
+		p.batchWaitAgg.Count++
+		p.batchWaitAgg.TotalSeconds += j.batchDur.Seconds()
+	}
 	j.mu.Unlock()
 	p.mu.Unlock()
 }
@@ -603,9 +703,7 @@ func (p *Pool) run(ctx context.Context, j *Job) (*Result, error) {
 }
 
 // spectrum fetches (or computes and caches) the decomposition the job
-// needs. The compute itself runs under the pool's base context, not the
-// job's: cancelling one job must not poison the shared compute other
-// jobs may be waiting on; pool shutdown still aborts it.
+// needs, going through the batch window when batching is enabled.
 func (p *Pool) spectrum(ctx context.Context, j *Job, spec spectral.SpectrumSpec) (*spectral.Spectrum, bool, error) {
 	t := time.Now()
 	defer func() { j.recordSpectrum(time.Since(t)) }()
@@ -614,20 +712,54 @@ func (p *Pool) spectrum(ctx context.Context, j *Job, spec spectral.SpectrumSpec)
 		pairs = n
 	}
 	key := speccache.Key{Hash: j.req.Hash, Model: spec.Model.String()}
+	if p.batcher != nil {
+		return p.batcher.fetch(ctx, j, key, spec.Model, pairs)
+	}
+	return p.fetchSpectrum(ctx, j.req.Netlist, key, spec.Model, pairs, true)
+}
+
+// fetchSpectrum resolves a decomposition through the tier ladder:
+// in-memory LRU, persistent store, shard peer (when allowRemote), then
+// a local eigensolve sized to pairs. The cache's singleflight wraps the
+// whole ladder, so concurrent requests for one key walk it once. The
+// reported hit covers every tier but the eigensolve: callers learn
+// whether the job skipped its O(d·n²) compute, not which tier paid.
+//
+// The compute itself runs under the pool's base context, not the
+// caller's: cancelling one job must not poison the shared fetch other
+// jobs may be waiting on; pool shutdown still aborts it.
+func (p *Pool) fetchSpectrum(ctx context.Context, h *spectral.Netlist, key speccache.Key, model spectral.Model, pairs int, allowRemote bool) (*spectral.Spectrum, bool, error) {
+	var tierHit bool
 	entry, hit, err := p.cache.GetOrCompute(ctx, key, pairs, func(cctx context.Context) (speccache.Entry, error) {
-		// Detach from the job's cancellation but keep its trace: the
+		if sp := p.storeLookup(h, key, pairs); sp != nil {
+			tierHit = true
+			p.storeHits.Add(1)
+			trace.FromContext(cctx).Add("specstore.tier-hits", 1)
+			return speccache.Entry{Value: sp, Pairs: sp.Pairs()}, nil
+		}
+		if allowRemote && p.remote != nil {
+			if sp := p.remoteLookup(cctx, h, key, pairs); sp != nil {
+				tierHit = true
+				p.remoteHits.Add(1)
+				trace.FromContext(cctx).Add("shard.remote-hits", 1)
+				return speccache.Entry{Value: sp, Pairs: sp.Pairs()}, nil
+			}
+		}
+		// Detach from the caller's cancellation but keep its trace: the
 		// decompose spans nest under this job's cache.lookup span even
 		// though the compute outlives the job on purpose.
-		sp, err := spectral.DecomposeCtxPolicy(trace.Adopt(p.baseCtx, cctx), j.req.Netlist, spec.Model, spec.D, p.cfg.EigenPolicy)
+		sp, err := spectral.DecomposeCtxPolicy(trace.Adopt(p.baseCtx, cctx), h, model, pairs-1, p.cfg.EigenPolicy)
 		if err != nil {
 			return speccache.Entry{}, err
 		}
+		p.computed.Add(1)
+		p.persist(key, sp, allowRemote)
 		return speccache.Entry{Value: sp, Pairs: sp.Pairs()}, nil
 	})
 	if err != nil {
 		return nil, false, err
 	}
-	if !hit {
+	if !hit && !tierHit {
 		// Warm-restart hint: after a crash, replay prewarms this
 		// decomposition so the cache recovers along with the queue.
 		p.appendJournal(journal.Record{
@@ -635,5 +767,110 @@ func (p *Pool) spectrum(ctx context.Context, j *Job, spec spectral.SpectrumSpec)
 			Pairs: entry.Pairs, UnixNS: time.Now().UnixNano(),
 		})
 	}
-	return entry.Value.(*spectral.Spectrum), hit, nil
+	return entry.Value.(*spectral.Spectrum), hit || tierHit, nil
+}
+
+// storeLookup tries the persistent tier. Any failure — absent key,
+// undersized entry, undecodable payload — is a miss; the compute path
+// repairs the store via write-through.
+func (p *Pool) storeLookup(h *spectral.Netlist, key speccache.Key, pairs int) *spectral.Spectrum {
+	if p.cfg.Store == nil {
+		return nil
+	}
+	e, ok, err := p.cfg.Store.Get(specstore.Key{Hash: key.Hash, Model: key.Model})
+	if err != nil || !ok || e.Pairs < pairs {
+		return nil
+	}
+	sp, err := spectral.DecodeSpectrum(e.Data, h)
+	if err != nil || sp.Pairs() < pairs {
+		return nil
+	}
+	return sp
+}
+
+// remoteLookup asks the shard peer owning the key. A peer that is down,
+// does not own the key, or misses yields nil and the caller computes
+// locally.
+func (p *Pool) remoteLookup(ctx context.Context, h *spectral.Netlist, key speccache.Key, pairs int) *spectral.Spectrum {
+	data, ok, err := p.remote.Fetch(ctx, key.Hash, key.Model, pairs)
+	if err != nil || !ok {
+		return nil
+	}
+	sp, err := spectral.DecodeSpectrum(data, h)
+	if err != nil || sp.Pairs() < pairs {
+		return nil
+	}
+	return sp
+}
+
+// persist writes a freshly computed decomposition through to the
+// persistent store and offers it to the shard peer owning its key.
+// Best-effort on both counts: persistence failures cost future
+// recomputes, never correctness.
+func (p *Pool) persist(key speccache.Key, sp *spectral.Spectrum, offer bool) {
+	offer = offer && p.remote != nil
+	if p.cfg.Store == nil && !offer {
+		return
+	}
+	data, err := spectral.EncodeSpectrum(sp)
+	if err != nil {
+		return
+	}
+	if p.cfg.Store != nil {
+		_ = p.cfg.Store.Put(specstore.Key{Hash: key.Hash, Model: key.Model}, specstore.Entry{Pairs: sp.Pairs(), Data: data})
+	}
+	if offer {
+		p.remote.Offer(key.Hash, key.Model, sp.Pairs(), data)
+	}
+}
+
+// SpectrumBytes serves a shard peer's lookup from the local tiers only
+// — LRU, then store. It never proxies (so forwarding chains cannot
+// loop) and never computes (so a lookup storm cannot schedule work on
+// the owner; the requester falls back to its own compute and offers the
+// result back).
+func (p *Pool) SpectrumBytes(hash, model string, pairs int) ([]byte, int, bool) {
+	if pairs < 1 {
+		return nil, 0, false
+	}
+	key := speccache.Key{Hash: hash, Model: model}
+	if e, ok := p.cache.Get(key, pairs); ok {
+		if sp, isSp := e.Value.(*spectral.Spectrum); isSp {
+			if data, err := spectral.EncodeSpectrum(sp); err == nil {
+				return data, sp.Pairs(), true
+			}
+		}
+	}
+	if p.cfg.Store != nil {
+		if e, ok, err := p.cfg.Store.Get(specstore.Key{Hash: hash, Model: model}); err == nil && ok && e.Pairs >= pairs {
+			return e.Data, e.Pairs, true
+		}
+	}
+	return nil, 0, false
+}
+
+// AdoptSpectrum accepts an encoded spectrum pushed by a shard peer.
+// When the daemon holds a netlist matching the hash, the payload is
+// decoded (and thereby validated) against it and seeded into the LRU;
+// either way it lands in the persistent store, where a later Get
+// re-validates it against the real netlist before use — a peer can
+// waste our disk with garbage, but cannot poison an answer.
+func (p *Pool) AdoptSpectrum(hash, model string, pairs int, data []byte, h *spectral.Netlist) error {
+	if pairs < 1 || len(data) == 0 {
+		return fmt.Errorf("jobs: adopt spectrum: empty payload")
+	}
+	if h != nil {
+		sp, err := spectral.DecodeSpectrum(data, h)
+		if err != nil {
+			return fmt.Errorf("jobs: adopt spectrum: %w", err)
+		}
+		if sp.Pairs() < pairs {
+			return fmt.Errorf("jobs: adopt spectrum: payload holds %d pairs, header claims %d", sp.Pairs(), pairs)
+		}
+		p.cache.Seed(speccache.Key{Hash: hash, Model: model}, speccache.Entry{Value: sp, Pairs: sp.Pairs()})
+	}
+	if p.cfg.Store != nil {
+		return p.cfg.Store.Put(specstore.Key{Hash: hash, Model: model}, specstore.Entry{Pairs: pairs, Data: data})
+	}
+	return nil
 }

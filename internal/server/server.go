@@ -18,6 +18,10 @@
 //	GET  /v1/jobs/{id}             job status (includes result when done)
 //	GET  /v1/jobs/{id}/result      result only; 409 until the job is done
 //	DELETE /v1/jobs/{id}           request cancellation
+//	GET  /v1/spectra               shard protocol: serve a cached encoded
+//	                               spectrum (?hash=&model=&pairs=); 404 on miss
+//	PUT  /v1/spectra               shard protocol: accept a peer's computed
+//	                               spectrum (octet-stream body)
 package server
 
 import (
@@ -83,6 +87,15 @@ type Server struct {
 
 	draining atomic.Bool
 
+	// shard, when set via ConfigureSharding, proxies spectrum traffic
+	// to peer instances; the counters track the serving side of that
+	// protocol (see shard.go).
+	shard             *shardClient
+	peerFetchesServed atomic.Uint64
+	peerFetchMisses   atomic.Uint64
+	adoptedSpectra    atomic.Uint64
+	adoptRejects      atomic.Uint64
+
 	mu       sync.Mutex
 	netlists map[string]*storedNetlist
 	netOrder []string // insertion order for eviction
@@ -112,6 +125,11 @@ func New(pool *jobs.Pool, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleGetResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	// Shard protocol endpoints (shard.go). Registered unconditionally:
+	// a non-sharded daemon still serves its cached spectra, which is
+	// harmless and lets operators mix configurations during rollout.
+	s.mux.HandleFunc("GET /v1/spectra", s.handleGetSpectrum)
+	s.mux.HandleFunc("PUT /v1/spectra", s.handlePutSpectrum)
 	return s
 }
 

@@ -1,0 +1,89 @@
+// Package shard routes netlist fingerprints to spectrald instances via
+// rendezvous (highest-random-weight) hashing: every instance scores
+// each (peer, key) pair independently and the peer with the top score
+// owns the key. The placement is deterministic from the peer list
+// alone — no coordinator, no rebalancing protocol — and removing one
+// peer remaps only the keys that peer owned, never shuffling keys
+// between survivors.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ring is an immutable rendezvous-hashing view of a static peer list.
+// Safe for concurrent use.
+type Ring struct {
+	self  string
+	peers []string // deduped, sorted; includes self
+}
+
+// New builds a ring over the given peers plus self. Peer identity is
+// the exact string (for spectrald, the peer's base URL): "a" and "a/"
+// are different peers, so configure every instance with identical
+// spellings.
+func New(self string, peers []string) (*Ring, error) {
+	if self == "" {
+		return nil, fmt.Errorf("shard: empty self identity")
+	}
+	seen := map[string]bool{self: true}
+	all := []string{self}
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("shard: empty peer identity")
+		}
+		if !seen[p] {
+			seen[p] = true
+			all = append(all, p)
+		}
+	}
+	sort.Strings(all)
+	return &Ring{self: self, peers: all}, nil
+}
+
+// score is the rendezvous weight of key on peer: the first 8 bytes of
+// sha256(peer || NUL || key). The NUL separator keeps ("ab","c") and
+// ("a","bc") from colliding.
+func score(peer, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
+}
+
+// Owner returns the peer owning key: the argmax of score over the peer
+// list, ties broken by peer string order (deterministic across
+// instances because the list is sorted).
+func (r *Ring) Owner(key string) string {
+	best := r.peers[0]
+	bestScore := score(best, key)
+	for _, p := range r.peers[1:] {
+		if s := score(p, key); s > bestScore || (s == bestScore && p > best) {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// IsLocal reports whether this instance owns key.
+func (r *Ring) IsLocal(key string) bool { return r.Owner(key) == r.self }
+
+// Self returns this instance's identity.
+func (r *Ring) Self() string { return r.self }
+
+// Peers returns the full membership (self included), sorted.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// N returns the membership size.
+func (r *Ring) N() int { return len(r.peers) }
+
+// String renders the ring for logs: "self=X peers=[a b c]".
+func (r *Ring) String() string {
+	return fmt.Sprintf("self=%s peers=[%s]", r.self, strings.Join(r.peers, " "))
+}

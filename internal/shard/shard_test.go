@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func fingerprints(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%064x", i)
+	}
+	return keys
+}
+
+func mustRing(t *testing.T, self string, peers []string) *Ring {
+	t.Helper()
+	r, err := New(self, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", []string{"a"}); err == nil {
+		t.Error("empty self accepted")
+	}
+	if _, err := New("a", []string{"b", ""}); err == nil {
+		t.Error("empty peer accepted")
+	}
+	r := mustRing(t, "b", []string{"c", "a", "b", "c"})
+	if r.N() != 3 {
+		t.Errorf("N = %d after dedup, want 3", r.N())
+	}
+	peers := r.Peers()
+	if !sort.StringsAreSorted(peers) {
+		t.Errorf("peers not sorted: %v", peers)
+	}
+	if r.Self() != "b" {
+		t.Errorf("self = %q", r.Self())
+	}
+}
+
+// Every instance must compute the identical placement from the same
+// membership, regardless of which instance it is or how the peer list
+// was spelled on its command line.
+func TestOwnerDeterministicAcrossInstances(t *testing.T) {
+	views := []*Ring{
+		mustRing(t, "http://a:9", []string{"http://b:9", "http://c:9"}),
+		mustRing(t, "http://b:9", []string{"http://c:9", "http://a:9"}),
+		mustRing(t, "http://c:9", []string{"http://a:9", "http://b:9"}),
+	}
+	for _, key := range fingerprints(1000) {
+		owner := views[0].Owner(key)
+		for i, v := range views[1:] {
+			if got := v.Owner(key); got != owner {
+				t.Fatalf("key %s: view %d says owner %s, view 0 says %s", key, i+1, got, owner)
+			}
+		}
+		// Exactly one view claims the key as local.
+		locals := 0
+		for _, v := range views {
+			if v.IsLocal(key) {
+				locals++
+			}
+		}
+		if locals != 1 {
+			t.Fatalf("key %s claimed local by %d views, want 1", key, locals)
+		}
+	}
+}
+
+// Rendezvous hashing over sha256 must spread keys near-uniformly: over
+// 10^4 fingerprints and 5 peers, no peer's load strays far from the
+// mean.
+func TestPlacementBalance(t *testing.T) {
+	peers := []string{"http://n1:9", "http://n2:9", "http://n3:9", "http://n4:9", "http://n5:9"}
+	r := mustRing(t, peers[0], peers[1:])
+	load := map[string]int{}
+	keys := fingerprints(10000)
+	for _, key := range keys {
+		load[r.Owner(key)]++
+	}
+	if len(load) != len(peers) {
+		t.Fatalf("only %d of %d peers own keys: %v", len(load), len(peers), load)
+	}
+	min, max := len(keys), 0
+	for _, n := range load {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if ratio := float64(max) / float64(min); ratio > 1.3 {
+		t.Errorf("load imbalance max/min = %.2f (%v), want <= 1.3", ratio, load)
+	}
+}
+
+// The rendezvous stability property: dropping one peer remaps only the
+// keys that peer owned. Keys owned by a survivor keep their owner —
+// nothing shuffles between survivors.
+func TestPeerRemovalRemapsOnlyItsKeys(t *testing.T) {
+	peers := []string{"http://n1:9", "http://n2:9", "http://n3:9", "http://n4:9", "http://n5:9"}
+	full := mustRing(t, peers[0], peers[1:])
+	removed := peers[2]
+	survivors := []string{peers[0], peers[1], peers[3], peers[4]}
+	shrunk := mustRing(t, survivors[0], survivors[1:])
+
+	keys := fingerprints(10000)
+	remapped := 0
+	for _, key := range keys {
+		before := full.Owner(key)
+		after := shrunk.Owner(key)
+		if before == removed {
+			remapped++
+			if after == removed {
+				t.Fatalf("key %s still owned by removed peer", key)
+			}
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %s owned by survivor %s moved to %s on unrelated removal", key, before, after)
+		}
+	}
+	// The removed peer held ~1/5 of the keys; all of them (and only
+	// them) remapped.
+	frac := float64(remapped) / float64(len(keys))
+	if frac < 0.1 || frac > 0.3 {
+		t.Errorf("removal remapped %.1f%% of keys, want ~20%%", 100*frac)
+	}
+}
+
+// A single-instance ring owns everything locally — the degenerate
+// configuration every non-sharded daemon runs in.
+func TestSingleInstanceOwnsAll(t *testing.T) {
+	r := mustRing(t, "http://solo:9", nil)
+	for _, key := range fingerprints(100) {
+		if !r.IsLocal(key) {
+			t.Fatalf("key %s not local on a single-instance ring", key)
+		}
+	}
+}

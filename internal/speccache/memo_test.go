@@ -1,0 +1,74 @@
+package speccache
+
+import (
+	"sync"
+	"testing"
+)
+
+// The regression this pins down: Fingerprint used to re-canonicalize
+// the whole netlist on every call, which turned every cache lookup into
+// an O(pins) hash. N lookups must cost exactly one canonicalization.
+func TestFingerprintMemoizedOncePerNetlist(t *testing.T) {
+	h := mustNetlist(t, []int{0, 1, 2}, []int{2, 3}, []int{1, 3})
+	before := Canonicalizations()
+	first := Fingerprint(h)
+	for i := 0; i < 100; i++ {
+		if got := Fingerprint(h); got != first {
+			t.Fatalf("call %d: fingerprint changed from %s to %s", i, first, got)
+		}
+	}
+	if delta := Canonicalizations() - before; delta != 1 {
+		t.Errorf("101 Fingerprint calls ran %d canonicalizations, want exactly 1", delta)
+	}
+}
+
+// SetAreas changes the canonical content, so it must drop the memo: the
+// next Fingerprint re-canonicalizes and yields a different hash.
+func TestSetAreasInvalidatesFingerprintMemo(t *testing.T) {
+	h := mustNetlist(t, []int{0, 1}, []int{1, 2})
+	unweighted := Fingerprint(h)
+	before := Canonicalizations()
+	if err := h.SetAreas([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	weighted := Fingerprint(h)
+	if weighted == unweighted {
+		t.Error("fingerprint unchanged after SetAreas; stale memo served")
+	}
+	if delta := Canonicalizations() - before; delta != 1 {
+		t.Errorf("post-SetAreas Fingerprint ran %d canonicalizations, want 1", delta)
+	}
+	if got := Fingerprint(h); got != weighted {
+		t.Errorf("memoized weighted fingerprint %s != %s", got, weighted)
+	}
+}
+
+// Concurrent first calls may race the memo install (first write wins),
+// but every caller must see the same hash, and once settled the memo
+// serves everyone.
+func TestFingerprintMemoConcurrent(t *testing.T) {
+	h := mustNetlist(t, []int{0, 1, 2, 3}, []int{0, 2}, []int{1, 3})
+	const goroutines = 16
+	results := make([]string, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = Fingerprint(h)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d saw %s, goroutine 0 saw %s", i, results[i], results[0])
+		}
+	}
+	before := Canonicalizations()
+	for i := 0; i < 50; i++ {
+		Fingerprint(h)
+	}
+	if delta := Canonicalizations() - before; delta != 0 {
+		t.Errorf("settled memo still ran %d canonicalizations", delta)
+	}
+}

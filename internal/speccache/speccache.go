@@ -22,17 +22,44 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hypergraph"
 	"repro/internal/trace"
 )
+
+// canonicalizations counts full canonical-form hash computations (cache
+// misses of the per-netlist memo) — observable via Canonicalizations so
+// tests can assert the hot submit loop pays for at most one per
+// netlist.
+var canonicalizations atomic.Uint64
+
+// Canonicalizations returns the number of full canonical-form hashings
+// performed process-wide since start. The delta across a workload is
+// the regression-test surface for the fingerprint memo.
+func Canonicalizations() uint64 { return canonicalizations.Load() }
 
 // Fingerprint returns the canonical content hash of a netlist:
 // "sha256:<hex>" over the module count, per-module areas (when set) and
 // the sorted net structure. Module and net names are excluded — two
 // netlists that differ only in naming are the same instance to every
 // algorithm in this repository, which operate on indices.
+//
+// The result is memoized on the netlist (hypergraphs are immutable
+// apart from SetAreas, which invalidates the memo), so a hot submit
+// loop pays the O(pins log pins) canonicalization once per netlist, not
+// once per job.
 func Fingerprint(h *hypergraph.Hypergraph) string {
+	if s := h.CanonicalHash(); s != "" {
+		return s
+	}
+	s := fingerprintSlow(h)
+	h.SetCanonicalHash(s)
+	return s
+}
+
+func fingerprintSlow(h *hypergraph.Hypergraph) string {
+	canonicalizations.Add(1)
 	hash := sha256.New()
 	var buf [binary.MaxVarintLen64]byte
 	writeUvarint := func(v uint64) {
@@ -115,6 +142,12 @@ type Cache struct {
 	misses    uint64
 	evicted   uint64
 	warmHints uint64
+
+	// onEvict, when set, receives every entry the LRU drops for
+	// capacity. It is invoked outside the cache lock, on the goroutine
+	// whose insert caused the eviction (a persistent tier spills the
+	// still-warm decomposition to durable storage before it is lost).
+	onEvict func(Key, Entry)
 }
 
 type slot struct {
@@ -143,6 +176,11 @@ func New(maxEntries int) *Cache {
 		inflight: make(map[Key]*call),
 	}
 }
+
+// SetOnEvict installs the eviction callback (see Cache.onEvict). Set it
+// before the cache sees traffic; it is not synchronized against
+// concurrent GetOrCompute calls.
+func (c *Cache) SetOnEvict(fn func(Key, Entry)) { c.onEvict = fn }
 
 // GetOrCompute returns the cached entry for key if it holds at least
 // pairs eigenpairs, marking it most-recently-used; otherwise it runs
@@ -220,11 +258,17 @@ func (c *Cache) getOrCompute(ctx context.Context, key Key, pairs int, compute fu
 
 		c.mu.Lock()
 		delete(c.inflight, key)
+		var spilled []slot
 		if cl.err == nil {
-			c.store(key, cl.entry)
+			spilled = c.store(key, cl.entry)
 		}
 		c.mu.Unlock()
 		close(cl.done)
+		if c.onEvict != nil {
+			for _, s := range spilled {
+				c.onEvict(s.key, s.entry)
+			}
+		}
 		if cl.err != nil {
 			return Entry{}, false, cl.err
 		}
@@ -233,25 +277,61 @@ func (c *Cache) getOrCompute(ctx context.Context, key Key, pairs int, compute fu
 }
 
 // store inserts or replaces the entry for key and evicts LRU entries
-// beyond capacity. Caller holds c.mu. A replacement only ever grows an
-// entry's capacity: computes are sized to the largest outstanding
-// request.
-func (c *Cache) store(key Key, e Entry) {
+// beyond capacity, returning the evicted slots so the caller can hand
+// them to the onEvict spill hook outside the lock. Caller holds c.mu.
+// A replacement only ever grows an entry's capacity: computes are sized
+// to the largest outstanding request.
+func (c *Cache) store(key Key, e Entry) []slot {
 	if el, ok := c.items[key]; ok {
 		s := el.Value.(*slot)
 		if e.Pairs >= s.entry.Pairs {
 			s.entry = e
 		}
 		c.ll.MoveToFront(el)
-		return
+		return nil
 	}
 	c.items[key] = c.ll.PushFront(&slot{key: key, entry: e})
+	var spilled []slot
 	for c.ll.Len() > c.max {
 		back := c.ll.Back()
 		s := back.Value.(*slot)
 		c.ll.Remove(back)
 		delete(c.items, s.key)
 		c.evicted++
+		spilled = append(spilled, *s)
+	}
+	return spilled
+}
+
+// Get returns the cached entry for key if it holds at least pairs
+// eigenpairs, marking it most-recently-used, without ever computing.
+// Shard peers serve each other's lookups through it.
+func (c *Cache) Get(key Key, pairs int) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		s := el.Value.(*slot)
+		if s.entry.Pairs >= pairs {
+			c.ll.MoveToFront(el)
+			c.hits++
+			return s.entry, true
+		}
+	}
+	c.misses++
+	return Entry{}, false
+}
+
+// Seed inserts an entry obtained elsewhere — a shard peer's push or a
+// persistent-store preload — without running a compute. Capacity rules
+// match GetOrCompute's: an existing larger entry is kept.
+func (c *Cache) Seed(key Key, e Entry) {
+	c.mu.Lock()
+	spilled := c.store(key, e)
+	c.mu.Unlock()
+	if c.onEvict != nil {
+		for _, s := range spilled {
+			c.onEvict(s.key, s.entry)
+		}
 	}
 }
 
