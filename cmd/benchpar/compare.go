@@ -10,9 +10,13 @@ import (
 
 // gate enforces the bench-regression rules on a fresh report:
 //
-//   - against a baseline report (comparePath non-empty): every baseline
-//     kernel must exist in the current report, and neither its serial
-//     nor parallel time may exceed baseline x tolerance;
+//   - against a baseline report (comparePath non-empty): the baseline
+//     must come from the same environment (cores, gomaxprocs) unless
+//     force acknowledges the mismatch; every baseline kernel must exist
+//     in the current report, and neither its serial nor parallel time
+//     may exceed baseline x tolerance; every baseline scaling point
+//     must exist in the current report, and its speedup may not drop
+//     below baseline ÷ tolerance;
 //   - within the current report (maxTraceOverhead > 0): every
 //     trace-off-* row's traced/untraced ratio must stay at or below the
 //     bound. This gate needs no baseline file and no machine parity —
@@ -20,7 +24,7 @@ import (
 //
 // It returns an error describing every violation, not just the first,
 // so a CI failure names the full damage.
-func gate(cur Report, comparePath, tolerance string, maxTraceOverhead float64) error {
+func gate(cur Report, comparePath, tolerance string, maxTraceOverhead float64, force bool) error {
 	var violations []string
 
 	if comparePath != "" {
@@ -31,6 +35,15 @@ func gate(cur Report, comparePath, tolerance string, maxTraceOverhead float64) e
 		base, err := loadReport(comparePath)
 		if err != nil {
 			return err
+		}
+		if base.Cores != cur.Cores || base.GoMaxProcs != cur.GoMaxProcs {
+			msg := fmt.Sprintf(
+				"baseline %s was measured on a different environment (baseline cores=%d gomaxprocs=%d, current cores=%d gomaxprocs=%d); cross-machine timing ratios are meaningless",
+				comparePath, base.Cores, base.GoMaxProcs, cur.Cores, cur.GoMaxProcs)
+			if !force {
+				return fmt.Errorf("%s — pass -force to compare anyway", msg)
+			}
+			fmt.Fprintln(os.Stderr, "benchpar: warning:", msg, "(-force given, comparing anyway)")
 		}
 		curByName := make(map[string]Kernel, len(cur.Kernels))
 		for _, k := range cur.Kernels {
@@ -45,6 +58,7 @@ func gate(cur Report, comparePath, tolerance string, maxTraceOverhead float64) e
 			violations = append(violations, checkColumn(bk.Name, "serial", ck.SerialSeconds, bk.SerialSeconds, tol)...)
 			violations = append(violations, checkColumn(bk.Name, "parallel", ck.ParallelSeconds, bk.ParallelSeconds, tol)...)
 		}
+		violations = append(violations, checkScaling(cur, base, tol)...)
 	}
 
 	if maxTraceOverhead > 0 {
@@ -72,6 +86,45 @@ func gate(cur Report, comparePath, tolerance string, maxTraceOverhead float64) e
 		return fmt.Errorf("bench gate failed:\n  %s", strings.Join(violations, "\n  "))
 	}
 	return nil
+}
+
+// checkScaling compares per-core scaling curves point by point. A
+// baseline point missing from the current report is a violation (the
+// curve silently shrank); a point whose speedup fell below baseline ÷
+// tol is a scaling regression. Points whose timings sit under the 100µs
+// noise floor in either report are exempt, like checkColumn.
+func checkScaling(cur, base Report, tol float64) []string {
+	const floor = 100e-6
+	var violations []string
+	type key struct {
+		name string
+		gmp  int
+	}
+	curPts := make(map[key]ScalingPoint)
+	for _, sk := range cur.Scaling {
+		for _, p := range sk.Points {
+			curPts[key{sk.Name, p.GoMaxProcs}] = p
+		}
+	}
+	for _, bk := range base.Scaling {
+		for _, bp := range bk.Points {
+			cp, ok := curPts[key{bk.Name, bp.GoMaxProcs}]
+			if !ok {
+				violations = append(violations, fmt.Sprintf(
+					"scaling point %s@gomaxprocs=%d present in baseline but missing from current report", bk.Name, bp.GoMaxProcs))
+				continue
+			}
+			if bp.Seconds <= floor || cp.Seconds <= floor {
+				continue
+			}
+			if cp.Speedup < bp.Speedup/tol {
+				violations = append(violations, fmt.Sprintf(
+					"scaling %s@gomaxprocs=%d: speedup %.2fx fell below baseline %.2fx / %.2f = %.2fx",
+					bk.Name, bp.GoMaxProcs, cp.Speedup, bp.Speedup, tol, bp.Speedup/tol))
+			}
+		}
+	}
+	return violations
 }
 
 // checkColumn compares one timing column against its baseline. Columns

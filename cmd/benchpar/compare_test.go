@@ -28,7 +28,7 @@ func kernel(name string, serial, par float64) Kernel {
 func TestGatePassesWithinTolerance(t *testing.T) {
 	base := writeReport(t, Report{Kernels: []Kernel{kernel("matvec", 0.010, 0.005)}})
 	cur := Report{Kernels: []Kernel{kernel("matvec", 0.012, 0.006)}}
-	if err := gate(cur, base, "1.5x", 0); err != nil {
+	if err := gate(cur, base, "1.5x", 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -36,7 +36,7 @@ func TestGatePassesWithinTolerance(t *testing.T) {
 func TestGateFailsOnRegression(t *testing.T) {
 	base := writeReport(t, Report{Kernels: []Kernel{kernel("matvec", 0.010, 0.005)}})
 	cur := Report{Kernels: []Kernel{kernel("matvec", 0.020, 0.005)}}
-	err := gate(cur, base, "1.5x", 0)
+	err := gate(cur, base, "1.5x", 0, false)
 	if err == nil || !strings.Contains(err.Error(), "matvec serial") {
 		t.Fatalf("want serial regression failure, got %v", err)
 	}
@@ -48,7 +48,7 @@ func TestGateFailsOnMissingKernel(t *testing.T) {
 		kernel("lanczos", 0.100, 0.050),
 	}})
 	cur := Report{Kernels: []Kernel{kernel("matvec", 0.010, 0.005)}}
-	err := gate(cur, base, "1.5x", 0)
+	err := gate(cur, base, "1.5x", 0, false)
 	if err == nil || !strings.Contains(err.Error(), `"lanczos"`) {
 		t.Fatalf("want missing-kernel failure, got %v", err)
 	}
@@ -60,7 +60,7 @@ func TestGateReportsEveryViolation(t *testing.T) {
 		kernel("lanczos", 0.100, 0.050),
 	}})
 	cur := Report{Kernels: []Kernel{kernel("matvec", 0.050, 0.050)}}
-	err := gate(cur, base, "1.5x", 0)
+	err := gate(cur, base, "1.5x", 0, false)
 	if err == nil {
 		t.Fatal("want failure")
 	}
@@ -76,18 +76,18 @@ func TestGateSubMillisecondColumnsExempt(t *testing.T) {
 	// both sit under the 100µs floor and must not trip the gate.
 	base := writeReport(t, Report{Kernels: []Kernel{kernel("tiny", 20e-6, 20e-6)}})
 	cur := Report{Kernels: []Kernel{kernel("tiny", 90e-6, 90e-6)}}
-	if err := gate(cur, base, "1.5x", 0); err != nil {
+	if err := gate(cur, base, "1.5x", 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestOverheadGate(t *testing.T) {
 	ok := Report{Kernels: []Kernel{kernel("trace-off-lanczos", 0.100, 0.101)}}
-	if err := gate(ok, "", "1.5x", 1.02); err != nil {
+	if err := gate(ok, "", "1.5x", 1.02, false); err != nil {
 		t.Fatal(err)
 	}
 	bad := Report{Kernels: []Kernel{kernel("trace-off-lanczos", 0.100, 0.110)}}
-	err := gate(bad, "", "1.5x", 1.02)
+	err := gate(bad, "", "1.5x", 1.02, false)
 	if err == nil || !strings.Contains(err.Error(), "trace-off-lanczos") {
 		t.Fatalf("want overhead failure, got %v", err)
 	}
@@ -96,16 +96,124 @@ func TestOverheadGate(t *testing.T) {
 		kernel("trace-off-lanczos", 0.100, 0.100),
 		kernel("trace-on-lanczos", 0.100, 0.500),
 	}}
-	if err := gate(onOnly, "", "1.5x", 1.02); err != nil {
+	if err := gate(onOnly, "", "1.5x", 1.02, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestOverheadGateNeedsRows(t *testing.T) {
 	cur := Report{Kernels: []Kernel{kernel("matvec", 0.010, 0.005)}}
-	err := gate(cur, "", "1.5x", 1.02)
+	err := gate(cur, "", "1.5x", 1.02, false)
 	if err == nil || !strings.Contains(err.Error(), "no trace-off-") {
 		t.Fatalf("gate without overhead rows must fail, got %v", err)
+	}
+}
+
+func scalingCurve(name string, speedups map[int]float64) ScalingKernel {
+	sk := ScalingKernel{Name: name}
+	for _, gmp := range []int{1, 2, 4} {
+		sp, ok := speedups[gmp]
+		if !ok {
+			continue
+		}
+		sk.Points = append(sk.Points, ScalingPoint{
+			GoMaxProcs: gmp, Workers: gmp, Seconds: 0.010 / sp, Speedup: sp,
+		})
+	}
+	return sk
+}
+
+func TestGateRefusesMismatchedEnvironment(t *testing.T) {
+	base := writeReport(t, Report{Cores: 8, GoMaxProcs: 8, Kernels: []Kernel{kernel("matvec", 0.010, 0.005)}})
+	cur := Report{Cores: 1, GoMaxProcs: 1, Kernels: []Kernel{kernel("matvec", 0.010, 0.005)}}
+	err := gate(cur, base, "1.5x", 0, false)
+	if err == nil || !strings.Contains(err.Error(), "different environment") || !strings.Contains(err.Error(), "-force") {
+		t.Fatalf("want env-mismatch refusal mentioning -force, got %v", err)
+	}
+	// -force acknowledges the mismatch and proceeds to the usual checks.
+	if err := gate(cur, base, "1.5x", 0, true); err != nil {
+		t.Fatalf("gate with -force on a passing report: %v", err)
+	}
+	// ...but -force does not suspend the checks themselves.
+	slow := Report{Cores: 1, GoMaxProcs: 1, Kernels: []Kernel{kernel("matvec", 0.050, 0.005)}}
+	if err := gate(slow, base, "1.5x", 0, true); err == nil {
+		t.Fatal("gate with -force must still flag timing regressions")
+	}
+}
+
+func TestGateFailsOnScalingRegression(t *testing.T) {
+	base := writeReport(t, Report{Scaling: []ScalingKernel{
+		scalingCurve("matvec", map[int]float64{1: 1.0, 2: 1.8, 4: 3.2}),
+	}})
+	cur := Report{Scaling: []ScalingKernel{
+		scalingCurve("matvec", map[int]float64{1: 1.0, 2: 1.7, 4: 1.1}),
+	}}
+	err := gate(cur, base, "1.5x", 0, false)
+	if err == nil || !strings.Contains(err.Error(), "matvec@gomaxprocs=4") {
+		t.Fatalf("want scaling regression at gomaxprocs=4, got %v", err)
+	}
+	if strings.Contains(err.Error(), "gomaxprocs=2") {
+		t.Errorf("gomaxprocs=2 (1.7x vs 1.8x/1.5) is within tolerance, got %v", err)
+	}
+}
+
+func TestGateFailsOnMissingScalingPoint(t *testing.T) {
+	base := writeReport(t, Report{Scaling: []ScalingKernel{
+		scalingCurve("lanczos", map[int]float64{1: 1.0, 2: 1.8, 4: 3.0}),
+	}})
+	cur := Report{Scaling: []ScalingKernel{
+		scalingCurve("lanczos", map[int]float64{1: 1.0, 2: 1.8}),
+	}}
+	err := gate(cur, base, "1.5x", 0, false)
+	if err == nil || !strings.Contains(err.Error(), "lanczos@gomaxprocs=4") || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("want missing-scaling-point failure, got %v", err)
+	}
+}
+
+func TestGateScalingNoiseFloorExempt(t *testing.T) {
+	// Sub-100µs points are timer noise; a speedup collapse there must
+	// not trip the gate.
+	tiny := ScalingKernel{Name: "tiny", Points: []ScalingPoint{
+		{GoMaxProcs: 1, Workers: 1, Seconds: 50e-6, Speedup: 1.0},
+		{GoMaxProcs: 4, Workers: 4, Seconds: 20e-6, Speedup: 2.5},
+	}}
+	base := writeReport(t, Report{Scaling: []ScalingKernel{tiny}})
+	cur := Report{Scaling: []ScalingKernel{{Name: "tiny", Points: []ScalingPoint{
+		{GoMaxProcs: 1, Workers: 1, Seconds: 50e-6, Speedup: 1.0},
+		{GoMaxProcs: 4, Workers: 4, Seconds: 60e-6, Speedup: 0.83},
+	}}}}
+	if err := gate(cur, base, "1.5x", 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseScalingLevels(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"1,2,4", []int{1, 2, 4}, true},
+		{" 1 , 8 ", []int{1, 8}, true},
+		{"", nil, true},
+		{"0", nil, false},
+		{"two", nil, false},
+	} {
+		got, err := parseScalingLevels(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseScalingLevels(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseScalingLevels(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parseScalingLevels(%q) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
 	}
 }
 

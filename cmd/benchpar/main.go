@@ -5,14 +5,21 @@
 // Usage:
 //
 //	benchpar [-n 20000] [-workers 0] [-reps 5] [-out BENCH_parallel.json]
-//	         [-trace out.jsonl]
-//	         [-compare BENCH_parallel.json] [-tolerance 1.5x]
+//	         [-trace out.jsonl] [-scaling 1,2,4]
+//	         [-compare BENCH_parallel.json] [-tolerance 1.5x] [-force]
 //	         [-max-trace-overhead 1.02]
 //
 // The report records runtime.NumCPU so a baseline captured on a small
 // machine is not mistaken for a scaling claim: speedups near 1.0 with
 // cores=1 are the expected, honest result. On >= 4 cores the MatVec
 // speedup is the ISSUE's >= 2x acceptance gauge.
+//
+// -scaling additionally runs the kernel suite pinned at each listed
+// GOMAXPROCS value (workers = GOMAXPROCS), producing per-core scaling
+// curves in the report's "scaling" section. Each point's speedup is
+// relative to the same kernel's GOMAXPROCS=1 point, so the curve reads
+// directly as parallel efficiency. Points above runtime.NumCPU are
+// measured like any other and simply show the flat truth.
 //
 // Besides the serial-vs-parallel rows, the report carries
 // tracer-overhead rows (trace-off-*, trace-on-*): each times a kernel
@@ -23,7 +30,11 @@
 //
 // -compare gates a fresh run against a previous report: any kernel
 // whose serial or parallel time exceeds baseline x tolerance fails
-// (exit 1), as does a kernel missing from the new report.
+// (exit 1), as does a kernel or scaling point missing from the new
+// report, or a scaling point whose speedup dropped below baseline ÷
+// tolerance. Baselines from a different environment (cores or
+// gomaxprocs mismatch) are refused outright — cross-machine timing
+// ratios are meaningless — unless -force acknowledges the mismatch.
 // -max-trace-overhead additionally bounds the trace-off rows'
 // traced/untraced ratio in the CURRENT run (machine-independent, since
 // both columns come from the same process).
@@ -35,6 +46,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	spectral "repro"
@@ -59,6 +72,23 @@ type Report struct {
 	N int `json:"n"`
 	// Kernels holds one entry per measured kernel.
 	Kernels []Kernel `json:"kernels"`
+	// Scaling holds the per-GOMAXPROCS scaling curves (-scaling flag).
+	Scaling []ScalingKernel `json:"scaling,omitempty"`
+}
+
+// ScalingKernel is one kernel's per-core scaling curve.
+type ScalingKernel struct {
+	Name   string         `json:"name"`
+	Points []ScalingPoint `json:"points"`
+}
+
+// ScalingPoint is one (GOMAXPROCS, workers) timing of a kernel.
+// Speedup is relative to the same kernel's GOMAXPROCS=1 point.
+type ScalingPoint struct {
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	Speedup    float64 `json:"speedup"`
 }
 
 // Kernel is one serial-vs-parallel measurement. Tracer-overhead rows
@@ -83,6 +113,8 @@ func main() {
 		comparePth = flag.String("compare", "", "baseline report to gate against (empty = no gate)")
 		tolerance  = flag.String("tolerance", "1.5x", "max allowed slowdown vs baseline per kernel column")
 		maxTraceOv = flag.Float64("max-trace-overhead", 0, "max traced/untraced ratio for trace-off rows (0 = no gate)")
+		scalingLvl = flag.String("scaling", "1,2,4", "comma-separated GOMAXPROCS values for the scaling curves (empty disables)")
+		force      = flag.Bool("force", false, "compare against a baseline from a mismatched environment (cores/gomaxprocs)")
 	)
 	flag.Parse()
 	w := parallel.Workers(*workers)
@@ -175,6 +207,49 @@ func main() {
 		rep.Kernels = append(rep.Kernels, measureOverhead(k.name, *reps, k.fn)...)
 	}
 
+	// Per-core scaling curves: pin GOMAXPROCS to each requested level and
+	// run the kernel with workers = GOMAXPROCS, so the curve measures
+	// real scheduler-level parallelism, not just goroutine fan-out over
+	// however many threads happen to exist.
+	if levels, err := parseScalingLevels(*scalingLvl); err != nil {
+		fatal(err)
+	} else if len(levels) > 0 {
+		kernels := []struct {
+			name string
+			fn   func(workers int)
+		}{
+			{"matvec", func(wk int) { q.MatVecPar(x, y, wk) }},
+			{"lanczos", func(wk int) { mustSolve(qm, wk) }},
+			{"melo-order", func(wk int) { mustOrder(small, dec, wk) }},
+		}
+		prev := runtime.GOMAXPROCS(0)
+		for _, k := range kernels {
+			sk := ScalingKernel{Name: k.name}
+			for _, gmp := range levels {
+				runtime.GOMAXPROCS(gmp)
+				fn, wk := k.fn, gmp
+				secs := bestOf(*reps, func() { fn(wk) })
+				sk.Points = append(sk.Points, ScalingPoint{
+					GoMaxProcs: gmp, Workers: gmp, Seconds: secs,
+				})
+			}
+			// Speedups are relative to the GOMAXPROCS=1 point (the first
+			// level if 1 was not requested).
+			base := sk.Points[0].Seconds
+			for _, p := range sk.Points {
+				if p.GoMaxProcs == 1 {
+					base = p.Seconds
+					break
+				}
+			}
+			for i := range sk.Points {
+				sk.Points[i].Speedup = base / sk.Points[i].Seconds
+			}
+			runtime.GOMAXPROCS(prev)
+			rep.Scaling = append(rep.Scaling, sk)
+		}
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -188,9 +263,16 @@ func main() {
 		fmt.Printf("  %-18s serial %8.3fms  parallel %8.3fms  speedup %.2fx\n",
 			k.Name, k.SerialSeconds*1e3, k.ParallelSeconds*1e3, k.Speedup)
 	}
+	for _, sk := range rep.Scaling {
+		fmt.Printf("  scaling %-10s", sk.Name)
+		for _, p := range sk.Points {
+			fmt.Printf("  p=%d %.3fms (%.2fx)", p.GoMaxProcs, p.Seconds*1e3, p.Speedup)
+		}
+		fmt.Println()
+	}
 
 	if *comparePth != "" || *maxTraceOv > 0 {
-		if err := gate(rep, *comparePth, *tolerance, *maxTraceOv); err != nil {
+		if err := gate(rep, *comparePth, *tolerance, *maxTraceOv, *force); err != nil {
 			fatal(err)
 		}
 		fmt.Println("bench gate passed")
@@ -303,6 +385,27 @@ func mustOrder(g *graph.Graph, dec *eigen.Decomposition, workers int) {
 	if _, err := melo.Order(g, dec, opts); err != nil {
 		fatal(err)
 	}
+}
+
+// parseScalingLevels parses the -scaling CSV ("1,2,4") into GOMAXPROCS
+// values. An empty string disables the scaling suite.
+func parseScalingLevels(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("-scaling: %q is not a positive GOMAXPROCS value", part)
+		}
+		levels = append(levels, v)
+	}
+	return levels, nil
 }
 
 func fatal(err error) {

@@ -162,3 +162,113 @@ func TestRealDaemonPackagesAreClean(t *testing.T) {
 		t.Fatalf("daemon packages kill the process: %v", v)
 	}
 }
+
+func TestDetectsArenaEscapes(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "internal/solver/dirty.go"),
+		`package solver
+
+type result struct{ Vec []float64 }
+
+func direct(ar arena) []float64 {
+	return ar.Vec()
+}
+
+func viaLocal(ar arena) []float64 {
+	v := ar.Vec()
+	fill(v)
+	return v
+}
+
+func sliced(ar arena, n int) []float64 {
+	v := ar.Vec()
+	return v[:n]
+}
+
+func inStruct(ar arena) *result {
+	v := ar.Vec()
+	return &result{Vec: v}
+}
+
+func viaWrapper(ar arena) []float64 {
+	v := seeded(ar.Vec())
+	return v
+}
+`)
+	v, err := checkArenaEscapes(root, []string{"internal/solver"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 5 {
+		t.Fatalf("want 5 violations, got %d: %v", len(v), v)
+	}
+	for _, viol := range v {
+		if !strings.Contains(viol, "dirty.go") {
+			t.Errorf("violation names the wrong file: %q", viol)
+		}
+	}
+}
+
+func TestArenaCopiesAreClean(t *testing.T) {
+	// Results leaving through a copying call (CopyVec, a helper taking
+	// the scratch as an argument) are the sanctioned pattern and must
+	// not be flagged; neither must ordinary locals.
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "internal/solver/clean.go"),
+		`package solver
+
+type result struct{ Vals []float64 }
+
+func solve(ar arena, n int) *result {
+	v := ar.Vec()
+	fill(v)
+	vals := make([]float64, n)
+	copy(vals, v)
+	ar.Free(v)
+	return &result{Vals: vals}
+}
+
+func copied(ar arena) []float64 {
+	v := ar.Vec()
+	return copyVec(v)
+}
+
+func unrelated(n int) []float64 {
+	v := make([]float64, n)
+	return v
+}
+`)
+	v, err := checkArenaEscapes(root, []string{"internal/solver"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("sanctioned copy-out patterns flagged: %v", v)
+	}
+}
+
+func TestArenaEscapeTestFilesExempt(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "internal/solver/solver.go"), "package solver\n")
+	writeFile(t, filepath.Join(root, "internal/solver/solver_test.go"),
+		"package solver\n\nfunc leak(ar arena) []float64 { return ar.Vec() }\n")
+	v, err := checkArenaEscapes(root, []string{"internal/solver"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("test file should be exempt, got %v", v)
+	}
+}
+
+func TestRealArenaPackagesAreClean(t *testing.T) {
+	// The invariant itself, run against the repository this test lives
+	// in: internal/eigen must not leak arena scratch right now.
+	v, err := checkArenaEscapes("../..", defaultArenaPackages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("arena packages leak scratch vectors: %v", v)
+	}
+}

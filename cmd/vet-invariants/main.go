@@ -21,13 +21,23 @@
 // must surface as errors (or failed jobs), with process exit decided
 // only by cmd/spectrald's main.
 //
-// Test files are exempt from both: a _test.go harness may legitimately
-// time the code it drives or kill its own process.
+// Invariant 3: the arena-backed solver packages (internal/eigen) must
+// not return arena-owned vectors. The eigen hot loops draw all their
+// n-vector scratch from a linalg.Arena that recycles buffers between
+// solves; a returned arena slice would be silently rewritten by the
+// next solve. Results must leave through copies (linalg.CopyVec, a
+// fresh Dense). The check is syntactic — it flags return statements
+// whose value traces to a .Vec() call — so it is a tripwire for the
+// DESIGN.md ownership rule, not a full escape analysis.
+//
+// Test files are exempt from all three: a _test.go harness may
+// legitimately time the code it drives or kill its own process.
 //
 // Usage:
 //
 //	vet-invariants [-root .] [-packages internal/eigen,...]
 //	               [-daemon-packages internal/jobs,...]
+//	               [-arena-packages internal/eigen,...]
 //
 // Exits 1 and lists every offence when an invariant is violated.
 package main
@@ -46,6 +56,8 @@ func main() {
 			"comma-separated package directories that must not import \"time\"")
 		daemonPkgs = flag.String("daemon-packages", strings.Join(defaultDaemonPackages, ","),
 			"comma-separated package directories that must not call os.Exit or log.Fatal")
+		arenaPkgs = flag.String("arena-packages", strings.Join(defaultArenaPackages, ","),
+			"comma-separated package directories that must not return arena-owned vectors")
 	)
 	flag.Parse()
 
@@ -76,8 +88,21 @@ func main() {
 		failed = true
 	}
 
+	arenaViolations, err := checkArenaEscapes(*root, strings.Split(*arenaPkgs, ","))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vet-invariants:", err)
+		os.Exit(1)
+	}
+	if len(arenaViolations) > 0 {
+		for _, v := range arenaViolations {
+			fmt.Fprintln(os.Stderr, "vet-invariants:", v)
+		}
+		fmt.Fprintf(os.Stderr, "vet-invariants: %d violation(s): arena scratch must not escape via return values (copy results out — see DESIGN.md §10)\n", len(arenaViolations))
+		failed = true
+	}
+
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("vet-invariants: ok (%s; %s)\n", *pkgs, *daemonPkgs)
+	fmt.Printf("vet-invariants: ok (%s; %s; %s)\n", *pkgs, *daemonPkgs, *arenaPkgs)
 }

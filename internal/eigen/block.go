@@ -79,11 +79,20 @@ func BlockKrylovCtx(ctx context.Context, a linalg.Operator, d int, opts *BlockKr
 	rng := rand.New(rand.NewSource(seed))
 	a = linalg.Par(a, workers)
 
-	// Orthonormal basis, grown block by block.
-	var basis [][]float64
+	// All n-vectors (basis growth, expansion candidates, scratch) come
+	// from one arena owned by this solve; rejected candidates are
+	// recycled through Free. Nothing from the arena appears in the
+	// returned Decomposition — see linalg.Arena for the ownership rules.
+	ar := linalg.NewArena(n)
+	coef := make([]float64, maxDim) // Gram–Schmidt coefficient scratch
+
+	// Orthonormal basis, grown block by block. v must be an arena
+	// vector; a rejected candidate is returned to the arena.
+	basis := make([][]float64, 0, maxDim)
 	appendOrthonormal := func(v []float64) bool {
-		linalg.OrthogonalizeBlock(v, basis, workers)
+		linalg.OrthogonalizeBlockBuf(v, basis, workers, coef)
 		if linalg.Normalize(v) < 1e-10 {
+			ar.Free(v)
 			return false
 		}
 		basis = append(basis, v)
@@ -91,14 +100,21 @@ func BlockKrylovCtx(ctx context.Context, a linalg.Operator, d int, opts *BlockKr
 	}
 	// Initial random block.
 	for len(basis) < b {
-		v := randomUnit(rng, n)
+		v := randomUnitInto(rng, ar.Vec())
 		if !appendOrthonormal(v) && len(basis) == 0 {
 			return nil, fmt.Errorf("eigen: BlockKrylov failed to seed the basis")
 		}
 	}
 
 	scale := 1.0
-	av := make([]float64, n)
+	av := ar.Vec()   // MatVec target
+	ritz := ar.Vec() // Ritz-vector assembly scratch
+	// Rayleigh–Ritz scratch, reused across checks: the projected matrix
+	// (grown geometrically like tridiagWS) and the candidate result
+	// storage, handed to the caller only on success.
+	var projBuf []float64
+	vals := make([]float64, d)
+	var vecs *linalg.Dense
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -115,14 +131,15 @@ func BlockKrylovCtx(ctx context.Context, a linalg.Operator, d int, opts *BlockKr
 				break
 			}
 			a.MatVec(v, av)
-			w := linalg.CopyVec(av)
+			w := ar.Vec()
+			copy(w, av)
 			if appendOrthonormal(w) {
 				added++
 			}
 		}
 		if added == 0 && len(basis) < maxDim {
 			// Invariant subspace: top up with fresh random directions.
-			v := randomUnit(rng, n)
+			v := randomUnitInto(rng, ar.Vec())
 			if !appendOrthonormal(v) {
 				// Basis spans the whole space; fall through to Ritz.
 				added = -1
@@ -132,7 +149,10 @@ func BlockKrylovCtx(ctx context.Context, a linalg.Operator, d int, opts *BlockKr
 		// Rayleigh–Ritz on the current subspace.
 		m := len(basis)
 		if m >= d {
-			proj := linalg.NewDense(m, m)
+			if cap(projBuf) < m*m {
+				projBuf = make([]float64, 4*m*m)
+			}
+			proj := &linalg.Dense{Rows: m, Cols: m, Data: projBuf[:m*m]}
 			for i := 0; i < m; i++ {
 				a.MatVec(basis[i], av)
 				// Upper-triangle dots of row i, sharded over j: each
@@ -155,9 +175,12 @@ func BlockKrylovCtx(ctx context.Context, a linalg.Operator, d int, opts *BlockKr
 			if top := small.Values[m-1]; math.Abs(top) > scale {
 				scale = math.Abs(top)
 			}
-			// Assemble the d smallest Ritz pairs and test residuals.
-			dec := &Decomposition{Values: linalg.CopyVec(small.Values[:d]), Vectors: linalg.NewDense(n, d)}
-			ritz := make([]float64, n)
+			// Assemble the d smallest Ritz pairs into the reused result
+			// storage and test residuals.
+			copy(vals, small.Values[:d])
+			if vecs == nil {
+				vecs = linalg.NewDense(n, d)
+			}
 			worst := 0.0
 			for j := 0; j < d; j++ {
 				linalg.Zero(ritz)
@@ -166,16 +189,16 @@ func BlockKrylovCtx(ctx context.Context, a linalg.Operator, d int, opts *BlockKr
 				}
 				linalg.Normalize(ritz)
 				for i := 0; i < n; i++ {
-					dec.Vectors.Set(i, j, ritz[i])
+					vecs.Set(i, j, ritz[i])
 				}
 				a.MatVec(ritz, av)
-				linalg.Axpy(-dec.Values[j], ritz, av)
+				linalg.Axpy(-vals[j], ritz, av)
 				if r := linalg.Norm2(av); r > worst {
 					worst = r
 				}
 			}
 			if worst <= tol*scale || m >= n {
-				return dec, nil
+				return &Decomposition{Values: linalg.CopyVec(vals), Vectors: vecs}, nil
 			}
 			if m >= maxDim {
 				return nil, ErrNoConvergence

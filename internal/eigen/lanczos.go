@@ -12,6 +12,33 @@ import (
 	"repro/internal/trace"
 )
 
+// ReorthMode selects how the Lanczos iteration fights the classic loss
+// of orthogonality among its basis vectors.
+type ReorthMode int
+
+const (
+	// ReorthSelective (the default) runs the ω-recurrence estimate of
+	// the worst inner product between the incoming basis vector and the
+	// existing basis, and performs a full two-pass block
+	// reorthogonalization only when the estimate crosses √ε — the
+	// classical selective-reorthogonalization criterion (Parlett–Scott,
+	// Simon). Steps between crossings cost only the three-term
+	// recurrence, turning the O(j·n) per-step reorthogonalization into
+	// an event that fires a handful of times per converged eigenpair.
+	// A triggered reorthogonalization also forces one at the next step
+	// ("reorthogonalize in pairs"): the recurrence's β_{j−1} term would
+	// otherwise reinfect the new vector from its unpurged predecessor.
+	ReorthSelective ReorthMode = iota
+	// ReorthFull reorthogonalizes at every step — the pre-optimization
+	// behavior, kept as the reference the partest suite compares
+	// against and as a fallback for hostile spectra.
+	ReorthFull
+)
+
+// lanczosEps is the unit roundoff of float64; √lanczosEps is the
+// semi-orthogonality threshold selective reorthogonalization maintains.
+const lanczosEps = 0x1p-52
+
 // LanczosOptions configures the Lanczos solver. The zero value selects
 // sensible defaults.
 type LanczosOptions struct {
@@ -26,6 +53,9 @@ type LanczosOptions struct {
 	// CheckEvery controls how often (in Lanczos steps) convergence is
 	// tested. Default 10.
 	CheckEvery int
+	// Reorth selects full or selective reorthogonalization; the zero
+	// value is ReorthSelective.
+	Reorth ReorthMode
 	// Fault, when non-nil, receives per-attempt and per-step callbacks
 	// for deterministic fault injection (tests and the resilience
 	// layer).
@@ -53,14 +83,16 @@ func (o *LanczosOptions) withDefaults(n, d int) LanczosOptions {
 		if o.CheckEvery > 0 {
 			v.CheckEvery = o.CheckEvery
 		}
+		v.Reorth = o.Reorth
 		v.Fault = o.Fault
 		v.Workers = o.Workers
 	}
 	v.Workers = parallel.Workers(v.Workers)
 	if v.MaxDim == 0 {
 		// Clustered spectra (typical for netlist-derived Laplacians) need
-		// a generous Krylov space; full reorthogonalization keeps the cost
-		// at O(MaxDim²·n), which is acceptable at these problem sizes.
+		// a generous Krylov space; selective reorthogonalization keeps
+		// the common-path cost at O(MaxDim·n) plus a few full
+		// reorthogonalization events per converged pair.
 		v.MaxDim = 12*d + 100
 		if v.MaxDim < 300 {
 			v.MaxDim = 300
@@ -73,11 +105,12 @@ func (o *LanczosOptions) withDefaults(n, d int) LanczosOptions {
 }
 
 // Lanczos computes the d smallest eigenpairs of the symmetric operator a
-// using the Lanczos iteration with full reorthogonalization. The smallest
-// eigenpairs of a graph Laplacian converge first, matching the behaviour
-// the paper relied on from LASO2: "when computing the eigenvectors with
-// the smallest corresponding eigenvalues, vector i will always converge
-// faster than vector j if i < j".
+// using the Lanczos iteration with selective reorthogonalization (see
+// ReorthMode). The smallest eigenpairs of a graph Laplacian converge
+// first, matching the behaviour the paper relied on from LASO2: "when
+// computing the eigenvectors with the smallest corresponding
+// eigenvalues, vector i will always converge faster than vector j if
+// i < j".
 //
 // Limitation inherited from single-vector Lanczos: an eigenvalue of
 // multiplicity m > 1 contributes only one copy per Krylov space, so extra
@@ -126,11 +159,12 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 	// and post once on exit so the hot loop sees no atomics.
 	ctx, span := trace.Start(ctx, "eigen.lanczos",
 		trace.Int("n", n), trace.Int("d", d), trace.Int("maxdim", o.MaxDim), trace.Int64("seed", o.Seed))
-	var matvecs, reorths, restarts int64
+	var matvecs, reorths, skips, restarts int64
 	defer func() {
 		if tr := trace.FromContext(ctx); tr != nil {
 			tr.Add("eigen.matvec", matvecs)
 			tr.Add("eigen.reorth", reorths)
+			tr.Add("eigen.reorth.skipped", skips)
 			tr.Add("eigen.restarts", restarts)
 		}
 		span.Annotate(trace.Int64("steps", matvecs), trace.Int64("restarts", restarts))
@@ -141,13 +175,35 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 	// wrapped product is bitwise identical to the serial one.
 	a = linalg.Par(a, o.Workers)
 
+	// All per-step n-vectors (basis growth, the residual vector, restart
+	// directions, Ritz assembly scratch) come from one arena owned by
+	// this solve, so the iteration loop allocates O(1) amortized — see
+	// linalg.Arena for the ownership rules (nothing from the arena may
+	// appear in the returned Decomposition).
+	ar := linalg.NewArena(n)
+
 	// Krylov basis, alpha (diagonal of T) and beta (subdiagonal of T).
 	basis := make([][]float64, 0, o.MaxDim)
 	alphas := make([]float64, 0, o.MaxDim)
 	betas := make([]float64, 0, o.MaxDim) // betas[j] couples basis[j] and basis[j+1]
 
-	v := randomUnit(rng, n)
-	w := make([]float64, n)
+	v := randomUnitInto(rng, ar.Vec())
+	w := ar.Vec()
+
+	// Selective-reorthogonalization state: omCur[i] estimates
+	// ⟨basis[j], basis[i]⟩ for the newest basis vector j, omPrev the
+	// same for j−1, omNext for the incoming candidate. Estimates are
+	// signed (see omegaStep) and maintained via the ω-recurrence; the
+	// trigger compares |ω| against √ε.
+	var omPrev, omCur, omNext []float64
+	forceReorth := false
+	if o.Reorth == ReorthSelective {
+		omPrev = make([]float64, 0, o.MaxDim+1)
+		omCur = append(make([]float64, 0, o.MaxDim+1), 1)
+		omNext = make([]float64, 0, o.MaxDim+1)
+	}
+	coef := make([]float64, o.MaxDim) // Gram–Schmidt coefficient scratch
+	var ws tridiagWS                  // convergence-check workspace
 
 	// scale estimates ‖A‖ for the relative residual test; refined as the
 	// largest Ritz value seen.
@@ -165,17 +221,53 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 		}
 		alpha := linalg.Dot(v, w)
 		alphas = append(alphas, alpha)
-		// w -= alpha*v + beta*v_prev, then full reorthogonalization for
-		// numerical stability (the classic Lanczos loss-of-orthogonality
-		// fix; selective reorthogonalization would be cheaper but full is
-		// simpler and robust at these problem sizes).
+		// w -= alpha*v + beta*v_prev (the three-term recurrence), then
+		// reorthogonalize per the selected mode.
 		linalg.Axpy(-alpha, v, w)
 		if len(basis) >= 2 {
 			linalg.Axpy(-betas[len(betas)-1], basis[len(basis)-2], w)
 		}
-		linalg.OrthogonalizeBlock(w, basis, o.Workers)
-		reorths++
-		beta := linalg.Norm2(w)
+		var beta float64
+		if o.Reorth == ReorthFull {
+			linalg.OrthogonalizeBlockBuf(w, basis, o.Workers, coef)
+			reorths++
+			beta = linalg.Norm2(w)
+		} else {
+			beta = linalg.Norm2(w)
+			doFull := forceReorth
+			if beta > lanczosTiny*scale {
+				omNext = omegaStep(omNext[:0], omCur, omPrev, alphas, betas, alpha, beta, scale)
+				if !doFull {
+					for _, om := range omNext[:len(basis)] {
+						if math.Abs(om) > lanczosThreshold {
+							doFull = true
+							break
+						}
+					}
+					// A fresh trigger purges this vector; the next one
+					// inherits contamination through the recurrence's
+					// β_{j−1} term, so purge it too.
+					forceReorth = doFull
+				} else {
+					forceReorth = false
+				}
+			} else {
+				// Near-breakdown: the invariant-subspace branch below
+				// restarts with a fully orthogonalized fresh vector.
+				doFull = false
+				forceReorth = false
+			}
+			if doFull {
+				linalg.OrthogonalizeBlockBuf(w, basis, o.Workers, coef)
+				reorths++
+				beta = linalg.Norm2(w)
+				for i := range omNext[:len(basis)] {
+					omNext[i] = lanczosEps
+				}
+			} else {
+				skips++
+			}
+		}
 		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.IsNaN(beta) || math.IsInf(beta, 0) {
 			return nil, fmt.Errorf("eigen: lanczos step %d produced alpha=%v beta=%v: %w",
 				len(basis), alpha, beta, ErrBreakdown)
@@ -184,7 +276,7 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 		j := len(basis)
 		invariant := beta <= 1e-12*scale
 		if j >= d && (j%o.CheckEvery == 0 || j == o.MaxDim || j == n || (invariant && j+1 >= n)) {
-			vals, svecs, err := SymTridiagEig(alphas, betas[:j-1], true)
+			vals, svecs, err := ws.eig(alphas, betas[:j-1])
 			if err != nil {
 				return nil, err
 			}
@@ -199,7 +291,7 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 				// sees one vector per eigenspace); force a restart sweep
 				// before accepting in that case.
 				if !invariant || j == n {
-					return ritzPairs(basis, vals, svecs, d), nil
+					return ritzPairs(basis, vals, svecs, d, ar), nil
 				}
 			}
 			if j == o.MaxDim {
@@ -215,7 +307,7 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 					limit = d
 				}
 				if m := convergedPrefix(vals, svecs, beta, limit, o.Tol*scale); m >= 1 {
-					return ritzPairs(basis, vals, svecs, m), ErrNoConvergence
+					return ritzPairs(basis, vals, svecs, m, ar), ErrNoConvergence
 				}
 				return nil, ErrNoConvergence
 			}
@@ -226,8 +318,8 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 			// disconnected graph, or a degenerate eigenspace exhausted).
 			// Restart with a fresh random direction orthogonal to the
 			// current basis so the remaining spectrum is explored.
-			v = randomUnit(rng, n)
-			linalg.OrthogonalizeBlock(v, basis, o.Workers)
+			v = randomUnitInto(rng, w)
+			linalg.OrthogonalizeBlockBuf(v, basis, o.Workers, coef)
 			reorths++
 			restarts++
 			if linalg.Normalize(v) == 0 {
@@ -236,14 +328,80 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 				return nil, ErrNoConvergence
 			}
 			betas = append(betas, 0)
-			w = make([]float64, n)
+			w = ar.Vec()
+			if o.Reorth == ReorthSelective {
+				// The restart vector was just fully orthogonalized.
+				omPrev, omCur = omCur, omPrev
+				omCur = omCur[:0]
+				for i := 0; i < len(basis); i++ {
+					omCur = append(omCur, lanczosEps)
+				}
+				omCur = append(omCur, 1)
+				forceReorth = false
+			}
 			continue
 		}
 		betas = append(betas, beta)
 		linalg.Scale(1/beta, w)
-		v, w = w, make([]float64, n)
+		// w becomes the next basis vector; its predecessor stays in the
+		// basis, so a fresh arena vector takes w's slot. MatVec fully
+		// overwrites it next iteration.
+		v, w = w, ar.Vec()
+		if o.Reorth == ReorthSelective {
+			omPrev, omCur, omNext = omCur, omNext, omPrev
+		}
 	}
 	return nil, ErrNoConvergence
+}
+
+// lanczosTiny is the relative β floor below which the ω-recurrence is
+// skipped: the invariant-subspace restart handles such steps.
+const lanczosTiny = 1e-12
+
+// lanczosThreshold is √ε, the semi-orthogonality bound: estimates above
+// it trigger a full reorthogonalization.
+var lanczosThreshold = math.Sqrt(lanczosEps)
+
+// omegaStep advances the ω-recurrence one Lanczos step (Simon's
+// orthogonality-estimate recurrence): given the estimates for the
+// newest basis vector (omCur, length j+1 with omCur[j] = 1) and its
+// predecessor (omPrev), it appends the estimates for the incoming
+// candidate vector to dst (final length j+2, self-estimate 1) and
+// returns it. alpha/beta are the current step's recurrence
+// coefficients; betas has length j−1 here (the current β is not yet
+// appended).
+//
+// The estimates are SIGNED, exactly as in the reference
+// implementations (Simon's analysis, PROPACK's update of ω): the
+// −β_{j−1}·ω_{j−1,i} term must be allowed to cancel the
+// β_i·ω_{j,i+1} term — at i = j−1 both are β_{j−1}·1, and their
+// cancellation is what keeps the estimate at roundoff level. A
+// non-negative "upper bound" form adds them instead and inflates every
+// estimate to O(β_{j−1}/β_j) = O(1), degenerating selective
+// reorthogonalization into full. Consumers compare |ω| against the
+// threshold. A roundoff-level noise term is added away from zero so
+// the estimate tracks accumulation rather than lucky cancellation.
+//
+// The arithmetic is scalar and worker-independent, so selective
+// reorthogonalization preserves the bitwise parallelism-invariance
+// contract.
+func omegaStep(dst []float64, omCur, omPrev []float64, alphas, betas []float64, alpha, beta, scale float64) []float64 {
+	j := len(omCur) - 1 // index of the newest basis vector
+	noise := 2 * lanczosEps * scale
+	for i := 0; i < j; i++ {
+		t := betas[i]*omCur[i+1] + (alphas[i]-alpha)*omCur[i]
+		if i > 0 {
+			t += betas[i-1] * omCur[i-1]
+		}
+		if j >= 1 && i < len(omPrev) {
+			t -= betas[j-1] * omPrev[i]
+		}
+		dst = append(dst, (t+math.Copysign(noise, t))/beta)
+	}
+	// The immediate predecessor: the three-term recurrence subtracts its
+	// component explicitly, leaving roundoff-level coupling.
+	dst = append(dst, lanczosEps*scale/beta+lanczosEps)
+	return append(dst, 1)
 }
 
 // convergedSmallest reports whether the d smallest Ritz pairs of the
@@ -269,13 +427,15 @@ func convergedPrefix(vals []float64, svecs *linalg.Dense, beta float64, limit in
 }
 
 // ritzPairs assembles the d smallest Ritz pairs from the Lanczos basis and
-// the tridiagonal eigendecomposition.
-func ritzPairs(basis [][]float64, vals []float64, svecs *linalg.Dense, d int) *Decomposition {
+// the tridiagonal eigendecomposition. The result is freshly allocated —
+// nothing aliases the basis, the workspace, or the arena.
+func ritzPairs(basis [][]float64, vals []float64, svecs *linalg.Dense, d int, ar *linalg.Arena) *Decomposition {
 	n := len(basis[0])
 	m := len(basis)
 	u := linalg.NewDense(n, d)
+	col := ar.Vec()
 	for j := 0; j < d; j++ {
-		col := make([]float64, n)
+		linalg.Zero(col)
 		for k := 0; k < m; k++ {
 			linalg.Axpy(svecs.At(k, j), basis[k], col)
 		}
@@ -284,11 +444,12 @@ func ritzPairs(basis [][]float64, vals []float64, svecs *linalg.Dense, d int) *D
 			u.Set(i, j, col[i])
 		}
 	}
+	ar.Free(col)
 	return &Decomposition{Values: linalg.CopyVec(vals[:d]), Vectors: u}
 }
 
-func randomUnit(rng *rand.Rand, n int) []float64 {
-	v := make([]float64, n)
+// randomUnitInto fills v with a unit-norm standard normal direction.
+func randomUnitInto(rng *rand.Rand, v []float64) []float64 {
 	for i := range v {
 		v[i] = rng.NormFloat64()
 	}

@@ -214,6 +214,52 @@ func SymTridiagEig(diag, sub []float64, wantVectors bool) (vals []float64, vecs 
 	return d, z, nil
 }
 
+// tridiagWS is a reusable workspace for the tridiagonal
+// eigendecompositions the Lanczos convergence checks run every
+// CheckEvery steps. It exists so the Lanczos iteration loop performs no
+// per-check allocations once the workspace has grown to the Krylov
+// budget: the returned slices and matrix ALIAS the workspace and are
+// valid only until the next eig call — callers must copy anything that
+// outlives the check (ritzPairs copies into fresh result storage).
+type tridiagWS struct {
+	d, e []float64
+	zbuf []float64
+	z    linalg.Dense
+}
+
+// eig is SymTridiagEig(diag, sub, true) into the reused workspace.
+func (ws *tridiagWS) eig(diag, sub []float64) (vals []float64, vecs *linalg.Dense, err error) {
+	n := len(diag)
+	if len(sub) != n-1 && !(n == 0 && len(sub) == 0) {
+		return nil, nil, errors.New("eigen: subdiagonal must have length n-1")
+	}
+	// Grow geometrically: successive convergence checks arrive with n
+	// increasing by CheckEvery, and per-check reallocation would defeat
+	// the workspace (O(checks) allocations instead of O(log)).
+	if cap(ws.d) < n {
+		ws.d = make([]float64, 0, 2*n)
+		ws.e = make([]float64, 0, 2*n)
+	}
+	ws.d = ws.d[:n]
+	ws.e = ws.e[:n]
+	copy(ws.d, diag)
+	ws.e[0] = 0
+	copy(ws.e[1:], sub)
+	if cap(ws.zbuf) < n*n {
+		ws.zbuf = make([]float64, 4*n*n)
+	}
+	ws.z = linalg.Dense{Rows: n, Cols: n, Data: ws.zbuf[:n*n]}
+	linalg.Zero(ws.z.Data)
+	for i := 0; i < n; i++ {
+		ws.z.Set(i, i, 1)
+	}
+	if err := tql2(ws.d, ws.e, &ws.z); err != nil {
+		return nil, nil, err
+	}
+	sortEigenAscending(ws.d, &ws.z)
+	return ws.d, &ws.z, nil
+}
+
 // sortEigenAscending sorts eigenvalues in d ascending and permutes the
 // columns of z accordingly (selection sort; n is small relative to the
 // O(n^3) work already done).

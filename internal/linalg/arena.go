@@ -1,0 +1,73 @@
+package linalg
+
+// Arena is a slab allocator for fixed-length float64 vectors, built for
+// the iterative eigensolvers whose hot loops otherwise allocate a fresh
+// n-vector per step (Krylov basis growth, restart vectors, Ritz
+// assembly scratch). Vectors are carved out of shared slabs of
+// arenaSlabVecs vectors each, so a solve performing k steps costs
+// ⌈k/arenaSlabVecs⌉ allocations instead of k, and recycled vectors cost
+// none at all.
+//
+// Ownership rules (enforced for internal/eigen by cmd/vet-invariants):
+//
+//   - A vector obtained from Vec belongs to the arena's owner until it
+//     is passed back via Free. It must NEVER be returned to a caller or
+//     stored in a result structure — results copy out (CopyVec,
+//     NewDense). The arena dies with the solve that created it.
+//   - Free'd vectors are reissued by later Vec calls; holding a slice
+//     after freeing it is a use-after-free bug, racing against the next
+//     consumer.
+//   - An Arena is NOT safe for concurrent use. Kernels hand arena
+//     vectors to parallel.For shards, which is fine — sharding splits
+//     element ranges of one vector, it never calls Vec/Free.
+type Arena struct {
+	n    int
+	slab []float64   // tail of the current slab, sliced off by Vec
+	free [][]float64 // recycled vectors, reissued LIFO
+}
+
+// arenaSlabVecs is the number of vectors per slab: large enough to
+// amortize allocation to noise, small enough that an early-converging
+// solve wastes at most one slab's tail.
+const arenaSlabVecs = 16
+
+// NewArena returns an arena issuing vectors of length n.
+func NewArena(n int) *Arena {
+	if n < 0 {
+		n = 0
+	}
+	return &Arena{n: n}
+}
+
+// N returns the length of the vectors this arena issues.
+func (a *Arena) N() int { return a.n }
+
+// Vec returns a zeroed n-vector owned by the arena (see the ownership
+// rules in the type comment).
+func (a *Arena) Vec() []float64 {
+	if m := len(a.free); m > 0 {
+		v := a.free[m-1]
+		a.free = a.free[:m-1]
+		Zero(v)
+		return v
+	}
+	if len(a.slab) < a.n {
+		a.slab = make([]float64, a.n*arenaSlabVecs)
+	}
+	v := a.slab[:a.n:a.n]
+	a.slab = a.slab[a.n:]
+	return v
+}
+
+// Free returns v to the arena for reuse. v must have come from Vec on
+// this arena; the caller must not touch it afterwards. Freeing nil is a
+// no-op, so error paths can Free unconditionally.
+func (a *Arena) Free(v []float64) {
+	if v == nil {
+		return
+	}
+	if len(v) != a.n {
+		panic("linalg: Arena.Free of a vector with the wrong length")
+	}
+	a.free = append(a.free, v)
+}

@@ -1,0 +1,107 @@
+package linalg
+
+import "testing"
+
+func TestArenaVecZeroedAndDisjoint(t *testing.T) {
+	a := NewArena(5)
+	u := a.Vec()
+	v := a.Vec()
+	if len(u) != 5 || len(v) != 5 {
+		t.Fatalf("lengths %d, %d, want 5", len(u), len(v))
+	}
+	for i := range u {
+		u[i] = 1
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("v[%d] = %v after writing u, want 0 (overlap?)", i, x)
+		}
+	}
+	// Appending to one issued vector must not clobber its slab neighbour.
+	u = append(u, 9)
+	if v[0] != 0 {
+		t.Fatal("append to u grew into v's slab space")
+	}
+}
+
+func TestArenaRecyclesFreedVectors(t *testing.T) {
+	a := NewArena(8)
+	v := a.Vec()
+	for i := range v {
+		v[i] = float64(i + 1)
+	}
+	a.Free(v)
+	w := a.Vec()
+	if &w[0] != &v[0] {
+		t.Fatal("freed vector was not reissued")
+	}
+	for i, x := range w {
+		if x != 0 {
+			t.Fatalf("reissued vector not zeroed at %d: %v", i, x)
+		}
+	}
+}
+
+func TestArenaAllocationsAmortized(t *testing.T) {
+	const n, vecs = 64, 4 * arenaSlabVecs
+	allocs := testing.AllocsPerRun(10, func() {
+		a := NewArena(n)
+		for i := 0; i < vecs; i++ {
+			a.Vec()
+		}
+	})
+	// 4 slabs + the arena itself + free-list noise; the point is it is
+	// nowhere near one allocation per vector.
+	if allocs > vecs/2 {
+		t.Fatalf("AllocsPerRun = %v for %d vectors, want slab-amortized", allocs, vecs)
+	}
+}
+
+func TestArenaFreeChecksLength(t *testing.T) {
+	a := NewArena(4)
+	a.Free(nil) // no-op
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free of wrong-length vector did not panic")
+		}
+	}()
+	a.Free(make([]float64, 3))
+}
+
+func TestOrthogonalizeBlockBufMatchesAllocating(t *testing.T) {
+	const n, m = 200, 7
+	basis := make([][]float64, m)
+	for b := range basis {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64((b*31+i*17)%23) - 11
+		}
+		Normalize(v)
+		basis[b] = v
+	}
+	mk := func() []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(i%9) - 4
+		}
+		return v
+	}
+	want := mk()
+	OrthogonalizeBlock(want, basis, 1)
+	got := mk()
+	coef := make([]float64, m)
+	OrthogonalizeBlockBuf(got, basis, 1, coef)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d differs bitwise: %v vs %v", i, got[i], want[i])
+		}
+	}
+	// Short buffer falls back to allocating without changing results.
+	got2 := mk()
+	OrthogonalizeBlockBuf(got2, basis, 1, make([]float64, 1))
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("short-buffer path: entry %d differs bitwise", i)
+		}
+	}
+}

@@ -74,11 +74,50 @@ func (p *parOp) MatVec(x, y []float64) {
 // coefficients where Orthogonalize re-reads v between basis rows; both
 // leave v orthogonal to the basis to working precision.
 func OrthogonalizeBlock(v []float64, basis [][]float64, workers int) {
+	OrthogonalizeBlockBuf(v, basis, workers, nil)
+}
+
+// OrthogonalizeBlockBuf is OrthogonalizeBlock with a caller-provided
+// coefficient buffer, so per-iteration callers (the Lanczos and block
+// Krylov reorthogonalization loops) stay allocation-free. coef needs
+// capacity len(basis); a nil or short coef allocates internally. The
+// buffer is scratch only — its contents on return are meaningless.
+func OrthogonalizeBlockBuf(v []float64, basis [][]float64, workers int, coef []float64) {
 	m := len(basis)
 	if m == 0 {
 		return
 	}
-	coef := make([]float64, m)
+	if cap(coef) < m {
+		coef = make([]float64, m)
+	}
+	coef = coef[:m]
+	if parallel.Workers(workers) == 1 {
+		// Serial fast path without the chunk closures: the literals
+		// passed to parallel.For escape to the heap (For may hand them
+		// to worker goroutines), which would make every
+		// reorthogonalization event allocate. The arithmetic below is
+		// the chunked arithmetic with one chunk — bitwise identical.
+		for pass := 0; pass < 2; pass++ {
+			for b := 0; b < m; b++ {
+				coef[b] = Dot(v, basis[b])
+			}
+			for b := 0; b < m; b++ {
+				c, row := coef[b], basis[b]
+				for i := range v {
+					v[i] -= c * row[i]
+				}
+			}
+		}
+		return
+	}
+	orthogonalizeBlockPar(v, basis, workers, coef)
+}
+
+// orthogonalizeBlockPar is OrthogonalizeBlockBuf's sharded path. It is
+// a separate function so its escaping chunk closures do not force the
+// caller's locals (notably coef) onto the heap on the serial path.
+func orthogonalizeBlockPar(v []float64, basis [][]float64, workers int, coef []float64) {
+	m := len(basis)
 	for pass := 0; pass < 2; pass++ {
 		// Coefficients: one whole-vector dot per basis row, each serial.
 		parallel.For(workers, m, 1, func(_, lo, hi int) {

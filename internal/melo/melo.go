@@ -171,10 +171,14 @@ func OrderCtx(ctx context.Context, g *graph.Graph, dec *eigen.Decomposition, opt
 	}()
 
 	lam := dec.Values[1 : d+1]
-	// U rows: raw (unscaled) eigenvector coordinates per vertex.
+	// U rows: raw (unscaled) eigenvector coordinates per vertex, sliced
+	// from one n×d backing array (n separate row allocations would
+	// dominate the setup cost for large netlists and scatter the rows
+	// across the heap; the scan kernels walk them row by row).
+	ubuf := make([]float64, n*d)
 	u := make([][]float64, n)
 	for i := 0; i < n; i++ {
-		row := make([]float64, d)
+		row := ubuf[i*d : (i+1)*d : (i+1)*d]
 		for j := 0; j < d; j++ {
 			row[j] = dec.Vectors.At(i, j+1)
 		}
@@ -312,8 +316,8 @@ func OrderCtx(ctx context.Context, g *graph.Graph, dec *eigen.Decomposition, opt
 	// re-rankings replenish T after each insertion with the next vector
 	// of the stale ranking ("the next ranked vector not in S or T is
 	// added to T").
-	var candidates []int // active window (unplaced)
-	var ranking []int    // full stale ranking; ptr = next replenishment
+	candidates := make([]int, 0, opts.CandidateWindow) // active window (unplaced)
+	ranking := make([]int, 0, n)                       // full stale ranking; ptr = next replenishment
 	ptr := 0
 	scores := make([]float64, n) // scratch for refreshCandidates
 	refreshCandidates := func() {
@@ -330,21 +334,17 @@ func OrderCtx(ctx context.Context, g *graph.Graph, dec *eigen.Decomposition, opt
 				}
 			}
 		})
-		type ranked struct {
-			idx int
-			s   float64
-		}
-		all := make([]ranked, 0, n)
+		// Rank the unplaced indices in place (no per-refresh candidate
+		// structs): ranking is filled index-ascending, and the stable
+		// sort on descending score preserves that order on ties —
+		// identical to the old build-and-sort over (idx, score) pairs.
+		ranking = ranking[:0]
 		for i := 0; i < n; i++ {
 			if !placed[i] {
-				all = append(all, ranked{i, scores[i]})
+				ranking = append(ranking, i)
 			}
 		}
-		sort.SliceStable(all, func(a, b int) bool { return all[a].s > all[b].s })
-		ranking = ranking[:0]
-		for _, r := range all {
-			ranking = append(ranking, r.idx)
-		}
+		sort.Stable(&rankedDesc{idx: ranking, score: scores})
 		if w > len(ranking) {
 			w = len(ranking)
 		}
@@ -498,3 +498,15 @@ func adaptiveH(lam, p []float64, cutS float64, sizeS, d, n int) (float64, bool) 
 	}
 	return h, true
 }
+
+// rankedDesc sorts an index slice by descending score; used with
+// sort.Stable so equal scores keep their index-ascending insertion
+// order (the serial tie-break every worker count must reproduce).
+type rankedDesc struct {
+	idx   []int
+	score []float64
+}
+
+func (r *rankedDesc) Len() int           { return len(r.idx) }
+func (r *rankedDesc) Less(a, b int) bool { return r.score[r.idx[a]] > r.score[r.idx[b]] }
+func (r *rankedDesc) Swap(a, b int)      { r.idx[a], r.idx[b] = r.idx[b], r.idx[a] }

@@ -49,10 +49,20 @@ func SetLimit(n int) {
 	limit.Store(int32(n))
 }
 
-// Workers resolves a requested parallelism level: values >= 1 are used
-// as given, anything else (0 = "automatic") resolves to Limit().
+// Workers resolves a requested parallelism level: anything below 1
+// (0 = "automatic") resolves to Limit(), and explicit requests are
+// clamped to the limit when one has been set with SetLimit. The clamp
+// is what makes an operator-facing cap (spectrald's -parallelism flag)
+// actually bound per-job worker counts arriving through job options —
+// without it an explicit per-job request overrode the process cap.
+// When no limit has been set, explicit requests pass through unclamped
+// (the NumCPU default is a sizing hint, not an operator instruction;
+// equivalence and race tests legitimately run more workers than cores).
 func Workers(requested int) int {
 	if requested >= 1 {
+		if v := limit.Load(); v > 0 && requested > int(v) {
+			return int(v)
+		}
 		return requested
 	}
 	return Limit()
@@ -87,12 +97,14 @@ func plan(workers, n, grain int) (size, count int) {
 // NumChunks returns the number of chunks For will split [0,n) into for
 // the given workers and grain, so reductions can preallocate one slot
 // per chunk and combine them in chunk order (the deterministic-reduce
-// pattern; see the package comment).
+// pattern; see the package comment). It resolves workers exactly as For
+// does (including the Workers clamp), so the two agree for any request
+// as long as the limit does not change between the calls.
 func NumChunks(workers, n, grain int) int {
 	if n <= 0 {
 		return 0
 	}
-	_, count := plan(workers, n, grain)
+	_, count := plan(Workers(workers), n, grain)
 	return count
 }
 
@@ -105,7 +117,10 @@ func NumChunks(workers, n, grain int) int {
 // is NOT reproducible, so fn must not touch shared non-chunk state.
 //
 // When the resolved worker count is 1, or the range fits one chunk,
-// fn runs on the calling goroutine.
+// fn runs on the calling goroutine, and For itself performs no heap
+// allocations — the goroutine machinery lives in forChunks so the
+// serial fast path (the common case inside reorthogonalization and
+// other per-iteration kernels) stays allocation-free.
 func For(workers, n, grain int, fn func(chunk, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -116,19 +131,23 @@ func For(workers, n, grain int, fn func(chunk, lo, hi int)) {
 	// process-global tracer. Per-chunk spans only exist behind the
 	// tracer's sampling flag (trace.Tracer.SetChunkSampling) — they are
 	// the one per-iteration instrumentation in the repository. The
+	// span wrapper is a heap-allocated closure, so it is only built when
+	// sampling is actually on; counters alone are atomic adds. The
 	// wrapper observes chunks, never reorders them: the determinism
 	// discipline above is untouched.
 	if tr := trace.Active(); tr != nil {
 		tr.Add("parallel.chunks", int64(count))
 		tr.SetGauge("parallel.workers", float64(workers))
-		inner := fn
-		fn = func(c, lo, hi int) {
-			if sp := tr.ChunkSpan("parallel.chunk"); sp != nil {
+		if tr.ChunkSamplingEnabled() {
+			inner := fn
+			fn = func(c, lo, hi int) {
+				if sp := tr.ChunkSpan("parallel.chunk"); sp != nil {
+					inner(c, lo, hi)
+					sp.End()
+					return
+				}
 				inner(c, lo, hi)
-				sp.End()
-				return
 			}
-			inner(c, lo, hi)
 		}
 	}
 	if workers == 1 || count == 1 {
@@ -142,6 +161,13 @@ func For(workers, n, grain int, fn func(chunk, lo, hi int)) {
 		}
 		return
 	}
+	forChunks(workers, n, size, count, fn)
+}
+
+// forChunks is For's multi-goroutine path. It is a separate function so
+// its synchronization state (captured by the worker closures, hence
+// heap-allocated at entry) does not burden For's serial fast path.
+func forChunks(workers, n, size, count int, fn func(chunk, lo, hi int)) {
 	if workers > count {
 		workers = count
 	}

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 func TestLimitDefaultsToNumCPU(t *testing.T) {
@@ -29,11 +31,37 @@ func TestWorkersResolution(t *testing.T) {
 	defer SetLimit(0)
 	SetLimit(4)
 	for _, tc := range []struct{ req, want int }{
-		{0, 4}, {-1, 4}, {1, 1}, {7, 7},
+		{0, 4}, {-1, 4}, {1, 1}, {4, 4}, {7, 4}, // explicit requests clamp to the set limit
 	} {
 		if got := Workers(tc.req); got != tc.want {
 			t.Errorf("Workers(%d) = %d, want %d", tc.req, got, tc.want)
 		}
+	}
+	// Without an explicit limit the clamp is off: explicit requests pass
+	// through even above NumCPU (equivalence tests rely on this).
+	SetLimit(0)
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) with no limit = %d, want 7", got)
+	}
+}
+
+// TestWorkersClampBoundsJobRequests is the regression test for the
+// spectrald scenario: the daemon caps process parallelism via SetLimit
+// (its -parallelism flag), and a job arrives requesting more workers
+// through its own options. The per-job request must not override the
+// operator's cap.
+func TestWorkersClampBoundsJobRequests(t *testing.T) {
+	defer SetLimit(0)
+	SetLimit(2) // operator: at most 2 workers for this process
+	if got := Workers(16); got != 2 {
+		t.Fatalf("explicit job request for 16 workers resolved to %d under SetLimit(2), want 2", got)
+	}
+	// The resolved count also governs For's fan-out: no chunk may
+	// observe a worker index implying more than the cap... workers are
+	// anonymous in For, so assert via the chunk plan instead: the count
+	// For actually uses equals Workers(16).
+	if NumChunks(16, 1000, 1) != NumChunks(2, 1000, 1) {
+		t.Fatalf("For's chunk plan for an explicit 16-worker request does not match the clamped plan")
 	}
 }
 
@@ -98,6 +126,56 @@ func TestForRespectsGrain(t *testing.T) {
 			panic("short interior chunk")
 		}
 	})
+}
+
+// TestForSerialNoAllocsWhenSamplingOff: with a process-global tracer
+// installed but chunk sampling disabled (the production spectrald
+// configuration), the serial fast path of For must not allocate — in
+// particular it must not build the chunk-span wrapper closure, and its
+// goroutine machinery must stay out of the serial path's frame. This
+// pins down the regression where every kernel invocation heap-allocated
+// even at workers = 1.
+func TestForSerialNoAllocsWhenSamplingOff(t *testing.T) {
+	tr := trace.New()
+	trace.SetGlobal(tr)
+	defer trace.SetGlobal(nil)
+	data := make([]float64, 4096)
+	fn := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i]++
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		For(1, len(data), 64, fn)
+	}); allocs != 0 {
+		t.Fatalf("serial For with sampling off: %v allocs per call, want 0", allocs)
+	}
+	// Flipping sampling on must restore chunk spans (the wrapper is
+	// gated, not removed).
+	tr.SetChunkSampling(1)
+	For(1, len(data), 64, fn)
+	if got := tr.Counter("parallel.chunks"); got == 0 {
+		t.Fatal("chunk counter not advanced with sampling on")
+	}
+}
+
+// BenchmarkForSerialTracerOff measures the disabled-instrumentation
+// overhead budget of the serial fast path (tracer installed, sampling
+// off — the spectrald steady state).
+func BenchmarkForSerialTracerOff(b *testing.B) {
+	tr := trace.New()
+	trace.SetGlobal(tr)
+	defer trace.SetGlobal(nil)
+	data := make([]float64, 4096)
+	fn := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i]++
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		For(1, len(data), 64, fn)
+	}
 }
 
 func TestDoRunsEveryTask(t *testing.T) {

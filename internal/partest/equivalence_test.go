@@ -96,6 +96,86 @@ func TestLanczosWorkerEquivalence(t *testing.T) {
 	}
 }
 
+// TestLanczosSelectiveReorthInvariants: on the netlist corpus, the
+// selective-reorthogonalization Lanczos (the default) must match the
+// full-reorth solver's eigenvalues, keep true residuals under the
+// semi-orthogonality floor O(√ε·‖A‖), and return an orthonormal Ritz
+// basis — at every worker count, bit-identically across worker counts.
+// This is the corpus-wide guarantee behind replacing full reorth in the
+// hot path: selective trades per-step O(m·n) work for an ω-recurrence
+// estimate, and this test is what keeps that trade honest.
+func TestLanczosSelectiveReorthInvariants(t *testing.T) {
+	const d = 8
+	sqrtEps := math.Sqrt(0x1p-52)
+	for _, seed := range []int64{3, 17, 29} {
+		h := RandomNetlist(350, 800, 6, seed)
+		g, err := graph.FromHypergraph(h, graph.PartitioningSpecific, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := g.Laplacian()
+		// Gershgorin bound on ‖A‖ for the residual floor.
+		scale := 1.0
+		for i := 0; i < q.N; i++ {
+			row := 0.0
+			for k := q.RowPtr[i]; k < q.RowPtr[i+1]; k++ {
+				row += math.Abs(q.Val[k])
+			}
+			if row > scale {
+				scale = row
+			}
+		}
+
+		full, err := eigen.Lanczos(q, d, &eigen.LanczosOptions{Seed: 7, Reorth: eigen.ReorthFull})
+		if err != nil {
+			t.Fatalf("seed %d full: %v", seed, err)
+		}
+		ref, err := eigen.Lanczos(q, d, &eigen.LanczosOptions{Seed: 7, Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d selective: %v", seed, err)
+		}
+		for j := 0; j < d; j++ {
+			if dv := math.Abs(ref.Values[j] - full.Values[j]); dv > 1e-7*scale {
+				t.Errorf("seed %d: λ_%d selective %g vs full %g (Δ %g)", seed, j, ref.Values[j], full.Values[j], dv)
+			}
+		}
+		if r := eigen.Residual(q, ref); r > 100*sqrtEps*scale {
+			t.Errorf("seed %d: selective residual %g exceeds semi-orthogonality floor %g", seed, r, 100*sqrtEps*scale)
+		}
+		for a := 0; a < d; a++ {
+			va := ref.Vector(a)
+			for b := a; b < d; b++ {
+				dot := linalg.Dot(va, ref.Vector(b))
+				want := 0.0
+				if a == b {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-7 {
+					t.Errorf("seed %d: Ritz basis not orthonormal: <u_%d,u_%d> = %g", seed, a, b, dot)
+				}
+			}
+		}
+		// Bitwise worker invariance of the selective path.
+		for _, w := range []int{2, 4} {
+			dec, err := eigen.Lanczos(q, d, &eigen.LanczosOptions{Seed: 7, Workers: w})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, w, err)
+			}
+			for j := 0; j < d; j++ {
+				if dec.Values[j] != ref.Values[j] {
+					t.Fatalf("seed %d workers %d: λ_%d differs bitwise", seed, w, j)
+				}
+				got, want := dec.Vector(j), ref.Vector(j)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d workers %d: vector %d entry %d differs bitwise", seed, w, j, i)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestBlockKrylovWorkerEquivalence: same contract for the block solver,
 // which exercises the parallel Rayleigh–Ritz projection as well.
 func TestBlockKrylovWorkerEquivalence(t *testing.T) {

@@ -131,6 +131,14 @@ func (t *Tracer) SetChunkSampling(every int) {
 	t.chunkEvery.Store(int64(every))
 }
 
+// ChunkSamplingEnabled reports whether ChunkSpan can ever return a
+// non-nil span. Hot loops (internal/parallel.For) check it once per
+// kernel call so the per-chunk span wrapper — a heap-allocated closure —
+// is only built when sampling could actually observe a chunk.
+func (t *Tracer) ChunkSamplingEnabled() bool {
+	return t != nil && t.enabled.Load() && t.chunkEvery.Load() > 0
+}
+
 // ChunkSpan returns a detached (root) span for a sampled chunk, or nil
 // when chunk sampling is off or this chunk is not sampled. Callers must
 // End a non-nil span.
