@@ -21,6 +21,12 @@
 // directly as parallel efficiency. Points above runtime.NumCPU are
 // measured like any other and simply show the flat truth.
 //
+// The delta-warm-vs-cold row times an incremental (ECO) re-solve: the
+// serial column decomposes a mutated netlist cold, the parallel column
+// runs the same decomposition warm-started from the base netlist's
+// spectrum, so the speedup is the warm-start win the -compare gate
+// then holds onto.
+//
 // Besides the serial-vs-parallel rows, the report carries
 // tracer-overhead rows (trace-off-*, trace-on-*): each times a kernel
 // with no tracer in the serial column and with a disabled (trace-off)
@@ -41,6 +47,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -51,11 +58,13 @@ import (
 	"time"
 
 	spectral "repro"
+	"repro/internal/delta"
 	"repro/internal/eigen"
 	"repro/internal/graph"
 	"repro/internal/hypergraph"
 	"repro/internal/melo"
 	"repro/internal/parallel"
+	"repro/internal/resilience"
 	"repro/internal/trace"
 )
 
@@ -191,6 +200,43 @@ func main() {
 			func() { mustPartition(hn, spectral.MultilevelMELO, w) },
 		)
 		k.Note = "both columns = MultilevelMELO (flat MELO is impractical at this n); serial = workers 1"
+		rep.Kernels = append(rep.Kernels, k)
+	}
+
+	// Incremental (ECO) warm-start row: serial column = cold decompose of
+	// a mutated netlist, parallel column = the same decompose seeded with
+	// the base netlist's spectrum, so "speedup" is the warm-start win.
+	// The delta swaps one chain net for a three-pin net — small enough to
+	// seed from, big enough to force a real (seeded) re-solve.
+	{
+		base := buildNetlist(4000)
+		mut, _, err := delta.Apply(base, &delta.Delta{
+			RemoveNets: []string{"c100"},
+			AddNets:    []delta.NetChange{{Name: "eco", Modules: []int{5, 2500, 3999}}},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		ctx := context.Background()
+		seed, err := spectral.DecomposeCtx(ctx, base, spectral.ModelPartitioningSpecific, 10)
+		if err != nil {
+			fatal(err)
+		}
+		var info spectral.WarmInfo
+		k := measure("delta-warm-vs-cold", *reps,
+			func() {
+				if _, err := spectral.DecomposeCtx(ctx, mut, spectral.ModelPartitioningSpecific, 10); err != nil {
+					fatal(err)
+				}
+			},
+			func() {
+				var werr error
+				if _, info, werr = spectral.DecomposeWarmCtxPolicy(ctx, mut, spectral.ModelPartitioningSpecific, 10, seed, resilience.EigenPolicy{}); werr != nil {
+					fatal(werr)
+				}
+			},
+		)
+		k.Note = fmt.Sprintf("serial column = cold decompose of the delta netlist, parallel column = warm-started (outcome %q); speedup = warm-start win", info.Outcome)
 		rep.Kernels = append(rep.Kernels, k)
 	}
 

@@ -1,0 +1,254 @@
+package delta
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/speccache"
+)
+
+// testBase builds a 6-module base netlist:
+//
+//	a: {0,1}  b: {1,2,3}  c: {3,4}  d: {4,5}
+func testBase(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	b.AddModules(6)
+	for _, net := range []struct {
+		name string
+		mods []int
+	}{
+		{"a", []int{0, 1}}, {"b", []int{1, 2, 3}}, {"c", []int{3, 4}}, {"d", []int{4, 5}},
+	} {
+		if err := b.AddNet(net.name, net.mods...); err != nil {
+			t.Fatalf("AddNet(%s): %v", net.name, err)
+		}
+	}
+	return b.Build()
+}
+
+// snapshot captures the observable content of a hypergraph so tests can
+// assert Apply left the base untouched.
+type snapshot struct {
+	names, netNames []string
+	nets            [][]int
+	areas           []float64
+	fp              string
+}
+
+func snap(h *hypergraph.Hypergraph) snapshot {
+	s := snapshot{
+		names:    append([]string(nil), h.Names...),
+		netNames: append([]string(nil), h.NetNames...),
+		fp:       speccache.Fingerprint(h),
+	}
+	for _, net := range h.Nets {
+		s.nets = append(s.nets, append([]int(nil), net...))
+	}
+	for i := 0; i < h.NumModules(); i++ {
+		s.areas = append(s.areas, h.Area(i))
+	}
+	return s
+}
+
+func (s snapshot) equal(o snapshot) bool {
+	if len(s.names) != len(o.names) || len(s.nets) != len(o.nets) || s.fp != o.fp {
+		return false
+	}
+	for i := range s.names {
+		if s.names[i] != o.names[i] || s.areas[i] != o.areas[i] {
+			return false
+		}
+	}
+	for i := range s.nets {
+		if s.netNames[i] != o.netNames[i] || len(s.nets[i]) != len(o.nets[i]) {
+			return false
+		}
+		for j := range s.nets[i] {
+			if s.nets[i][j] != o.nets[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestApplyEmptyDeltaKeepsFingerprint(t *testing.T) {
+	base := testBase(t)
+	h, reach, err := Apply(base, &Delta{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if reach.Modules != 0 || reach.Nets != 0 || reach.Frac != 0 {
+		t.Fatalf("empty delta reach = %+v, want zero", reach)
+	}
+	if got, want := speccache.Fingerprint(h), speccache.Fingerprint(base); got != want {
+		t.Fatalf("empty delta changed fingerprint: %s != %s", got, want)
+	}
+	if !(&Delta{}).Empty() || (&Delta{AddNets: []NetChange{{}}}).Empty() {
+		t.Fatal("Empty() misreports")
+	}
+}
+
+func TestApplyEdits(t *testing.T) {
+	base := testBase(t)
+	before := snap(base)
+	d := &Delta{
+		RemoveNets: []string{"a"},
+		SetPins:    []NetChange{{Name: "c", Modules: []int{3, 5, 5, 2}}},
+		AddNets:    []NetChange{{Name: "e", Modules: []int{0, 5}}},
+		SetAreas:   []AreaChange{{Module: 0, Area: 2.5}},
+	}
+	h, reach, err := Apply(base, d)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !snap(base).equal(before) {
+		t.Fatal("Apply mutated the base")
+	}
+	if h.NumNets() != 4 {
+		t.Fatalf("NumNets = %d, want 4", h.NumNets())
+	}
+	// Net order: surviving base nets (b, c', d) then additions (e).
+	wantNames := []string{"b", "c", "d", "e"}
+	for i, w := range wantNames {
+		if h.NetNames[i] != w {
+			t.Fatalf("NetNames[%d] = %q, want %q", i, h.NetNames[i], w)
+		}
+	}
+	// setPins canonicalized: sorted, deduped.
+	cNet := h.Nets[1]
+	if len(cNet) != 3 || cNet[0] != 2 || cNet[1] != 3 || cNet[2] != 5 {
+		t.Fatalf("repinned c = %v, want [2 3 5]", cNet)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("result invalid: %v", err)
+	}
+	if h.Area(0) != 2.5 || h.Area(1) != 1 {
+		t.Fatalf("areas = %v, %v, want 2.5, 1", h.Area(0), h.Area(1))
+	}
+	// Reach: nets a (mods 0,1), c old {3,4} + new {2,3,5}, e {0,5}, and
+	// area change on 0 → modules {0,1,2,3,4,5} = 6; nets = 3.
+	if reach.Nets != 3 || reach.Modules != 6 {
+		t.Fatalf("reach = %+v, want Nets=3 Modules=6", reach)
+	}
+	if speccache.Fingerprint(h) == speccache.Fingerprint(base) {
+		t.Fatal("edit did not change the fingerprint")
+	}
+}
+
+func TestApplyUnitAreaNormalization(t *testing.T) {
+	base := testBase(t)
+	// Setting an area to the default 1 must not flip HasAreas (and so
+	// must not change the fingerprint).
+	h, reach, err := Apply(base, &Delta{SetAreas: []AreaChange{{Module: 2, Area: 1}}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if h.HasAreas() {
+		t.Fatal("all-unit areas were materialized")
+	}
+	if reach.Modules != 0 {
+		t.Fatalf("no-op area change counted in reach: %+v", reach)
+	}
+	if speccache.Fingerprint(h) != speccache.Fingerprint(base) {
+		t.Fatal("no-op area change moved the fingerprint")
+	}
+
+	// And resetting a real area back to all-ones drops the areas array.
+	withAreas, _, err := Apply(base, &Delta{SetAreas: []AreaChange{{Module: 2, Area: 4}}})
+	if err != nil {
+		t.Fatalf("Apply(areas): %v", err)
+	}
+	if !withAreas.HasAreas() {
+		t.Fatal("area change lost")
+	}
+	back, _, err := Apply(withAreas, &Delta{SetAreas: []AreaChange{{Module: 2, Area: 1}}})
+	if err != nil {
+		t.Fatalf("Apply(reset): %v", err)
+	}
+	if back.HasAreas() {
+		t.Fatal("reset-to-unit areas were materialized")
+	}
+	if speccache.Fingerprint(back) != speccache.Fingerprint(base) {
+		t.Fatal("round-trip areas did not restore the fingerprint")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	base := testBase(t)
+	before := snap(base)
+	cases := []struct {
+		name string
+		d    *Delta
+		want string
+	}{
+		{"remove-missing", &Delta{RemoveNets: []string{"zz"}}, "no such net"},
+		{"remove-twice", &Delta{RemoveNets: []string{"a", "a"}}, "removed twice"},
+		{"setpins-missing", &Delta{SetPins: []NetChange{{Name: "zz", Modules: []int{0, 1}}}}, "no such net"},
+		{"setpins-removed", &Delta{RemoveNets: []string{"a"}, SetPins: []NetChange{{Name: "a", Modules: []int{0, 1}}}}, "also removed"},
+		{"setpins-twice", &Delta{SetPins: []NetChange{{Name: "a", Modules: []int{0, 1}}, {Name: "a", Modules: []int{0, 2}}}}, "repinned twice"},
+		{"setpins-short", &Delta{SetPins: []NetChange{{Name: "a", Modules: []int{1, 1}}}}, "at least 2 distinct"},
+		{"setpins-range", &Delta{SetPins: []NetChange{{Name: "a", Modules: []int{0, 6}}}}, "out of range"},
+		{"add-collision", &Delta{AddNets: []NetChange{{Name: "b", Modules: []int{0, 1}}}}, "collides"},
+		{"add-empty-name", &Delta{AddNets: []NetChange{{Name: "", Modules: []int{0, 1}}}}, "empty net name"},
+		{"add-short", &Delta{AddNets: []NetChange{{Name: "x", Modules: []int{3}}}}, "at least 2 distinct"},
+		{"area-range", &Delta{SetAreas: []AreaChange{{Module: -1, Area: 1}}}, "out of range"},
+		{"area-nonpositive", &Delta{SetAreas: []AreaChange{{Module: 0, Area: 0}}}, "positive finite"},
+		{"area-nan", &Delta{SetAreas: []AreaChange{{Module: 0, Area: nan()}}}, "positive finite"},
+		{"area-twice", &Delta{SetAreas: []AreaChange{{Module: 0, Area: 1}, {Module: 0, Area: 2}}}, "set twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Apply(base, tc.d)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Apply err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+	if !snap(base).equal(before) {
+		t.Fatal("a failed Apply mutated the base")
+	}
+	if _, _, err := Apply(nil, &Delta{}); err == nil {
+		t.Fatal("Apply(nil base) succeeded")
+	}
+}
+
+// TestApplyAmbiguousName: a duplicated net name may not be edited, but
+// uninvolved duplicates don't block other edits.
+func TestApplyAmbiguousName(t *testing.T) {
+	names := []string{"m0", "m1", "m2"}
+	nets := [][]int{{0, 1}, {1, 2}, {0, 2}}
+	h, err := hypergraph.FromParts(names, nets, []string{"x", "x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Apply(h, &Delta{RemoveNets: []string{"x"}}); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("ambiguous removal err = %v", err)
+	}
+	if _, _, err := Apply(h, &Delta{RemoveNets: []string{"y"}}); err != nil {
+		t.Fatalf("unambiguous removal failed: %v", err)
+	}
+}
+
+func TestRemoveThenReAddSameNetRestoresFingerprint(t *testing.T) {
+	base := testBase(t)
+	h, _, err := Apply(base, &Delta{
+		RemoveNets: []string{"b"},
+		AddNets:    []NetChange{{Name: "b2", Modules: []int{1, 2, 3}}},
+	})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	// Same net structure under a different name: names are excluded from
+	// the fingerprint, so content-addressing must see the same netlist.
+	if speccache.Fingerprint(h) != speccache.Fingerprint(base) {
+		t.Fatal("structurally identical netlist got a different fingerprint")
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}

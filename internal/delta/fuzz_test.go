@@ -1,0 +1,128 @@
+package delta
+
+import (
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/speccache"
+)
+
+// fuzzBase returns one of a few canned base netlists, selected by sel.
+// Bases are rebuilt per call so corruption cannot leak between fuzz
+// iterations.
+func fuzzBase(sel uint8) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	switch sel % 4 {
+	case 0: // path of 6
+		b.AddModules(6)
+		for i := 0; i < 5; i++ {
+			b.AddNet("", i, i+1)
+		}
+	case 1: // star + clique net, duplicate names
+		b.AddModules(5)
+		b.AddNet("hub", 0, 1)
+		b.AddNet("hub", 0, 2)
+		b.AddNet("big", 0, 1, 2, 3, 4)
+	case 2: // two triangles with areas
+		b.AddModules(6)
+		b.AddNet("t1", 0, 1, 2)
+		b.AddNet("t2", 3, 4, 5)
+		b.AddNet("bridge", 2, 3)
+		h := b.Build()
+		_ = h.SetAreas([]float64{1, 2, 3, 4, 5, 6})
+		return h
+	default: // minimal
+		b.AddModules(2)
+		b.AddNet("only", 0, 1)
+	}
+	return b.Build()
+}
+
+// structEqual compares two netlists by canonical content — module
+// count, effective per-module areas, and the sorted multiset of nets —
+// mirroring exactly what speccache.Fingerprint hashes.
+func structEqual(a, b *hypergraph.Hypergraph) bool {
+	if a.NumModules() != b.NumModules() || a.NumNets() != b.NumNets() {
+		return false
+	}
+	for i := 0; i < a.NumModules(); i++ {
+		if a.Area(i) != b.Area(i) {
+			return false
+		}
+	}
+	canon := func(h *hypergraph.Hypergraph) [][]int {
+		nets := make([][]int, len(h.Nets))
+		copy(nets, h.Nets)
+		sort.Slice(nets, func(i, j int) bool {
+			x, y := nets[i], nets[j]
+			for k := 0; k < len(x) && k < len(y); k++ {
+				if x[k] != y[k] {
+					return x[k] < y[k]
+				}
+			}
+			return len(x) < len(y)
+		})
+		return nets
+	}
+	na, nb := canon(a), canon(b)
+	for i := range na {
+		if len(na[i]) != len(nb[i]) {
+			return false
+		}
+		for j := range na[i] {
+			if na[i][j] != nb[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzApplyDelta checks, for arbitrary JSON-decoded deltas against
+// canned bases, that Apply never panics, never mutates the base, and
+// that the result's fingerprint changes iff the netlist content
+// changed.
+func FuzzApplyDelta(f *testing.F) {
+	f.Add(uint8(0), []byte(`{}`))
+	f.Add(uint8(0), []byte(`{"removeNets":["n0"]}`))
+	f.Add(uint8(0), []byte(`{"addNets":[{"name":"x","modules":[0,3]}],"removeNets":["n4"]}`))
+	f.Add(uint8(1), []byte(`{"removeNets":["hub"]}`))
+	f.Add(uint8(1), []byte(`{"setPins":[{"name":"big","modules":[4,4,1,0]}]}`))
+	f.Add(uint8(2), []byte(`{"setAreas":[{"module":3,"area":2.25},{"module":0,"area":1}]}`))
+	f.Add(uint8(2), []byte(`{"setAreas":[{"module":1,"area":1},{"module":2,"area":1},{"module":3,"area":1},{"module":4,"area":1},{"module":5,"area":1},{"module":0,"area":1}]}`))
+	f.Add(uint8(3), []byte(`{"removeNets":["only"],"addNets":[{"name":"only2","modules":[1,0]}]}`))
+	f.Add(uint8(3), []byte(`{"addNets":[{"name":"dup","modules":[0,1]},{"name":"dup","modules":[0,1]}]}`))
+	f.Add(uint8(2), []byte(`{"setPins":[{"name":"bridge","modules":[0,5]}],"setAreas":[{"module":0,"area":1e308}]}`))
+
+	f.Fuzz(func(t *testing.T, sel uint8, data []byte) {
+		var d Delta
+		if err := json.Unmarshal(data, &d); err != nil {
+			return
+		}
+		base := fuzzBase(sel)
+		before := snap(base)
+		baseFP := speccache.Fingerprint(base)
+
+		h, reach, err := Apply(base, &d)
+
+		if !snap(base).equal(before) {
+			t.Fatalf("Apply mutated the base (sel=%d, delta=%s, err=%v)", sel, data, err)
+		}
+		if err != nil {
+			return
+		}
+		if verr := h.Validate(); verr != nil {
+			t.Fatalf("Apply returned an invalid netlist: %v (delta=%s)", verr, data)
+		}
+		if reach.Modules < 0 || reach.Modules > base.NumModules() || reach.Nets < 0 {
+			t.Fatalf("implausible reach %+v", reach)
+		}
+		same := structEqual(base, h)
+		fpSame := speccache.Fingerprint(h) == baseFP
+		if same != fpSame {
+			t.Fatalf("fingerprint changed=%v but content changed=%v (delta=%s)", !fpSame, !same, data)
+		}
+	})
+}

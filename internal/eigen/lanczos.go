@@ -66,6 +66,15 @@ type LanczosOptions struct {
 	// Every setting produces bitwise-identical eigenpairs: the kernels
 	// fix their arithmetic order independently of the worker count.
 	Workers int
+	// InitialVector, when non-nil, seeds the Krylov recurrence with the
+	// given direction instead of the deterministic random start — the
+	// warm-start path hands in a combination of a prior solve's Ritz
+	// vectors here. The vector is copied and normalized; it must have
+	// length n and a finite nonzero norm, or the solver falls back to
+	// the random start. Invariant-subspace restarts still draw random
+	// directions. The solve remains fully deterministic: the result is
+	// a pure function of (operator, d, options, InitialVector).
+	InitialVector []float64
 }
 
 func (o *LanczosOptions) withDefaults(n, d int) LanczosOptions {
@@ -86,6 +95,7 @@ func (o *LanczosOptions) withDefaults(n, d int) LanczosOptions {
 		v.Reorth = o.Reorth
 		v.Fault = o.Fault
 		v.Workers = o.Workers
+		v.InitialVector = o.InitialVector
 	}
 	v.Workers = parallel.Workers(v.Workers)
 	if v.MaxDim == 0 {
@@ -187,7 +197,10 @@ func LanczosCtx(ctx context.Context, a linalg.Operator, d int, opts *LanczosOpti
 	alphas := make([]float64, 0, o.MaxDim)
 	betas := make([]float64, 0, o.MaxDim) // betas[j] couples basis[j] and basis[j+1]
 
-	v := randomUnitInto(rng, ar.Vec())
+	v := ar.Vec()
+	if !seedUnitInto(o.InitialVector, v) {
+		v = randomUnitInto(rng, v)
+	}
 	w := ar.Vec()
 
 	// Selective-reorthogonalization state: omCur[i] estimates
@@ -446,6 +459,22 @@ func ritzPairs(basis [][]float64, vals []float64, svecs *linalg.Dense, d int, ar
 	}
 	ar.Free(col)
 	return &Decomposition{Values: linalg.CopyVec(vals[:d]), Vectors: u}
+}
+
+// seedUnitInto copies the caller-provided starting direction into v and
+// normalizes it, reporting whether the seed was usable (right length,
+// finite, nonzero norm).
+func seedUnitInto(seed, v []float64) bool {
+	if len(seed) != len(v) {
+		return false
+	}
+	for i, x := range seed {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+		v[i] = x
+	}
+	return linalg.Normalize(v) > 0
 }
 
 // randomUnitInto fills v with a unit-norm standard normal direction.

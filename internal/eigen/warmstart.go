@@ -1,0 +1,239 @@
+// Warm-started eigensolves for incremental (ECO) workloads: a prior
+// decomposition of a nearby operator — the cached base spectrum of a
+// netlist a delta was applied to — is evaluated against the new
+// operator, and either reused outright, folded into a Lanczos starting
+// vector, or rejected in favor of a cold solve.
+package eigen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// WarmOutcome classifies how a warm-start seed was used.
+type WarmOutcome int
+
+const (
+	// WarmRejected: the seed was structurally unusable (dimension
+	// mismatch, non-finite entries, lost orthonormality) or its Ritz
+	// pairs are too far from the new operator's eigenpairs to help.
+	// The caller must run a cold solve.
+	WarmRejected WarmOutcome = iota
+	// WarmAccepted: every seed Ritz pair already satisfies the residual
+	// tolerance on the new operator. The refreshed decomposition
+	// (Rayleigh quotients recomputed, pairs re-sorted) is the answer —
+	// no iteration runs at all.
+	WarmAccepted
+	// WarmSeeded: the seed is a valid orthonormal subspace near the new
+	// operator's invariant subspace, but not converged; Lanczos should
+	// start from the seed's combined Ritz direction.
+	WarmSeeded
+)
+
+// String returns the counter-suffix spelling used in traces.
+func (o WarmOutcome) String() string {
+	switch o {
+	case WarmAccepted:
+		return "accepted"
+	case WarmSeeded:
+		return "seeded"
+	default:
+		return "rejected"
+	}
+}
+
+// seedableFrac bounds the relative residual beyond which a seed
+// subspace is considered no better than a random start: a random unit
+// vector on a graph Laplacian has residual O(‖A‖), so anything near
+// that carries no usable spectral information.
+const seedableFrac = 0.5
+
+// SeedEval is the verdict on one warm-start seed.
+type SeedEval struct {
+	Outcome WarmOutcome
+	// MaxResidual is max_i ‖A vᵢ − θᵢ vᵢ‖ over the evaluated pairs
+	// (NaN when the seed failed structural checks before residuals
+	// were computable).
+	MaxResidual float64
+	// Scale is the ‖A‖ estimate the acceptance threshold was relative
+	// to: max(1, max_i |θᵢ|).
+	Scale float64
+	// Refreshed holds the reusable decomposition when Outcome is
+	// WarmAccepted: the seed's vectors with Rayleigh quotients
+	// recomputed against the new operator and pairs re-sorted
+	// ascending. Freshly allocated — it never aliases the seed.
+	Refreshed *Decomposition
+	// Start is the unit-norm combined Ritz direction to hand to
+	// LanczosOptions.InitialVector when Outcome is WarmSeeded.
+	Start []float64
+	// Reason says why the seed was rejected (empty otherwise).
+	Reason string
+}
+
+// EvaluateWarmSeed judges a prior decomposition as a warm start for
+// computing the d smallest eigenpairs of a. The acceptance criterion is
+// the same relative residual test a cold Lanczos solve converges under:
+// ‖A vᵢ − θᵢ vᵢ‖ ≤ tol·scale for every pair, with θᵢ the Rayleigh
+// quotient of seed vector vᵢ on a and scale = max(1, max|θᵢ|). Because
+// the seed holds only the smallest pairs, scale underestimates ‖A‖,
+// which can only make acceptance stricter than the cold solve's test —
+// a seed is never accepted more loosely than a cold solve would
+// converge.
+//
+// Note the criterion certifies that each seed pair is near *an*
+// eigenpair of a; for a perturbation large enough to pull a previously
+// higher eigenvalue below the seeded window the accepted set could miss
+// it. Residuals bound that window shift by MaxResidual, which
+// acceptance caps at tol·scale — the same ambiguity a cold solve's
+// convergence test tolerates inside clustered spectra.
+//
+// The evaluation is deterministic and costs d matvecs plus O(d²·n) for
+// the orthonormality check.
+func EvaluateWarmSeed(a linalg.Operator, seed *Decomposition, d int, tol float64) SeedEval {
+	n := a.Dim()
+	reject := func(reason string) SeedEval {
+		return SeedEval{Outcome: WarmRejected, MaxResidual: math.NaN(), Reason: reason}
+	}
+	if seed == nil || seed.Vectors == nil {
+		return reject("no seed decomposition")
+	}
+	if d <= 0 || d > n {
+		return reject(fmt.Sprintf("requested %d pairs of a %d-dim operator", d, n))
+	}
+	if seed.Vectors.Rows != n {
+		return reject(fmt.Sprintf("seed dimension %d != operator dimension %d", seed.Vectors.Rows, n))
+	}
+	if seed.D() < d {
+		return reject(fmt.Sprintf("seed holds %d pairs, need %d", seed.D(), d))
+	}
+
+	// Copy the first d seed vectors and verify they are finite and
+	// orthonormal — a corrupted or rank-deficient seed must not pass as
+	// a subspace. The tolerance is loose (1e-6) relative to working
+	// precision but tight enough to catch real corruption.
+	const orthTol = 1e-6
+	vecs := make([][]float64, d)
+	for j := 0; j < d; j++ {
+		u := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x := seed.Vectors.At(i, j)
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return reject(fmt.Sprintf("seed vector %d has non-finite entries", j))
+			}
+			u[i] = x
+		}
+		if math.Abs(linalg.Norm2(u)-1) > orthTol {
+			return reject(fmt.Sprintf("seed vector %d is not unit norm", j))
+		}
+		for k := 0; k < j; k++ {
+			if math.Abs(linalg.Dot(vecs[k], u)) > orthTol {
+				return reject(fmt.Sprintf("seed vectors %d and %d are not orthogonal", k, j))
+			}
+		}
+		vecs[j] = u
+	}
+
+	// Refresh Rayleigh quotients and residuals against the new operator.
+	theta := make([]float64, d)
+	maxRes := 0.0
+	au := make([]float64, n)
+	for j, u := range vecs {
+		a.MatVec(u, au)
+		t := linalg.Dot(u, au)
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return reject(fmt.Sprintf("seed pair %d has non-finite Rayleigh quotient", j))
+		}
+		theta[j] = t
+		linalg.Axpy(-t, u, au)
+		if r := linalg.Norm2(au); r > maxRes {
+			maxRes = r
+		}
+	}
+	// The acceptance threshold is relative to ‖A‖, like the residual
+	// test a cold solve converges under. The seed holds only the
+	// smallest pairs, so max|θ| badly underestimates a Laplacian's norm;
+	// a few deterministic power-iteration steps recover a sound lower
+	// bound (lower can only make acceptance stricter, never looser).
+	scale := operatorScale(a, au)
+	for _, t := range theta {
+		if v := math.Abs(t); v > scale {
+			scale = v
+		}
+	}
+
+	ev := SeedEval{MaxResidual: maxRes, Scale: scale}
+	switch {
+	case maxRes <= tol*scale:
+		// Converged already: re-sort pairs (a perturbation can swap
+		// near-degenerate neighbors) and hand back a fresh decomposition.
+		order := make([]int, d)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(x, y int) bool { return theta[order[x]] < theta[order[y]] })
+		u := linalg.NewDense(n, d)
+		vals := make([]float64, d)
+		for jj, src := range order {
+			vals[jj] = theta[src]
+			col := vecs[src]
+			for i := 0; i < n; i++ {
+				u.Set(i, jj, col[i])
+			}
+		}
+		ev.Outcome = WarmAccepted
+		ev.Refreshed = &Decomposition{Values: vals, Vectors: u}
+	case maxRes <= seedableFrac*scale:
+		// Usable subspace: combine the Ritz vectors into one starting
+		// direction, weighted toward the smallest pairs (they converge
+		// last from a random start, so they deserve the head start).
+		start := make([]float64, n)
+		for j, u := range vecs {
+			linalg.Axpy(1/float64(j+1), u, start)
+		}
+		if linalg.Normalize(start) == 0 {
+			return reject("combined seed direction vanished")
+		}
+		ev.Outcome = WarmSeeded
+		ev.Start = start
+	default:
+		ev.Outcome = WarmRejected
+		ev.Reason = fmt.Sprintf("residual %.3g exceeds seedable fraction of scale %.3g", maxRes, scale)
+	}
+	return ev
+}
+
+// operatorScale lower-bounds ‖A‖ with a few power-iteration steps from
+// a deterministic alternating-sign start (chosen to avoid a graph
+// Laplacian's constant null space), flooring at 1. scratch must have
+// length a.Dim() and is clobbered.
+func operatorScale(a linalg.Operator, scratch []float64) float64 {
+	n := a.Dim()
+	x := make([]float64, n)
+	for i := range x {
+		if i%2 == 0 {
+			x[i] = 1
+		} else {
+			x[i] = -1
+		}
+	}
+	linalg.Normalize(x)
+	best := 1.0
+	for step := 0; step < 8; step++ {
+		a.MatVec(x, scratch)
+		r := linalg.Norm2(scratch)
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			break
+		}
+		if r > best {
+			best = r
+		}
+		copy(x, scratch)
+		if linalg.Normalize(x) == 0 {
+			break
+		}
+	}
+	return best
+}

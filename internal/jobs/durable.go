@@ -14,6 +14,7 @@ import (
 	"time"
 
 	spectral "repro"
+	"repro/internal/delta"
 	"repro/internal/journal"
 	"repro/internal/speccache"
 )
@@ -45,6 +46,14 @@ func specOf(req Request, shedFromD int) *journal.JobSpec {
 		s.MaxLevels = o.MaxLevels
 		s.RefinePasses = o.RefinePasses
 	}
+	if req.Kind == KindDelta {
+		s.BaseHash = req.BaseHash
+		if req.Delta != nil {
+			if b, err := json.Marshal(req.Delta); err == nil {
+				s.Delta = b
+			}
+		}
+	}
 	return s
 }
 
@@ -56,7 +65,7 @@ func requestOf(spec *journal.JobSpec, hash string) (Request, error) {
 	case KindOrder:
 		req.D = spec.D
 		req.Scheme = spec.Scheme
-	case KindPartition:
+	case KindPartition, KindDelta:
 		method, err := spectral.ParseMethod(spec.Method)
 		if err != nil {
 			return Request{}, err
@@ -72,6 +81,16 @@ func requestOf(spec *journal.JobSpec, hash string) (Request, error) {
 			CoarsenThreshold: spec.CoarsenThreshold,
 			MaxLevels:        spec.MaxLevels,
 			RefinePasses:     spec.RefinePasses,
+		}
+		if req.Kind == KindDelta {
+			req.BaseHash = spec.BaseHash
+			if len(spec.Delta) > 0 {
+				var d delta.Delta
+				if err := json.Unmarshal(spec.Delta, &d); err != nil {
+					return Request{}, fmt.Errorf("jobs: replayed delta spec: %w", err)
+				}
+				req.Delta = &d
+			}
 		}
 	default:
 		return Request{}, fmt.Errorf("jobs: replayed spec has unknown kind %q", spec.Kind)
@@ -114,6 +133,19 @@ func (p *Pool) journalSubmit(j *Job) error {
 	if err := p.jnl.AppendNetlist(j.req.Hash, "", buf.Bytes(), j.created.UnixNano()); err != nil {
 		p.noteJournalError()
 		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	if j.req.Kind == KindDelta && j.req.BaseNetlist != nil {
+		// The base body must survive too: replay re-partitions the base
+		// for the stability report, and can rebuild the mutated netlist
+		// from base+delta if the mutated record is damaged.
+		var bbuf bytes.Buffer
+		if err := spectral.SaveNetlist(&bbuf, "", j.req.BaseNetlist); err != nil {
+			return fmt.Errorf("%w: serialize base netlist: %v", ErrJournal, err)
+		}
+		if err := p.jnl.AppendNetlist(j.req.BaseHash, "", bbuf.Bytes(), j.created.UnixNano()); err != nil {
+			p.noteJournalError()
+			return fmt.Errorf("%w: %v", ErrJournal, err)
+		}
 	}
 	if err := p.jnl.AppendDurable(journal.Record{
 		Type:   journal.TypeSubmit,
@@ -273,6 +305,23 @@ func (p *Pool) Restore(rep *journal.ReplayResult) (RestoreStats, map[string]Rest
 		rn, haveNet := nets[jr.Hash]
 		if haveNet {
 			j.req.Netlist = rn.Netlist
+		}
+		if j.req.Kind == KindDelta && specErr == nil {
+			if bn, ok := nets[j.req.BaseHash]; ok {
+				j.req.BaseNetlist = bn.Netlist
+				if !haveNet && j.req.Delta != nil {
+					// The mutated body was lost but base+delta survived:
+					// re-apply the delta (deterministic) to rebuild it.
+					if mut, _, err := delta.Apply(bn.Netlist, j.req.Delta); err == nil {
+						if h := speccache.Fingerprint(mut); h == jr.Hash {
+							j.req.Netlist = mut
+							haveNet = true
+						}
+					}
+				}
+			} else {
+				specErr = fmt.Errorf("jobs: base netlist %s lost in journal replay", j.req.BaseHash)
+			}
 		}
 
 		failReplay := func(reason error) {
@@ -552,16 +601,22 @@ func (p *Pool) snapshotRecords() []journal.Record {
 	}
 	p.mu.Unlock()
 
-	for _, j := range jobs {
-		if j.req.Netlist == nil || seenNet[j.req.Hash] {
-			continue
+	addNet := func(hash string, h *spectral.Netlist) {
+		if h == nil || seenNet[hash] {
+			return
 		}
 		var buf bytes.Buffer
-		if err := spectral.SaveNetlist(&buf, "", j.req.Netlist); err == nil {
-			seenNet[j.req.Hash] = true
+		if err := spectral.SaveNetlist(&buf, "", h); err == nil {
+			seenNet[hash] = true
 			recs = append(recs, journal.Record{
-				Type: journal.TypeNetlist, Hash: j.req.Hash, Netlist: buf.Bytes(),
+				Type: journal.TypeNetlist, Hash: hash, Netlist: buf.Bytes(),
 			})
+		}
+	}
+	for _, j := range jobs {
+		addNet(j.req.Hash, j.req.Netlist)
+		if j.req.Kind == KindDelta {
+			addNet(j.req.BaseHash, j.req.BaseNetlist)
 		}
 	}
 	for _, j := range jobs {

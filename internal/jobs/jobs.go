@@ -19,6 +19,7 @@ import (
 	"time"
 
 	spectral "repro"
+	"repro/internal/delta"
 )
 
 // Kind selects what a job computes.
@@ -30,6 +31,11 @@ const (
 	// KindOrder computes a MELO module ordering (the paper's primary
 	// artifact) without splitting it.
 	KindOrder Kind = "order"
+	// KindDelta partitions the netlist produced by applying an ECO
+	// delta to a content-addressed base, warm-starting the eigensolve
+	// from the base's cached spectrum and reporting a
+	// partition-stability comparison against the base partition.
+	KindDelta Kind = "delta"
 )
 
 // State is a job's lifecycle state.
@@ -72,6 +78,17 @@ type Request struct {
 	// expired deadline fails the job with context.DeadlineExceeded.
 	// After a crash/replay the deadline re-anchors at restart.
 	Timeout time.Duration
+
+	// KindDelta fields. Netlist/Hash above hold the MUTATED netlist
+	// (the delta already applied — the server applies it at submit
+	// time so validation errors surface synchronously); BaseHash and
+	// BaseNetlist identify the base whose cached spectrum seeds the
+	// warm start and whose partition anchors the stability report.
+	// Delta is retained for the journal, so a crash replay can rebuild
+	// the mutated netlist from the (journaled) base if needed.
+	BaseHash    string
+	BaseNetlist *spectral.Netlist
+	Delta       *delta.Delta
 }
 
 // Result is the output of a finished job.
@@ -87,6 +104,18 @@ type Result struct {
 	// SpectrumCacheHit reports that the job reused a cached
 	// eigendecomposition and skipped its eigensolve.
 	SpectrumCacheHit bool `json:"spectrumCacheHit"`
+
+	// KindDelta extras.
+	//
+	// BaseHash echoes the base the delta was applied against. WarmStart
+	// reports how the eigensolve used the base spectrum ("accepted",
+	// "seeded", "rejected", "cold" — see spectral.WarmInfo). Reach is
+	// the perturbation's measured extent, and Stability compares the
+	// delta partition against the base partition.
+	BaseHash  string              `json:"baseHash,omitempty"`
+	WarmStart string              `json:"warmStart,omitempty"`
+	Reach     *delta.Reach        `json:"reach,omitempty"`
+	Stability *spectral.Stability `json:"stability,omitempty"`
 }
 
 // Status is a JSON-ready snapshot of a job.
@@ -119,6 +148,8 @@ type Status struct {
 	// ShedFromD is the originally requested d when overload control
 	// degraded this job to a smaller decomposition.
 	ShedFromD int `json:"shedFromD,omitempty"`
+	// BaseHash identifies a KindDelta job's base netlist.
+	BaseHash string `json:"baseHash,omitempty"`
 	// Restored marks a job recovered from the journal after a restart.
 	Restored bool    `json:"restored,omitempty"`
 	Result   *Result `json:"result,omitempty"`
@@ -212,6 +243,12 @@ func (j *Job) Status() Status {
 	if j.req.Kind == KindOrder {
 		s.Method = "melo"
 		s.D = j.req.D
+	} else if j.req.Kind == KindDelta {
+		o := j.req.Opts
+		s.Method = o.Method.String()
+		s.K = o.K
+		s.D = o.D
+		s.BaseHash = j.req.BaseHash
 	} else {
 		o := j.req.Opts
 		s.Method = o.Method.String()

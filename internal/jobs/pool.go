@@ -11,6 +11,7 @@ import (
 	"time"
 
 	spectral "repro"
+	"repro/internal/delta"
 	"repro/internal/journal"
 	"repro/internal/resilience"
 	"repro/internal/speccache"
@@ -69,6 +70,12 @@ type Config struct {
 	// BatchMax fires a batch early once it holds this many members.
 	// Default 16 (only meaningful when BatchWindow > 0).
 	BatchMax int
+	// DisableWarmStart makes KindDelta jobs solve cold instead of
+	// seeding the eigensolve from the base netlist's cached spectrum.
+	// Escape hatch and A/B lever; warm results are bit-checked against
+	// cold in tests, so the default is on. Default false (warm starts
+	// enabled).
+	DisableWarmStart bool
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +127,12 @@ type Stats struct {
 	// (StoreHits) or a shard peer (RemoteHits). A warm restart against
 	// a populated store should leave Computed at zero.
 	Computed, StoreHits, RemoteHits uint64
+	// Warm* count KindDelta eigensolves by warm-start outcome (see
+	// spectral.WarmInfo): Accepted refreshed the base spectrum without
+	// solving, Seeded started Lanczos from it, Rejected fell back to a
+	// cold solve after the seed failed its checks, Cold never attempted
+	// the seed (warm starts disabled, or no usable base spectrum).
+	WarmAccepted, WarmSeeded, WarmRejected, WarmCold uint64
 	// Shed reports the admission controller's state and counters.
 	Shed ShedStats
 	// JournalErrors counts journal appends that failed (durable or
@@ -172,6 +185,10 @@ type Pool struct {
 	remoteHits   atomic.Uint64
 	batchesFired atomic.Uint64
 	batchedJobs  atomic.Uint64
+	warmAccepted atomic.Uint64
+	warmSeeded   atomic.Uint64
+	warmRejected atomic.Uint64
+	warmCold     atomic.Uint64
 
 	mu            sync.Mutex
 	jobs          map[string]*Job
@@ -279,7 +296,7 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 	if req.Kind == "" {
 		req.Kind = KindPartition
 	}
-	if req.Kind != KindPartition && req.Kind != KindOrder {
+	if req.Kind != KindPartition && req.Kind != KindOrder && req.Kind != KindDelta {
 		return nil, fmt.Errorf("jobs: unknown kind %q", req.Kind)
 	}
 	if err := spectral.ValidateNetlist(req.Netlist); err != nil {
@@ -289,6 +306,23 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 	case KindPartition:
 		if err := req.Opts.Validate(req.Netlist); err != nil {
 			return nil, err
+		}
+	case KindDelta:
+		if req.BaseNetlist == nil {
+			return nil, fmt.Errorf("jobs: delta job without a base netlist")
+		}
+		if err := spectral.ValidateNetlist(req.BaseNetlist); err != nil {
+			return nil, fmt.Errorf("jobs: base netlist: %w", err)
+		}
+		if req.BaseNetlist.NumModules() != req.Netlist.NumModules() {
+			return nil, fmt.Errorf("jobs: delta netlist has %d modules, base has %d — ECO deltas preserve the module population",
+				req.Netlist.NumModules(), req.BaseNetlist.NumModules())
+		}
+		if err := req.Opts.Validate(req.Netlist); err != nil {
+			return nil, err
+		}
+		if req.BaseHash == "" {
+			req.BaseHash = speccache.Fingerprint(req.BaseNetlist)
 		}
 	case KindOrder:
 		if req.Scheme < 0 || req.Scheme > 3 {
@@ -399,7 +433,7 @@ func degradeRequest(req Request) (Request, int) {
 			req.D = nd
 			return req, effectiveD(orig)
 		}
-	case KindPartition:
+	case KindPartition, KindDelta:
 		if spec := req.Opts.SpectrumSpec(); spec.Needed {
 			if nd, ok := degradeD(req.Opts.D); ok {
 				orig := req.Opts.D
@@ -542,6 +576,10 @@ func (p *Pool) Stats() Stats {
 		Computed:          p.computed.Load(),
 		StoreHits:         p.storeHits.Load(),
 		RemoteHits:        p.remoteHits.Load(),
+		WarmAccepted:      p.warmAccepted.Load(),
+		WarmSeeded:        p.warmSeeded.Load(),
+		WarmRejected:      p.warmRejected.Load(),
+		WarmCold:          p.warmCold.Load(),
 		JournalErrors:     p.journalErrors,
 		Panics:            p.panics,
 		Shed:              p.shed.stats(),
@@ -674,6 +712,8 @@ func (p *Pool) run(ctx context.Context, j *Job) (*Result, error) {
 			return nil, err
 		}
 		return &Result{Order: order, SpectrumCacheHit: hit}, nil
+	case KindDelta:
+		return p.runDelta(ctx, j)
 	default: // KindPartition
 		var (
 			sp  *spectral.Spectrum
@@ -699,6 +739,102 @@ func (p *Pool) run(ctx context.Context, j *Job) (*Result, error) {
 			ScaledCost:       spectral.ScaledCost(req.Netlist, part),
 			SpectrumCacheHit: hit,
 		}, nil
+	}
+}
+
+// runDelta executes a KindDelta job: partition the mutated netlist with
+// an eigensolve warm-started from the base netlist's spectrum, then
+// compare the result against the base partition.
+//
+// The base spectrum is resolved through the same tier ladder as any
+// other job's (an ECO against a netlist the daemon just partitioned
+// finds it in the LRU; a cold daemon computes it — it is needed for the
+// stability report's base partition regardless). The mutated netlist's
+// spectrum is cached under its own fingerprint, so a repeated delta
+// submission is a pure cache hit and solves nothing.
+func (p *Pool) runDelta(ctx context.Context, j *Job) (*Result, error) {
+	req := j.req
+	res := &Result{BaseHash: req.BaseHash, WarmStart: spectral.WarmOutcomeCold}
+	if req.Delta != nil && req.BaseNetlist != nil {
+		// Re-derive the perturbation reach from the journaled delta; Apply
+		// on an already-validated delta is O(nets) and deterministic.
+		if _, reach, err := delta.Apply(req.BaseNetlist, req.Delta); err == nil {
+			res.Reach = &reach
+		}
+	}
+
+	var (
+		sp, baseSp *spectral.Spectrum
+		hit        bool
+	)
+	if spec := req.Opts.SpectrumSpec(); spec.Needed {
+		t := time.Now()
+		pairs := spec.D + 1
+		if n := req.Netlist.NumModules(); pairs > n {
+			pairs = n
+		}
+		baseKey := speccache.Key{Hash: req.BaseHash, Model: spec.Model.String()}
+		var err error
+		baseSp, _, err = p.fetchSpectrum(ctx, req.BaseNetlist, baseKey, spec.Model, pairs, true)
+		if err != nil {
+			j.recordSpectrum(time.Since(t))
+			return nil, fmt.Errorf("jobs: base spectrum: %w", err)
+		}
+		seed := baseSp
+		if p.cfg.DisableWarmStart {
+			seed = nil
+		}
+		var warm spectral.WarmInfo
+		key := speccache.Key{Hash: req.Hash, Model: spec.Model.String()}
+		sp, hit, err = p.fetchSpectrumSeeded(ctx, req.Netlist, key, spec.Model, pairs, true, seed, &warm)
+		j.recordSpectrum(time.Since(t))
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			// Served from a cache tier: no eigensolve ran, so there was no
+			// warm-start event to classify.
+			res.WarmStart = "cached"
+		} else if warm.Outcome != "" {
+			res.WarmStart = warm.Outcome
+		}
+	}
+
+	t := time.Now()
+	defer func() { j.recordSolve(time.Since(t)) }()
+	part, err := spectral.PartitionWithSpectrum(ctx, req.Netlist, sp, req.Opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Assign, res.K = part.Assign, part.K
+	res.NetCut = spectral.NetCut(req.Netlist, part)
+	res.ScaledCost = spectral.ScaledCost(req.Netlist, part)
+	res.SpectrumCacheHit = hit
+
+	// Stability report: partition the base with its (already resolved)
+	// spectrum and align labels. A base-side failure degrades the report
+	// — the delta partition above is the job's answer and stands.
+	if basePart, berr := spectral.PartitionWithSpectrum(ctx, req.BaseNetlist, baseSp, req.Opts); berr == nil {
+		if st, serr := spectral.PartitionStability(req.BaseNetlist, req.Netlist, basePart, part); serr == nil {
+			res.Stability = st
+		}
+	} else if resilience.IsContextError(berr) {
+		return nil, berr
+	}
+	return res, nil
+}
+
+// noteWarm counts a warm-start outcome for Stats.
+func (p *Pool) noteWarm(outcome string) {
+	switch outcome {
+	case spectral.WarmOutcomeAccepted:
+		p.warmAccepted.Add(1)
+	case spectral.WarmOutcomeSeeded:
+		p.warmSeeded.Add(1)
+	case spectral.WarmOutcomeRejected:
+		p.warmRejected.Add(1)
+	default:
+		p.warmCold.Add(1)
 	}
 }
 
@@ -729,6 +865,16 @@ func (p *Pool) spectrum(ctx context.Context, j *Job, spec spectral.SpectrumSpec)
 // caller's: cancelling one job must not poison the shared fetch other
 // jobs may be waiting on; pool shutdown still aborts it.
 func (p *Pool) fetchSpectrum(ctx context.Context, h *spectral.Netlist, key speccache.Key, model spectral.Model, pairs int, allowRemote bool) (*spectral.Spectrum, bool, error) {
+	return p.fetchSpectrumSeeded(ctx, h, key, model, pairs, allowRemote, nil, nil)
+}
+
+// fetchSpectrumSeeded is fetchSpectrum with an optional warm-start
+// seed: when the ladder bottoms out in a local eigensolve and warm is
+// non-nil, the solve goes through the warm-start path using seed (which
+// may itself be nil — a deliberate cold run that still reports an
+// outcome) and the outcome lands in *warm. A cache or tier hit leaves
+// *warm untouched: nothing was solved, so no warm outcome happened.
+func (p *Pool) fetchSpectrumSeeded(ctx context.Context, h *spectral.Netlist, key speccache.Key, model spectral.Model, pairs int, allowRemote bool, seed *spectral.Spectrum, warm *spectral.WarmInfo) (*spectral.Spectrum, bool, error) {
 	var tierHit bool
 	entry, hit, err := p.cache.GetOrCompute(ctx, key, pairs, func(cctx context.Context) (speccache.Entry, error) {
 		if sp := p.storeLookup(h, key, pairs); sp != nil {
@@ -748,7 +894,21 @@ func (p *Pool) fetchSpectrum(ctx context.Context, h *spectral.Netlist, key specc
 		// Detach from the caller's cancellation but keep its trace: the
 		// decompose spans nest under this job's cache.lookup span even
 		// though the compute outlives the job on purpose.
-		sp, err := spectral.DecomposeCtxPolicy(trace.Adopt(p.baseCtx, cctx), h, model, pairs-1, p.cfg.EigenPolicy)
+		dctx := trace.Adopt(p.baseCtx, cctx)
+		var (
+			sp  *spectral.Spectrum
+			err error
+		)
+		if warm != nil {
+			var wi spectral.WarmInfo
+			sp, wi, err = spectral.DecomposeWarmCtxPolicy(dctx, h, model, pairs-1, seed, p.cfg.EigenPolicy)
+			if err == nil {
+				*warm = wi
+				p.noteWarm(wi.Outcome)
+			}
+		} else {
+			sp, err = spectral.DecomposeCtxPolicy(dctx, h, model, pairs-1, p.cfg.EigenPolicy)
+		}
 		if err != nil {
 			return speccache.Entry{}, err
 		}

@@ -99,6 +99,12 @@ type JobSpec struct {
 	// ShedFromD records the originally requested d when admission
 	// control degraded the job.
 	ShedFromD int `json:"shedFromD,omitempty"`
+	// BaseHash and Delta describe a kind "delta" job: the base netlist's
+	// content hash (its body is journaled like any other netlist) and
+	// the ECO delta as raw JSON, so replay can rebuild the mutated
+	// netlist from base+delta even if the mutated body record is lost.
+	BaseHash string          `json:"baseHash,omitempty"`
+	Delta    json.RawMessage `json:"delta,omitempty"`
 }
 
 // Record is one journal entry. Which fields are meaningful depends on

@@ -49,15 +49,27 @@ type EigenPolicy struct {
 	Workers int
 }
 
+// Exported zero-value resolutions of EigenPolicy, for callers (the
+// warm-start path) that must make the same regime decisions the ladder
+// makes without running it.
+const (
+	// DefaultTol is the relative residual tolerance the ladder solves
+	// to when the policy leaves Tol zero.
+	DefaultTol = 1e-6
+	// DefaultDenseDirectN is the problem size at or below which the
+	// ladder prefers the dense solver outright.
+	DefaultDenseDirectN = 256
+)
+
 func (p EigenPolicy) withDefaults() EigenPolicy {
 	if p.Tol <= 0 {
-		p.Tol = 1e-6
+		p.Tol = DefaultTol
 	}
 	if p.MaxSparseAttempts <= 0 {
 		p.MaxSparseAttempts = 3
 	}
 	if p.DenseDirectN <= 0 {
-		p.DenseDirectN = 256
+		p.DenseDirectN = DefaultDenseDirectN
 	}
 	if p.DenseFallbackN <= 0 {
 		p.DenseFallbackN = 4096

@@ -56,6 +56,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("spectrald_spectrum_store_hits_total", "Spectrum fetches served by the persistent store tier.", st.StoreHits)
 	counter("spectrald_spectrum_remote_hits_total", "Spectrum fetches served by a shard peer.", st.RemoteHits)
 
+	// Incremental (ECO) delta jobs: eigensolves by warm-start outcome.
+	fmt.Fprintf(&b, "# HELP spectrald_warmstart_total Delta-job eigensolves by warm-start outcome.\n# TYPE spectrald_warmstart_total counter\n")
+	for _, wc := range []struct {
+		outcome string
+		n       uint64
+	}{
+		{"accepted", st.WarmAccepted},
+		{"seeded", st.WarmSeeded},
+		{"rejected", st.WarmRejected},
+		{"cold", st.WarmCold},
+	} {
+		fmt.Fprintf(&b, "spectrald_warmstart_total{outcome=%q} %d\n", wc.outcome, wc.n)
+	}
+
 	// Persistent spectrum store (when configured).
 	if store := s.pool.Store(); store != nil {
 		ss := store.Stats()

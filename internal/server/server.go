@@ -12,6 +12,11 @@
 //	                               returns its content hash
 //	GET  /v1/netlists              list stored netlists
 //	GET  /v1/netlists/{hash}       one stored netlist's statistics
+//	                               (?format=text exports the full body)
+//	POST /v1/netlists/{hash}/delta apply an ECO delta to a stored base
+//	                               netlist and submit an incremental
+//	                               partitioning job warm-started from the
+//	                               base's cached spectrum; 202 on accept
 //	POST /v1/jobs                  submit a job; 202 on accept, 429 when
 //	                               the queue is full, 503 while draining
 //	GET  /v1/jobs                  list jobs
@@ -38,6 +43,7 @@ import (
 	"time"
 
 	spectral "repro"
+	"repro/internal/delta"
 	"repro/internal/jobs"
 	"repro/internal/journal"
 	"repro/internal/speccache"
@@ -120,6 +126,7 @@ func New(pool *jobs.Pool, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/netlists", s.handlePostNetlist)
 	s.mux.HandleFunc("GET /v1/netlists", s.handleListNetlists)
 	s.mux.HandleFunc("GET /v1/netlists/{hash}", s.handleGetNetlist)
+	s.mux.HandleFunc("POST /v1/netlists/{hash}/delta", s.handlePostDelta)
 	s.mux.HandleFunc("POST /v1/jobs", s.handlePostJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -324,7 +331,23 @@ func (s *Server) handleGetNetlist(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown netlist %q", r.PathValue("hash"))
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	switch format := r.URL.Query().Get("format"); format {
+	case "":
+		writeJSON(w, http.StatusOK, st)
+	case "text":
+		// Full-body export in the text interchange format — the inverse
+		// of POST /v1/netlists, so a stored (or delta-derived) netlist
+		// can be fed to offline tools or another daemon.
+		var buf bytes.Buffer
+		if err := spectral.SaveNetlist(&buf, st.Name, st.h); err != nil {
+			writeError(w, http.StatusInternalServerError, "serialize netlist: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want text)", format)
+	}
 }
 
 // jobRequest is the JSON body of a job submission.
@@ -400,26 +423,12 @@ func (s *Server) handlePostJob(w http.ResponseWriter, r *http.Request) {
 	switch req.Kind {
 	case "", "partition":
 		jr.Kind = jobs.KindPartition
-		method := spectral.MELO
-		if req.Method != "" {
-			var err error
-			method, err = spectral.ParseMethod(req.Method)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, "%v", err)
-				return
-			}
+		opts, err := partitionOptions(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
 		}
-		jr.Opts = spectral.Options{
-			K:                req.K,
-			Method:           method,
-			D:                req.D,
-			Scheme:           req.Scheme,
-			MinFrac:          req.MinFrac,
-			Refine:           req.Refine,
-			CoarsenThreshold: req.CoarsenThreshold,
-			MaxLevels:        req.MaxLevels,
-			RefinePasses:     req.RefinePasses,
-		}
+		jr.Opts = opts
 	case "order":
 		jr.Kind = jobs.KindOrder
 		jr.D = req.D
@@ -428,6 +437,41 @@ func (s *Server) handlePostJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown kind %q (want partition|order)", req.Kind)
 		return
 	}
+	j, ok := s.submitJob(w, jr)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// partitionOptions translates the request's option fields into
+// spectral.Options, shared by the partition and delta submissions.
+func partitionOptions(req jobRequest) (spectral.Options, error) {
+	method := spectral.MELO
+	if req.Method != "" {
+		var err error
+		method, err = spectral.ParseMethod(req.Method)
+		if err != nil {
+			return spectral.Options{}, err
+		}
+	}
+	return spectral.Options{
+		K:                req.K,
+		Method:           method,
+		D:                req.D,
+		Scheme:           req.Scheme,
+		MinFrac:          req.MinFrac,
+		Refine:           req.Refine,
+		CoarsenThreshold: req.CoarsenThreshold,
+		MaxLevels:        req.MaxLevels,
+		RefinePasses:     req.RefinePasses,
+	}, nil
+}
+
+// submitJob submits to the pool and maps submission failures onto HTTP
+// semantics (429 with backoff, 503 draining/journal, 400 validation).
+// It reports false after writing the error response.
+func (s *Server) submitJob(w http.ResponseWriter, jr jobs.Request) (*jobs.Job, bool) {
 	j, err := s.pool.Submit(jr)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
@@ -441,20 +485,93 @@ func (s *Server) handlePostJob(w http.ResponseWriter, r *http.Request) {
 			"error":             "queue full, retry later",
 			"retryAfterSeconds": secs,
 		})
-		return
+		return nil, false
 	case errors.Is(err, jobs.ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, "shutting down")
-		return
+		return nil, false
 	case errors.Is(err, jobs.ErrJournal):
 		// The job could not be made durable, so it was not accepted;
 		// the client must not treat it as submitted.
 		writeError(w, http.StatusServiceUnavailable, "journal unavailable: %v", err)
-		return
+		return nil, false
 	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	return j, true
+}
+
+// deltaRequest is the JSON body of an incremental (ECO) submission: the
+// delta to apply plus the partitioning options of an ordinary job
+// request (kind is implicitly "delta"; the netlist is the path's base).
+type deltaRequest struct {
+	jobRequest
+	Delta *delta.Delta `json:"delta"`
+}
+
+// handlePostDelta applies an ECO delta to a stored base netlist and
+// submits an incremental partitioning job against the result. The delta
+// is applied synchronously so structural errors (unknown net names,
+// out-of-range modules) surface as a 422 here, not as a failed job; the
+// mutated netlist enters the content-addressed store under its own
+// fingerprint and the response reports it alongside the job status.
+func (s *Server) handlePostDelta(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	base, ok := s.lookup(r.PathValue("hash"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown netlist %q (upload it via POST /v1/netlists first)", r.PathValue("hash"))
+		return
+	}
+	var req deltaRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.Delta == nil {
+		writeError(w, http.StatusBadRequest, "missing delta")
+		return
+	}
+	timeout, err := parseTimeout(req.jobRequest, r)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, j.Status())
+	opts, err := partitionOptions(req.jobRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mut, reach, err := delta.Apply(base.h, req.Delta)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "apply delta: %v", err)
+		return
+	}
+	mutSt := s.store(base.Name, mut)
+	j, ok := s.submitJob(w, jobs.Request{
+		Netlist:     mut,
+		Hash:        mutSt.Hash,
+		Kind:        jobs.KindDelta,
+		Opts:        opts,
+		Timeout:     timeout,
+		BaseHash:    base.Hash,
+		BaseNetlist: base.h,
+		Delta:       req.Delta,
+	})
+	if !ok {
+		return
+	}
+	// The job's durable journal entry (written inside Submit) carries
+	// both netlist bodies, so the hashes in this acknowledgement stay
+	// resolvable across a daemon restart.
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"job":     j.Status(),
+		"netlist": mutSt.Hash,
+		"base":    base.Hash,
+		"reach":   reach,
+	})
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {

@@ -321,6 +321,24 @@ func (c *Cache) Get(key Key, pairs int) (Entry, bool) {
 	return Entry{}, false
 }
 
+// Peek returns the entry under key when its capacity covers pairs,
+// WITHOUT promoting it in the LRU order or counting a hit or miss. It
+// is the read-only probe the warm-start path uses to look for a seed
+// spectrum: an absent seed is not a cache miss (the delta solve then
+// fetches the base through the full tier ladder), and probing must not
+// perturb the eviction order the real lookups see.
+func (c *Cache) Peek(key Key, pairs int) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		s := el.Value.(*slot)
+		if s.entry.Pairs >= pairs {
+			return s.entry, true
+		}
+	}
+	return Entry{}, false
+}
+
 // Seed inserts an entry obtained elsewhere — a shard peer's push or a
 // persistent-store preload — without running a compute. Capacity rules
 // match GetOrCompute's: an existing larger entry is kept.

@@ -1,0 +1,108 @@
+package spectral
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Stability quantifies how much a partition moved between a base
+// netlist and a delta applied to it — the ECO question "how much of my
+// placement does this change invalidate, and what did the cut pay?".
+type Stability struct {
+	// MovedModules is the number of modules whose cluster changed,
+	// under the agreement-maximizing relabeling of the new partition's
+	// clusters (cluster indices are arbitrary, so labelings are aligned
+	// before counting).
+	MovedModules int `json:"movedModules"`
+	// MovedFrac is MovedModules over the module count.
+	MovedFrac float64 `json:"movedFrac"`
+	// BaseCut and NewCut are the net cuts of the two partitions on
+	// their respective netlists; CutDelta = NewCut − BaseCut (negative
+	// when the delta improved the cut).
+	BaseCut  int `json:"baseCut"`
+	NewCut   int `json:"newCut"`
+	CutDelta int `json:"cutDelta"`
+}
+
+// maxStabilityK bounds the exact labeling alignment (subset-sum DP over
+// 2^K states). Far above any K this pipeline produces.
+const maxStabilityK = 20
+
+// PartitionStability compares a base partitioning with the partitioning
+// of a delta netlist over the same module population. Cluster labels
+// are arbitrary on both sides, so the new partition's labels are first
+// aligned to the base's by maximizing total agreement (an exact
+// assignment over the K×K overlap matrix); MovedModules counts the
+// disagreements that remain. Cuts are recomputed on the respective
+// netlists with the facade's NetCut.
+func PartitionStability(baseH, newH *Netlist, base, next *Partitioning) (*Stability, error) {
+	if baseH == nil || newH == nil || base == nil || next == nil {
+		return nil, fmt.Errorf("spectral: PartitionStability requires both netlists and both partitions")
+	}
+	n := len(base.Assign)
+	if len(next.Assign) != n {
+		return nil, fmt.Errorf("spectral: partitions cover %d and %d modules; deltas preserve the module population", n, len(next.Assign))
+	}
+	if baseH.NumModules() != n || newH.NumModules() != n {
+		return nil, fmt.Errorf("spectral: partitions cover %d modules but netlists have %d and %d", n, baseH.NumModules(), newH.NumModules())
+	}
+	k := base.K
+	if next.K > k {
+		k = next.K
+	}
+	if k > maxStabilityK {
+		return nil, fmt.Errorf("spectral: stability alignment supports K <= %d, got %d", maxStabilityK, k)
+	}
+
+	s := &Stability{
+		BaseCut: NetCut(baseH, base),
+		NewCut:  NetCut(newH, next),
+	}
+	s.CutDelta = s.NewCut - s.BaseCut
+
+	if n > 0 && k > 0 {
+		overlap := make([][]int, k)
+		for i := range overlap {
+			overlap[i] = make([]int, k)
+		}
+		for i := 0; i < n; i++ {
+			overlap[next.Assign[i]][base.Assign[i]]++
+		}
+		s.MovedModules = n - maxAssignment(overlap)
+		s.MovedFrac = float64(s.MovedModules) / float64(n)
+	}
+	return s, nil
+}
+
+// maxAssignment returns the maximum total weight of a perfect matching
+// between rows and columns of the square weight matrix w — the best
+// relabeling agreement. Subset DP: dp[mask] is the best weight matching
+// the first popcount(mask) rows to the column set mask. O(K·2^K),
+// exact, and plenty fast for K ≤ 20.
+func maxAssignment(w [][]int) int {
+	k := len(w)
+	dp := make([]int, 1<<k)
+	for i := range dp {
+		dp[i] = -1
+	}
+	dp[0] = 0
+	for mask := 0; mask < 1<<k; mask++ {
+		if dp[mask] < 0 {
+			continue
+		}
+		row := bits.OnesCount(uint(mask))
+		if row == k {
+			continue
+		}
+		for col := 0; col < k; col++ {
+			if mask&(1<<col) != 0 {
+				continue
+			}
+			next := mask | 1<<col
+			if v := dp[mask] + w[row][col]; v > dp[next] {
+				dp[next] = v
+			}
+		}
+	}
+	return dp[1<<k-1]
+}

@@ -1,0 +1,210 @@
+package spectral
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/resilience"
+	"repro/internal/trace"
+)
+
+// Warm-start outcomes as reported in WarmInfo.Outcome and counted on
+// the tracer as "eigen.warmstart.<outcome>".
+const (
+	// WarmOutcomeAccepted: the seed's Ritz pairs already satisfied the
+	// residual tolerance on the delta netlist's operator; the spectrum
+	// was refreshed without running an eigensolve.
+	WarmOutcomeAccepted = "accepted"
+	// WarmOutcomeSeeded: Lanczos ran, starting from the seed's combined
+	// Ritz direction instead of a random vector.
+	WarmOutcomeSeeded = "seeded"
+	// WarmOutcomeRejected: the residual check (or a structural check —
+	// dimension mismatch, non-finite entries, lost orthonormality)
+	// rejected the seed and a cold solve ran instead.
+	WarmOutcomeRejected = "rejected"
+	// WarmOutcomeCold: warm-starting was not attempted (no seed, seed
+	// shape mismatch, dense-solve regime, or disconnected netlist).
+	WarmOutcomeCold = "cold"
+)
+
+// WarmInfo reports how a warm-started decomposition used its seed.
+type WarmInfo struct {
+	// Outcome is one of the WarmOutcome* constants.
+	Outcome string `json:"outcome"`
+	// MaxResidual is the largest seed-pair residual ‖A v − θ v‖ against
+	// the new operator, and Scale the ‖A‖ estimate the acceptance
+	// threshold tol·Scale was relative to. Both are 0 when the seed was
+	// never evaluated (Outcome "cold").
+	MaxResidual float64 `json:"maxResidual,omitempty"`
+	Scale       float64 `json:"scale,omitempty"`
+	// Reason explains a rejection or a cold outcome.
+	Reason string `json:"reason,omitempty"`
+}
+
+// DecomposeWarm is DecomposeWarmCtxPolicy with a background context and
+// the default resilience policy.
+func DecomposeWarm(h *Netlist, model Model, d int, seed *Spectrum) (*Spectrum, WarmInfo, error) {
+	return DecomposeWarmCtxPolicy(context.Background(), h, model, d, seed, resilience.EigenPolicy{})
+}
+
+// DecomposeWarmCtxPolicy computes the spectrum of h like
+// DecomposeCtxPolicy, but tries to reuse seed — the cached spectrum of
+// a nearby netlist (typically the base a delta was applied to) — before
+// paying for a cold eigensolve. Three things can happen, reported in
+// WarmInfo:
+//
+//   - accepted: every seed Ritz pair passes the residual check
+//     ‖A v − θ v‖ ≤ tol·scale on h's operator (tol is the resilience
+//     policy's tolerance, the same one a cold solve converges under).
+//     The refreshed seed IS the answer; no solve runs.
+//   - seeded: the seed is a usable subspace but not converged; Lanczos
+//     runs with the seed's combined Ritz direction as its starting
+//     vector, then falls back to a cold solve if it fails to converge.
+//   - rejected/cold: the solve proceeds exactly as DecomposeCtxPolicy.
+//
+// Every path is deterministic: the result is a pure function of
+// (netlist, model, d, seed, policy). The outcome is counted on the
+// context's tracer as "eigen.warmstart.<outcome>".
+//
+// The caller is responsible for passing a seed decomposed from a
+// netlist with the same module population under the same model — the
+// function verifies shape (module count, model, pair count) and
+// numerical fitness, but cannot tell an unrelated same-size netlist
+// from a true base (the residual check makes an unrelated seed
+// overwhelmingly likely to be rejected, not wrong).
+func DecomposeWarmCtxPolicy(ctx context.Context, h *Netlist, model Model, d int, seed *Spectrum, pol resilience.EigenPolicy) (_ *Spectrum, _ WarmInfo, retErr error) {
+	if err := ValidateNetlist(h); err != nil {
+		return nil, WarmInfo{}, &PipelineError{Stage: string(resilience.StageValidate), Method: MELO, Err: err}
+	}
+	cm, err := model.clique()
+	if err != nil {
+		return nil, WarmInfo{}, &PipelineError{Stage: string(resilience.StageValidate), Method: MELO, Err: err}
+	}
+	if d < 1 {
+		return nil, WarmInfo{}, &PipelineError{Stage: string(resilience.StageValidate), Method: MELO, Err: fmt.Errorf("spectral: d = %d, want >= 1", d)}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, WarmInfo{}, err
+	}
+	n := h.NumModules()
+	want := d + 1
+	if want > n {
+		want = n
+	}
+	ctx, rspan := trace.Start(ctx, "decompose.warm",
+		trace.Str("model", model.String()), trace.Int("d", d), trace.Int("n", n))
+	var info WarmInfo
+	defer func() {
+		rspan.Annotate(trace.Str("outcome", info.Outcome))
+		if retErr != nil {
+			rspan.Annotate(trace.Str("error", retErr.Error()))
+		}
+		rspan.End()
+		if info.Outcome != "" {
+			trace.Add(ctx, "eigen.warmstart."+info.Outcome, 1)
+		}
+	}()
+
+	cold := func(reason string) (*Spectrum, WarmInfo, error) {
+		if info.Outcome == "" {
+			info.Outcome = WarmOutcomeCold
+		}
+		if info.Reason == "" {
+			info.Reason = reason
+		}
+		sp, err := decomposeCtxWithPolicy(ctx, h, model, d, pol)
+		return sp, info, err
+	}
+
+	if seed == nil {
+		return cold("no seed spectrum")
+	}
+	if !seed.satisfies(n, cm, want) {
+		// A present-but-incompatible seed (wrong module count, model, or
+		// too few pairs) is a rejection, not a cold run: the caller asked
+		// for a warm start and the seed failed its checks.
+		info.Outcome = WarmOutcomeRejected
+		return cold("seed spectrum incompatible (module count, model, or pair count)")
+	}
+
+	// Evaluate the seed against the new operator. The clique-model graph
+	// built here is reused by every later path, so the evaluation's cost
+	// beyond the cold path is just d+1 matvecs.
+	pl := &pipeline{ctx: ctx, root: ctx, o: Options{D: d}.withDefaults(), pol: pol, stage: resilience.StageCliqueModel}
+	defer pl.closeStage()
+	var sp *Spectrum
+	perr := pl.protect(func() error {
+		g, err := graph.FromHypergraph(h, cm, 0)
+		if err != nil {
+			return err
+		}
+		tol := pol.Tol
+		if tol <= 0 {
+			tol = resilience.DefaultTol
+		}
+		ev := eigen.EvaluateWarmSeed(g.Laplacian(), seed.dec, want, tol)
+		info.MaxResidual, info.Scale, info.Reason = ev.MaxResidual, ev.Scale, ev.Reason
+
+		switch ev.Outcome {
+		case eigen.WarmAccepted:
+			info.Outcome = WarmOutcomeAccepted
+			sp = &Spectrum{modules: n, model: cm, g: g, dec: ev.Refreshed}
+			return nil
+		case eigen.WarmSeeded:
+			// A seeded Lanczos only makes sense where a cold solve would
+			// iterate: connected graph, sparse regime. Everywhere else the
+			// resilience ladder's dense solve is both fast and seed-blind.
+			denseN := pol.DenseDirectN
+			if denseN <= 0 {
+				denseN = resilience.DefaultDenseDirectN
+			}
+			if n <= denseN || want > n/3 || len(g.Components()) > 1 {
+				info.Reason = "seeded regime not applicable (dense or disconnected)"
+				return errWarmFallthrough
+			}
+			seedID := pol.BaseSeed
+			if seedID == 0 {
+				seedID = 1
+			}
+			pl.enter(resilience.StageEigen)
+			dec, lerr := eigen.LanczosCtx(pl.ctx, g.Laplacian(), want, &eigen.LanczosOptions{
+				Tol:           tol,
+				Seed:          seedID,
+				Workers:       pl.workers(),
+				InitialVector: ev.Start,
+			})
+			if lerr != nil {
+				if resilience.IsContextError(lerr) {
+					return lerr
+				}
+				info.Reason = fmt.Sprintf("seeded solve failed: %v", lerr)
+				return errWarmFallthrough
+			}
+			info.Outcome = WarmOutcomeSeeded
+			sp = &Spectrum{modules: n, model: cm, g: g, dec: dec}
+			return nil
+		default:
+			info.Outcome = WarmOutcomeRejected
+			return errWarmFallthrough
+		}
+	})
+	switch {
+	case perr == nil:
+		return sp, info, nil
+	case perr == errWarmFallthrough:
+		if info.Outcome == "" || info.Outcome == WarmOutcomeSeeded {
+			info.Outcome = WarmOutcomeRejected
+		}
+		sp, err := decomposeCtxWithPolicy(ctx, h, model, d, pol)
+		return sp, info, err
+	default:
+		return nil, info, wrapPipelineErr(MELO, pl.stage, perr)
+	}
+}
+
+// errWarmFallthrough is the internal sentinel the warm path returns to
+// route into a cold solve without treating the situation as a pipeline
+// failure.
+var errWarmFallthrough = fmt.Errorf("spectral: warm start fell through to cold solve")
